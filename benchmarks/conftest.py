@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``test_*`` module regenerates one of the paper's tables or figures.
+The expensive full-protocol measurement over all seven workloads runs once
+per session; rendered exhibits are written to ``benchmarks/out/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.harness import experiments
+
+OUTPUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def measurements():
+    """Initial -> extract -> Conventional -> RIC over all seven workloads."""
+    return experiments.measure_all_workloads(seed=1)
+
+
+@pytest.fixture(scope="session")
+def exhibit_dir() -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+def write_exhibit(exhibit_dir: Path, name: str, text: str) -> None:
+    """Persist a rendered exhibit and echo it for -s runs."""
+    (exhibit_dir / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text)

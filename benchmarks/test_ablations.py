@@ -1,0 +1,95 @@
+"""Ablation benches for the design choices DESIGN.md §6 calls out.
+
+Not a paper exhibit; quantifies what each of RIC's two ideas (Table 2)
+contributes, what validation costs, and how the §9 snapshot baseline
+compares."""
+
+from conftest import write_exhibit
+from repro.baselines.snapshot import SnapshotBaseline
+from repro.core.config import RICConfig
+from repro.core.engine import Engine
+from repro.workloads import WORKLOADS
+
+SCRIPTS = WORKLOADS["angularlike"].scripts()
+
+CONFIGS = [
+    ("conventional", None),
+    ("full-ric", RICConfig()),
+    ("linking-only", RICConfig(enable_handler_reuse=False)),
+    ("no-linking", RICConfig(enable_linking=False)),
+    ("naive-unvalidated", RICConfig(validate=False)),
+]
+
+
+def run_variant(config: RICConfig | None):
+    engine = Engine(config=config or RICConfig(), seed=31)
+    engine.run(SCRIPTS, name="ablate")
+    record = engine.extract_icrecord()
+    if config is None:
+        return engine.run(SCRIPTS, name="ablate")
+    return engine.run(SCRIPTS, name="ablate", icrecord=record)
+
+
+def test_ablation_table(exhibit_dir):
+    rows = []
+    for label, config in CONFIGS:
+        profile = run_variant(config)
+        rows.append(
+            (
+                label,
+                profile.counters.ic_misses,
+                profile.total_instructions,
+                profile.counters.ric_preloads,
+            )
+        )
+    lines = ["Ablations (angular-like Reuse run)", "=" * 50]
+    lines.append(f"{'variant':20s} {'misses':>8s} {'instructions':>13s} {'preloads':>9s}")
+    for label, misses, instructions, preloads in rows:
+        lines.append(f"{label:20s} {misses:8d} {instructions:13d} {preloads:9d}")
+    write_exhibit(exhibit_dir, "ablations", "\n".join(lines))
+
+    by_label = {row[0]: row for row in rows}
+    conventional = by_label["conventional"]
+    full = by_label["full-ric"]
+    linking_only = by_label["linking-only"]
+    no_linking = by_label["no-linking"]
+
+    # Full RIC wins on both metrics.
+    assert full[1] < conventional[1] and full[2] < conventional[2]
+    # Linking-only averts the same misses but costs more instructions.
+    assert linking_only[1] == full[1]
+    assert linking_only[2] > full[2]
+    # No linking = no preloads = conventional behaviour.
+    assert no_linking[3] == 0
+    assert no_linking[1] == conventional[1]
+
+
+def test_snapshot_baseline_comparison(exhibit_dir):
+    engine = Engine(seed=31)
+    profile = engine.run(SCRIPTS, name="snap")
+    record = engine.extract_icrecord()
+    snapshot = SnapshotBaseline.capture(engine, SCRIPTS)
+    ric = engine.run(SCRIPTS, name="snap", icrecord=record)
+
+    from repro.ric.serialize import record_size_bytes
+
+    lines = [
+        "Snapshot baseline vs RIC (angular-like)",
+        "=" * 50,
+        f"snapshot size:        {snapshot.size_bytes / 1024:.1f} KB (whole-app state)",
+        f"icrecord size:        {record_size_bytes(record) / 1024:.1f} KB (per-script, shareable)",
+        f"snapshot re-executes: nothing (frozen state)",
+        f"ric re-executes:      everything ({ric.counters.ic_misses} residual misses)",
+    ]
+    write_exhibit(exhibit_dir, "snapshot_vs_ric", "\n".join(lines))
+    assert snapshot.console_output == profile.console_output
+
+
+def test_full_protocol_benchmark(benchmark):
+    """Wall-clock of one complete measure_workload protocol."""
+
+    def protocol():
+        return Engine(seed=31).measure_workload(SCRIPTS, name="ablate")
+
+    measurement = benchmark(protocol)
+    assert measurement.ric.counters.ic_misses <= measurement.conventional.counters.ic_misses

@@ -1,0 +1,24 @@
+"""Figure 1: conflicting trends — user page-load expectations vs website
+JavaScript complexity (published survey data, reproduced as-is)."""
+
+from conftest import write_exhibit
+from repro.harness import experiments
+from repro.harness.reporting import render_series
+
+
+def test_fig1_regenerate(exhibit_dir, benchmark):
+    trends = benchmark(experiments.figure1_trends)
+    text = render_series(
+        "Figure 1: page-load-time expectations vs website JS complexity",
+        {
+            "Expected page load time (s)": trends["expected_page_load_time_s"],
+            "# JavaScript requests (top 1000 sites)": trends["js_requests_top1000"],
+        },
+    )
+    write_exhibit(exhibit_dir, "fig1_trends", text)
+
+    load_times = trends["expected_page_load_time_s"]
+    requests = trends["js_requests_top1000"]
+    # The paper's point: expectations shrink while complexity grows.
+    assert load_times[0][1] == 8.0 and load_times[-1][1] == 2.0
+    assert requests[0][1] == 12 and requests[-1][1] == 28

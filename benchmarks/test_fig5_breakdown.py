@@ -1,0 +1,38 @@
+"""Figure 5: instruction breakdown during library initialization.
+
+Paper shape: IC miss handling accounts for a substantial fraction of
+initialization instructions (36% on average in the paper's V8 runs)."""
+
+from conftest import write_exhibit
+from repro.core.engine import Engine
+from repro.harness import experiments
+from repro.harness.reporting import render_stacked_fraction
+from repro.workloads import WORKLOADS
+
+
+def test_fig5_regenerate(measurements, exhibit_dir):
+    rows = experiments.figure5_instruction_breakdown(measurements)
+    text = render_stacked_fraction(
+        "Figure 5: instruction breakdown during initialization "
+        "(# = IC miss handling)",
+        rows,
+        part_key="ic_miss_handling",
+    )
+    write_exhibit(exhibit_dir, "fig5_breakdown", text)
+
+    average = rows[-1]["ic_miss_handling"]
+    assert 0.15 <= average <= 0.60  # paper: 0.36
+    for row in rows[:-1]:
+        assert row["ic_miss_handling"] > 0.0, row["library"]
+
+
+def test_fig5_initial_run_benchmark(benchmark):
+    """Times the measured quantity itself: one Initial run of the
+    highest-miss workload."""
+    scripts = WORKLOADS["reactlike"].scripts()
+
+    def initial_run():
+        return Engine(seed=1).run(scripts, name="reactlike")
+
+    profile = benchmark(initial_run)
+    assert profile.counters.ic_misses > 0

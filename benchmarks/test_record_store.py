@@ -1,0 +1,76 @@
+"""Cross-application record sharing bench (paper §9's per-file claim).
+
+Not a numbered paper exhibit; quantifies what the paper argues
+qualitatively against snapshots: RIC information extracted while one
+application runs a library transfers to a *different* application loading
+the same file."""
+
+from conftest import write_exhibit
+from repro.core.engine import Engine
+from repro.ric.serialize import record_size_bytes
+from repro.ric.store import RecordStore
+from repro.workloads import WORKLOADS
+
+LIBRARY = WORKLOADS["handlebarslike"]
+
+APP_A = [
+    (LIBRARY.filename, LIBRARY.source),
+    (
+        "app_a.jsl",
+        'var t = Handlebars.compile("<p>{{x}}</p>");'
+        'console.log("a:", t({x: 1}) === "<p>1</p>");',
+    ),
+]
+APP_B = [
+    (LIBRARY.filename, LIBRARY.source),
+    (
+        "app_b.jsl",
+        'var t2 = Handlebars.compile("[{{y}}]");'
+        'console.log("b:", t2({y: 2}) === "[2]");',
+    ),
+]
+
+
+def test_cross_application_sharing(exhibit_dir, tmp_path):
+    # Application A runs and persists per-script records.
+    engine_a = Engine(seed=41)
+    engine_a.run(APP_A, name="app-a")
+    store = RecordStore(directory=tmp_path)
+    per_script = engine_a.extract_per_script_records()
+    for filename, source in APP_A:
+        if filename in per_script:
+            store.put(filename, source, per_script[filename])
+
+    # Application B (fresh engine = fresh addresses) picks the shared
+    # library's record up from disk.
+    engine_b = Engine(seed=97)
+    fresh = RecordStore(directory=tmp_path)
+    available = fresh.records_for(APP_B)
+    conventional = engine_b.run(APP_B, name="app-b")
+    ric = engine_b.run(APP_B, name="app-b", icrecord=available)
+
+    saved = 1.0 - ric.total_instructions / conventional.total_instructions
+    lib_record = per_script[LIBRARY.filename]
+    lines = [
+        "Cross-application record sharing (paper §9)",
+        "=" * 50,
+        f"shared library:           {LIBRARY.filename}",
+        f"records found for app B:  {len(available)} (of {len(APP_B)} scripts)",
+        f"library record size:      {record_size_bytes(lib_record) / 1024:.1f} KB",
+        f"app B misses (conv/ric):  {conventional.counters.ic_misses} / "
+        f"{ric.counters.ic_misses}",
+        f"app B instruction saving: {100 * saved:.1f}%",
+    ]
+    write_exhibit(exhibit_dir, "record_store_sharing", "\n".join(lines))
+
+    assert len(available) == 1  # only the shared library matched
+    assert ric.console_output == conventional.console_output
+    assert ric.counters.ic_misses < conventional.counters.ic_misses
+    assert saved > 0
+
+
+def test_per_script_extraction_benchmark(benchmark):
+    engine = Engine(seed=41)
+    engine.run(APP_A, name="app-a")
+    records = benchmark(engine.extract_per_script_records)
+    assert LIBRARY.filename in records

@@ -1,0 +1,40 @@
+"""§6: cross-website robustness — record on site A, reuse on site B.
+
+Paper setup: two synthetic websites load the seven libraries in different
+orders; RIC information generated on one is utilized on the other (global
+object ICs disabled because they are order-sensitive)."""
+
+from conftest import write_exhibit
+from repro.core.engine import Engine
+from repro.harness import experiments
+from repro.workloads import website_b
+
+
+def test_sec6_regenerate(exhibit_dir):
+    result = experiments.section6_websites(seed=1)
+    lines = [
+        "Section 6: cross-website reuse (record from site A, reuse on site B)",
+        "=" * 68,
+        f"outputs match:        {result['outputs_match']}",
+        f"miss-rate drop:       {result['miss_rate_drop_pp']:.2f} pp",
+        f"instruction saving:   {100 * result['instruction_saving']:.1f}%",
+        f"record stats:         {result['record_stats']}",
+    ]
+    write_exhibit(exhibit_dir, "sec6_websites", "\n".join(lines))
+
+    assert result["outputs_match"]
+    assert result["miss_rate_drop_pp"] > 0
+    assert result["instruction_saving"] > 0
+
+
+def test_sec6_reuse_run_benchmark(benchmark):
+    """Times the full seven-library website-B RIC Reuse run."""
+    from repro.workloads import website_a
+
+    engine = Engine(seed=1)
+    engine.run(website_a(), name="website-a")
+    record = engine.extract_icrecord()
+    scripts = website_b()
+
+    profile = benchmark(engine.run, scripts, name="website-b", icrecord=record)
+    assert profile.counters.ric_preloads > 0

@@ -1,0 +1,49 @@
+"""§7.3: RIC overheads — extraction time and ICRecord memory.
+
+Paper shape: extraction is cheap (6-30 ms, and off the critical path) and
+the ICRecord is small relative to the workload heap (11-118 KB vs
+2.6-5.6 MB, about 1%)."""
+
+from conftest import write_exhibit
+from repro.harness import experiments
+from repro.harness.reporting import render_table
+from repro.ric.extraction import extract_icrecord
+
+
+def test_sec73_regenerate(measurements, exhibit_dir):
+    rows = experiments.section73_overheads(measurements)
+    text = render_table(
+        "Section 7.3: RIC overheads (extraction time, ICRecord memory)",
+        [
+            ("Library", "library"),
+            ("Extract(ms)", "extraction_ms"),
+            ("ICRec(KB)", "icrecord_kb"),
+            ("Heap(KB)", "heap_kb"),
+            ("Overhead%", "overhead_pct"),
+        ],
+        rows,
+    )
+    write_exhibit(exhibit_dir, "sec73_overheads", text)
+
+    libraries = rows[:-1]
+    for row in libraries:
+        # Small record relative to heap (paper: ~1%; assert < 5%).
+        assert row["overhead_pct"] < 5.0, row["library"]
+        # Record sizes land in the paper's KB ballpark.
+        assert 1.0 <= row["icrecord_kb"] <= 200.0, row["library"]
+    average = rows[-1]
+    assert average["extraction_ms"] < 500.0
+
+
+def test_sec73_extraction_benchmark(benchmark):
+    """Times the extraction phase itself on the largest workload."""
+    from repro.core.engine import Engine
+    from repro.workloads import WORKLOADS
+
+    engine = Engine(seed=1)
+    engine.run(WORKLOADS["reactlike"].scripts(), name="reactlike")
+    runtime = engine._last_runtime
+    feedback = engine._last_feedback
+
+    record = benchmark(extract_icrecord, runtime, feedback)
+    assert record.num_hidden_classes > 0

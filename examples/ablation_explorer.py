@@ -1,0 +1,74 @@
+"""Ablation explorer: what each piece of RIC contributes.
+
+Runs one workload under every configuration variant from DESIGN.md §6 —
+full RIC, linking without handler reuse, no linking, and the unvalidated
+"naive" scheme — plus the §9 snapshot baseline, and prints a comparison.
+
+Usage::
+
+    python examples/ablation_explorer.py [workload]
+"""
+
+import argparse
+
+from repro import Engine, RICConfig
+from repro.baselines.snapshot import SnapshotBaseline
+from repro.workloads import WORKLOAD_NAMES, get_workload
+
+CONFIGS = [
+    ("full RIC", RICConfig()),
+    ("linking only (regenerate handlers)", RICConfig(enable_handler_reuse=False)),
+    ("no linking (record ignored)", RICConfig(enable_linking=False)),
+    ("naive (no validation — unsound!)", RICConfig(validate=False)),
+]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "workload", nargs="?", default="angularlike", choices=WORKLOAD_NAMES
+    )
+    args = parser.parse_args()
+    workload = get_workload(args.workload)
+
+    print(f"workload: {workload.name} — {workload.description}\n")
+    print(f"{'configuration':38s} {'misses':>8s} {'instr':>10s} {'preloads':>9s}")
+    print("-" * 70)
+
+    baseline_instructions = None
+    for label, config in CONFIGS:
+        engine = Engine(config=config, seed=21)
+        engine.run(workload.scripts(), name=workload.name)
+        record = engine.extract_icrecord()
+        conventional = engine.run(workload.scripts(), name=workload.name)
+        ric = engine.run(workload.scripts(), name=workload.name, icrecord=record)
+        if baseline_instructions is None:
+            baseline_instructions = conventional.total_instructions
+            print(
+                f"{'conventional reuse (no RIC)':38s} "
+                f"{conventional.counters.ic_misses:8d} "
+                f"{conventional.total_instructions:10d} {'-':>9s}"
+            )
+        print(
+            f"{label:38s} {ric.counters.ic_misses:8d} "
+            f"{ric.total_instructions:10d} {ric.counters.ric_preloads:9d}"
+        )
+        assert ric.console_output == conventional.console_output, label
+
+    # The snapshot baseline is a different trade-off: instant restore, but
+    # application-specific and frozen (see tests/test_ablations.py for the
+    # nondeterminism failure case).
+    engine = Engine(seed=21)
+    engine.run(workload.scripts(), name=workload.name)
+    snapshot = SnapshotBaseline.capture(engine, workload.scripts())
+    restored = snapshot.restore()
+    print(
+        f"\nsnapshot baseline (§9): restores {len(restored.globals)} globals "
+        f"and {len(restored.console_output)} console lines without executing "
+        f"anything ({snapshot.size_bytes / 1024:.1f} KB, key = exact script list)"
+    )
+    print("  -> but: application-specific, and unsound if init reads Date.now()")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Quickstart: run a small JavaScript-like program through the full RIC
+protocol — Initial run, extraction, Conventional Reuse, RIC Reuse.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import Engine
+
+SOURCE = """
+// A tiny "library": a constructor, prototype methods, and a warm-up.
+function Point(x, y) { this.x = x; this.y = y; }
+Point.prototype.norm = function () {
+  return Math.sqrt(this.x * this.x + this.y * this.y);
+};
+Point.prototype.scale = function (f) {
+  return new Point(this.x * f, this.y * f);
+};
+
+var points = [];
+for (var i = 0; i < 10; i++) { points.push(new Point(i, i + 1)); }
+var total = 0;
+for (var j = 0; j < points.length; j++) { total += points[j].scale(2).norm(); }
+console.log("total norm:", Math.round(total));
+"""
+
+
+def main() -> None:
+    engine = Engine(seed=42)
+
+    # 1. Initial run: compiles the script, fills the code cache, builds IC
+    #    state from scratch.
+    initial = engine.run(SOURCE, name="quickstart")
+    print("guest output:", initial.console_output)
+    print(f"initial run:       {initial.counters.ic_misses} IC misses "
+          f"({initial.ic_miss_rate_pct:.1f}% of accesses), "
+          f"{initial.total_instructions} guest instructions")
+
+    # 2. Extraction phase: pull the context-independent IC information out
+    #    of the completed run (paper §5.2.1).
+    record = engine.extract_icrecord()
+    print(f"extracted record:  {record.stats()}")
+
+    # 3. Conventional Reuse run: bytecode comes from the code cache, but the
+    #    IC state is rebuilt from scratch — exactly as many misses again.
+    conventional = engine.run(SOURCE, name="quickstart")
+    print(f"conventional rerun: {conventional.counters.ic_misses} IC misses")
+
+    # 4. RIC Reuse run: hidden classes are validated as they are created and
+    #    Dependent sites are preloaded, averting their misses (paper §5.2.2).
+    ric = engine.run(SOURCE, name="quickstart", icrecord=record)
+    print(f"RIC rerun:          {ric.counters.ic_misses} IC misses "
+          f"({ric.counters.ric_preloads} slots preloaded, "
+          f"{ric.counters.ic_hits_on_preloaded} hits on preloaded slots)")
+
+    saving = 1 - ric.total_instructions / conventional.total_instructions
+    print(f"instruction saving: {100 * saving:.1f}%")
+    assert ric.console_output == initial.console_output, "outputs must match"
+    print("outputs identical across all runs — reuse is sound.")
+
+
+if __name__ == "__main__":
+    main()

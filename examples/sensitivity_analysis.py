@@ -1,0 +1,50 @@
+"""Sensitivity analysis: what makes RIC effective?
+
+The paper's Table 1 attributes RIC's opportunity to each hidden class being
+encountered at several object access sites (misses/HC ≈ 4.8 across the
+seven libraries).  This example sweeps that quantity directly on generated
+synthetic libraries and plots the result as an ASCII chart: more read
+passes per shape → more avertable Dependent misses → bigger RIC win.
+
+Usage::
+
+    python examples/sensitivity_analysis.py
+"""
+
+from repro.harness.experiments import sensitivity_sweep
+
+
+def bar(value: float, scale: float = 60.0) -> str:
+    return "#" * int(round(value * scale))
+
+
+def main() -> None:
+    print("sweeping sites-per-shape on generated libraries "
+          "(12 shapes x 4 fields x 3 instances)\n")
+    rows = sensitivity_sweep(sites_per_shape_values=(1, 2, 3, 4, 6, 8))
+
+    print(f"{'sites':>5s} {'misses/HC':>9s} {'miss reduction by RIC':>22s}")
+    for row in rows:
+        reduction = row["miss_reduction_fraction"]
+        print(
+            f"{row['sites_per_shape']:5d} {row['misses_per_hc']:9.1f} "
+            f"{100 * reduction:6.1f}%  |{bar(reduction)}"
+        )
+
+    print(f"\n{'sites':>5s} {'normalized instructions (RIC / Conventional)':>45s}")
+    for row in rows:
+        normalized = row["normalized_instructions"]
+        print(
+            f"{row['sites_per_shape']:5d} {normalized:10.3f}           "
+            f"|{bar(normalized)}"
+        )
+
+    print(
+        "\nreading: the paper's libraries sit around misses/HC = 2.4-6.5 "
+        "(Table 1);\nRIC's benefit is monotone in that quantity — the more "
+        "sites each hidden\nclass reaches, the more misses linking can avert."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Shared-library record cache: the paper's §9 sharing argument, live.
+
+The snapshot approach (§9) is application-specific: two apps using the same
+library each need their own snapshot.  RIC information, by contrast, is
+"maintained for each JavaScript file", so a library's record extracted
+while running *one* application accelerates *every other* application that
+loads the same file.
+
+This example builds a browser-cache-shaped RecordStore on disk, warms it by
+visiting application A, then visits application B (different app code, same
+library) in a fresh engine and picks the library's record up from disk.
+
+Usage::
+
+    python examples/shared_library_cache.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import Engine
+from repro.ric.store import RecordStore
+from repro.workloads import get_workload
+
+LIBRARY = get_workload("handlebarslike")
+
+APP_A = [
+    (LIBRARY.filename, LIBRARY.source),
+    (
+        "dashboard.jsl",
+        """
+        var renderRow = Handlebars.compile("<tr><td>{{name}}</td></tr>");
+        var rows = "";
+        var team = [{name: "ada"}, {name: "alan"}];
+        for (var i = 0; i < team.length; i++) { rows += renderRow(team[i]); }
+        console.log("dashboard:", rows.indexOf("ada") >= 0);
+        """,
+    ),
+]
+
+APP_B = [
+    (LIBRARY.filename, LIBRARY.source),
+    (
+        "mailer.jsl",
+        """
+        var renderMail = Handlebars.compile("Dear {{user}}, {{body}}");
+        var mail = renderMail({user: "grace", body: "ship it"});
+        console.log("mailer:", mail === "Dear grace, ship it");
+        """,
+    ),
+]
+
+
+def main() -> None:
+    cache_dir = Path(tempfile.mkdtemp(prefix="ric-store-"))
+
+    # --- application A: first ever visit -------------------------------------
+    print("== application A (dashboard) — cold visit ==")
+    engine_a = Engine(seed=5)
+    profile_a = engine_a.run(APP_A, name="app-a")
+    print("  ", " / ".join(profile_a.console_output[-2:]))
+    print(f"   {profile_a.counters.ic_misses} IC misses")
+
+    store = RecordStore(directory=cache_dir)
+    for filename, record in engine_a.extract_per_script_records().items():
+        source = dict(APP_A)[filename]
+        store.put(filename, source, record)
+    print(f"   persisted {len(store)} per-script records to {cache_dir}")
+
+    # --- application B: different app, same library, fresh engine ---------------
+    print("\n== application B (mailer) — different app, same library ==")
+    engine_b = Engine(seed=77)  # fresh process: different heap addresses
+    fresh_store = RecordStore(directory=cache_dir)
+    available = fresh_store.records_for(APP_B)
+    print(f"   records found in the cache for B's scripts: {len(available)} "
+          f"(the shared {LIBRARY.filename})")
+
+    conventional = engine_b.run(APP_B, name="app-b")
+    ric = engine_b.run(APP_B, name="app-b", icrecord=available)
+    print("  ", " / ".join(ric.console_output[-2:]))
+    print(f"   conventional: {conventional.counters.ic_misses} misses | "
+          f"with shared record: {ric.counters.ic_misses} misses "
+          f"({ric.counters.ric_preloads} preloads)")
+    saving = 1 - ric.total_instructions / conventional.total_instructions
+    print(f"   instruction saving from a record B never produced: {100 * saving:.1f}%")
+    assert ric.console_output == conventional.console_output
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Compatibility shim so `pip install -e .` works on environments whose
+setuptools predates PEP 660 wheel-less editable installs."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,36 @@
+"""repro — Reusable Inline Caching for JavaScript Performance.
+
+A complete Python reproduction of Choi, Shull & Torrellas (PLDI 2019):
+a JavaScript-subset language (jsl) with a bytecode VM, V8-style hidden
+classes and out-of-line inline caching, plus RIC — extraction of
+context-independent IC information after an Initial run and its validated
+reuse in subsequent runs.
+
+Quickstart::
+
+    from repro import Engine
+
+    engine = Engine()
+    measurement = engine.measure_workload(open("lib.jsl").read(), name="lib")
+    print(measurement.instruction_reduction)   # RIC's Figure-8 saving
+"""
+
+from repro.core.config import RICConfig
+from repro.core.engine import Engine, WorkloadMeasurement
+from repro.ric.extraction import extract_icrecord
+from repro.ric.icrecord import ICRecord
+from repro.ric.serialize import load_icrecord, record_size_bytes, save_icrecord
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Engine",
+    "ICRecord",
+    "RICConfig",
+    "WorkloadMeasurement",
+    "extract_icrecord",
+    "load_icrecord",
+    "record_size_bytes",
+    "save_icrecord",
+    "__version__",
+]

@@ -1,0 +1,5 @@
+"""Comparison baselines from the paper's related-work discussion (§9)."""
+
+from repro.baselines.snapshot import RestoredState, Snapshot, SnapshotBaseline
+
+__all__ = ["RestoredState", "Snapshot", "SnapshotBaseline"]

@@ -1,0 +1,146 @@
+"""Heap-snapshot baseline (paper §9: Oh & Moon, and V8 custom snapshots).
+
+The snapshot approach captures the heap after initialization and restores
+it instead of re-executing — fast, but with the two limitations the paper
+calls out against RIC:
+
+1. **Application-specific**: a snapshot keys the *entire* script list; two
+   applications sharing one library cannot share snapshot state, whereas an
+   ICRecord is per-script.
+2. **Unsound under nondeterminism**: any init-time `Date.now()` / I/O value
+   is frozen into the snapshot; a real re-execution would observe fresh
+   values.  RIC re-executes the code (only accelerating its ICs), so it
+   never has this problem.
+
+Our snapshot serializes the user-visible global state (global properties
+added by the scripts, plus console output) to a JSON-like form and
+"restores" by replaying it without running any guest code.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.bytecode.cache import source_hash
+from repro.core.engine import Engine, Scripts
+from repro.runtime.builtins import GLOBAL_LAYOUT
+from repro.runtime.context import Runtime
+from repro.runtime.objects import JSArray, JSFunction, JSObject
+from repro.runtime.values import NULL, UNDEFINED, number_to_string
+
+
+@dataclass
+class Snapshot:
+    """A captured post-initialization state."""
+
+    #: Identity of the exact script list (order-sensitive!).
+    key: str
+    console_output: list[str]
+    #: JSON-encoded user globals (functions appear as markers).
+    globals_json: str
+    size_bytes: int
+
+    def restore(self) -> "RestoredState":
+        """Reconstruct the user-visible state without executing anything."""
+        return RestoredState(
+            console_output=list(self.console_output),
+            globals=json.loads(self.globals_json),
+        )
+
+
+@dataclass
+class RestoredState:
+    """What a snapshot restore yields."""
+
+    console_output: list[str]
+    globals: dict
+
+
+class SnapshotBaseline:
+    """Capture/restore driver used by the ablation benchmarks."""
+
+    @staticmethod
+    def script_key(scripts: Scripts | str) -> str:
+        if isinstance(scripts, str):
+            scripts = [("<script>", scripts)]
+        return "|".join(f"{name}:{source_hash(src)}" for name, src in scripts)
+
+    @staticmethod
+    def capture(engine: Engine, scripts: Scripts | str) -> Snapshot:
+        """Serialize the last run's user-visible global state."""
+        runtime = engine._last_runtime
+        if runtime is None:
+            raise RuntimeError("run the workload before capturing a snapshot")
+        globals_data = _serialize_user_globals(runtime)
+        globals_json = json.dumps(globals_data)
+        console = list(runtime.console_output)
+        return Snapshot(
+            key=SnapshotBaseline.script_key(scripts),
+            console_output=console,
+            globals_json=globals_json,
+            size_bytes=len(globals_json.encode("utf-8"))
+            + sum(len(line) for line in console),
+        )
+
+    @staticmethod
+    def matches(snapshot: Snapshot, scripts: Scripts | str) -> bool:
+        """Snapshots only apply to the identical script list, in order."""
+        return snapshot.key == SnapshotBaseline.script_key(scripts)
+
+
+def _serialize_user_globals(runtime: Runtime) -> dict:
+    """JSON-ify globals the scripts added (not the builtins)."""
+    global_object = runtime.global_object
+    builtin_names = set(GLOBAL_LAYOUT)
+    data: dict = {}
+    names = (
+        list(global_object.dict_properties)
+        if global_object.dict_properties is not None
+        else list(global_object.hidden_class.layout)
+    )
+    for name in names:
+        if name in builtin_names:
+            continue
+        found, value = global_object.get_own(name)
+        if found:
+            data[name] = _serialize_value(value, depth=0, seen=set())
+    return data
+
+
+def _serialize_value(value: object, depth: int, seen: set) -> object:
+    if depth > 24:
+        return {"<truncated>": True}
+    if value is UNDEFINED:
+        return {"<undefined>": True}
+    if value is NULL:
+        return None
+    if isinstance(value, bool) or isinstance(value, str):
+        return value
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            return {"<number>": number_to_string(value)}
+        return value
+    if isinstance(value, JSFunction):
+        return {"<function>": value.fn_name}
+    if isinstance(value, JSArray):
+        if id(value) in seen:
+            return {"<cycle>": True}
+        seen = seen | {id(value)}
+        return [
+            _serialize_value(element, depth + 1, seen)
+            for element in value.array_elements
+        ]
+    if isinstance(value, JSObject):
+        if id(value) in seen:
+            return {"<cycle>": True}
+        seen = seen | {id(value)}
+        out = {}
+        for name in value.own_property_names():
+            found, member = value.get_own(name)
+            if not found and value.elements is not None and name.isdigit():
+                found, member = value.get_element(int(name))
+            if found:
+                out[name] = _serialize_value(member, depth + 1, seen)
+        return {"<object>": out}
+    return {"<host>": repr(value)}

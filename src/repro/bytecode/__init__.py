@@ -1,0 +1,26 @@
+"""Bytecode layer: instruction set, compiler, code objects and code cache."""
+
+from repro.bytecode.cache import CodeCache, code_from_json, code_to_json, source_hash
+from repro.bytecode.code import CodeObject, FeedbackSlotInfo, SiteKind
+from repro.bytecode.compiler import Compiler, compile_source
+from repro.bytecode.disasm import disassemble
+from repro.bytecode.opcodes import BinOp, Op, UnOp
+from repro.bytecode.optimizer import OptimizeResult, optimize_code
+
+__all__ = [
+    "BinOp",
+    "CodeCache",
+    "CodeObject",
+    "Compiler",
+    "FeedbackSlotInfo",
+    "Op",
+    "OptimizeResult",
+    "optimize_code",
+    "SiteKind",
+    "UnOp",
+    "code_from_json",
+    "code_to_json",
+    "compile_source",
+    "disassemble",
+    "source_hash",
+]

@@ -1,0 +1,161 @@
+"""Code cache: persist compiled bytecode across executions (paper §8.1).
+
+V8 lets the host cache the bytecode result of parsing+compiling a script so
+that re-executions skip the frontend entirely; both the paper's Conventional
+and RIC configurations run on top of this.  Our cache serializes
+:class:`~repro.bytecode.code.CodeObject` trees to a JSON-compatible form,
+keyed by the script's filename and a content hash, and can round-trip them
+through disk.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.bytecode.code import CodeObject, FeedbackSlotInfo, SiteKind
+from repro.lang.errors import SourcePosition
+
+#: Bump when the serialized form changes; mismatching entries are ignored.
+CACHE_FORMAT_VERSION = 4
+
+
+def source_hash(source: str) -> str:
+    """Content hash used to key and invalidate cache entries."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()[:16]
+
+
+def _position_to_json(position: SourcePosition) -> list:
+    return [position.filename, position.line, position.column]
+
+
+def _position_from_json(data: list) -> SourcePosition:
+    return SourcePosition(data[0], data[1], data[2])
+
+
+def code_to_json(code: CodeObject) -> dict:
+    """Serialize one code object (recursively) to plain JSON data."""
+    constants = []
+    for constant in code.constants:
+        if isinstance(constant, CodeObject):
+            constants.append({"kind": "code", "value": code_to_json(constant)})
+        elif isinstance(constant, float):
+            constants.append({"kind": "num", "value": constant})
+        elif isinstance(constant, str):
+            constants.append({"kind": "str", "value": constant})
+        else:  # pragma: no cover - the compiler emits only the above
+            raise TypeError(f"unserializable constant: {constant!r}")
+    return {
+        "name": code.name,
+        "filename": code.filename,
+        "params": code.params,
+        "position": _position_to_json(code.position),
+        "decl_key": code.decl_key,
+        "instructions": [list(instruction) for instruction in code.instructions],
+        "positions": [list(position) for position in code.positions],
+        "constants": constants,
+        "names": code.names,
+        "local_names": code.local_names,
+        "feedback_slots": [
+            [slot.kind.value, _position_to_json(slot.position), slot.name]
+            for slot in code.feedback_slots
+        ],
+    }
+
+
+def code_from_json(data: dict) -> CodeObject:
+    """Inverse of :func:`code_to_json`."""
+    constants: list[object] = []
+    for entry in data["constants"]:
+        if entry["kind"] == "code":
+            constants.append(code_from_json(entry["value"]))
+        else:
+            constants.append(entry["value"])
+    code = CodeObject(
+        name=data["name"],
+        filename=data["filename"],
+        params=list(data["params"]),
+        position=_position_from_json(data["position"]),
+        instructions=[tuple(instruction) for instruction in data["instructions"]],
+        positions=[tuple(position) for position in data["positions"]],
+        constants=constants,
+        names=list(data["names"]),
+        local_names=list(data["local_names"]),
+        feedback_slots=[
+            FeedbackSlotInfo(
+                kind=SiteKind(kind), position=_position_from_json(position), name=name
+            )
+            for kind, position, name in data["feedback_slots"]
+        ],
+        decl_key=data["decl_key"],
+    )
+    return code
+
+
+class CodeCache:
+    """In-memory code cache with optional disk persistence.
+
+    The cache models the V8 host API: the embedder asks for a script's
+    compiled form; on a hit the frontend is skipped.  ``hits``/``misses``
+    are exposed so benchmarks can assert the Reuse run never re-compiles.
+    """
+
+    def __init__(self, cache_dir: str | Path | None = None):
+        self._entries: dict[str, CodeObject] = {}
+        self._cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.hits = 0
+        self.misses = 0
+        if self._cache_dir is not None:
+            self._cache_dir.mkdir(parents=True, exist_ok=True)
+
+    @staticmethod
+    def _key(filename: str, source: str) -> str:
+        return f"{filename}:{source_hash(source)}"
+
+    def lookup(self, filename: str, source: str) -> CodeObject | None:
+        """Return the cached code for (filename, source) or None."""
+        key = self._key(filename, source)
+        code = self._entries.get(key)
+        if code is None and self._cache_dir is not None:
+            code = self._load_from_disk(key)
+            if code is not None:
+                self._entries[key] = code
+        if code is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return code
+
+    def store(self, filename: str, source: str, code: CodeObject) -> None:
+        key = self._key(filename, source)
+        self._entries[key] = code
+        if self._cache_dir is not None:
+            self._store_to_disk(key, code)
+
+    # -- disk persistence ----------------------------------------------------
+
+    def _disk_path(self, key: str) -> Path:
+        assert self._cache_dir is not None
+        digest = hashlib.sha256(key.encode("utf-8")).hexdigest()[:24]
+        return self._cache_dir / f"{digest}.jslcache.json"
+
+    def _store_to_disk(self, key: str, code: CodeObject) -> None:
+        payload = {
+            "version": CACHE_FORMAT_VERSION,
+            "key": key,
+            "code": code_to_json(code),
+        }
+        self._disk_path(key).write_text(json.dumps(payload))
+
+    def _load_from_disk(self, key: str) -> CodeObject | None:
+        path = self._disk_path(key)
+        if not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if payload.get("version") != CACHE_FORMAT_VERSION or payload.get("key") != key:
+            return None
+        return code_from_json(payload["code"])

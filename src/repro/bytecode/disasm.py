@@ -1,0 +1,71 @@
+"""Bytecode disassembler, used by tests and for debugging workloads."""
+
+from __future__ import annotations
+
+from repro.bytecode.code import CodeObject
+from repro.bytecode.opcodes import BinOp, Op, UnOp
+
+_NAME_OPS = {
+    Op.LOAD_GLOBAL,
+    Op.STORE_GLOBAL,
+    Op.DECLARE_GLOBAL,
+    Op.LOAD_GLOBAL_SOFT,
+    Op.GET_PROP,
+    Op.SET_PROP,
+    Op.OBJ_LIT_PROP,
+    Op.DELETE_PROP,
+}
+
+_JUMP_OPS = {
+    Op.JUMP,
+    Op.JUMP_IF_FALSE,
+    Op.JUMP_IF_TRUE,
+    Op.JUMP_IF_FALSE_KEEP,
+    Op.JUMP_IF_TRUE_KEEP,
+    Op.SETUP_TRY,
+    Op.FOR_IN_NEXT,
+}
+
+
+def disassemble(code: CodeObject, recursive: bool = False, indent: str = "") -> str:
+    """Render ``code`` as human-readable text."""
+    lines = [f"{indent}=== {code.name} ({code.filename}) ==="]
+    if code.local_names:
+        lines.append(f"{indent}locals: {', '.join(code.local_names)}")
+    for pc, (op_int, a, b) in enumerate(code.instructions):
+        op = Op(op_int)
+        detail = ""
+        if op in _NAME_OPS:
+            detail = f" name={code.names[a]!r}"
+            if op is not Op.DELETE_PROP:
+                detail += f" fb={b}"
+        elif op is Op.LOAD_CONST:
+            constant = code.constants[a]
+            if isinstance(constant, CodeObject):
+                detail = f" <code {constant.name}>"
+            else:
+                detail = f" {constant!r}"
+        elif op is Op.MAKE_FUNCTION:
+            constant = code.constants[a]
+            detail = f" <code {getattr(constant, 'name', '?')}>"
+        elif op in _JUMP_OPS:
+            detail = f" -> {a}"
+        elif op is Op.BINARY:
+            detail = f" {BinOp(a).name}"
+        elif op is Op.UNARY:
+            detail = f" {UnOp(a).name}"
+        elif op in (Op.LOAD_LOCAL, Op.STORE_LOCAL):
+            detail = f" {code.local_names[a] if a < len(code.local_names) else a}"
+        elif op in (Op.LOAD_ENV, Op.STORE_ENV):
+            detail = f" depth={a} slot={b}"
+        elif op in (Op.CALL, Op.CALL_METHOD, Op.NEW, Op.MAKE_ARRAY):
+            detail = f" n={a}"
+        elif op in (Op.GET_INDEX, Op.SET_INDEX):
+            detail = f" fb={a}"
+        lines.append(f"{indent}{pc:5d}  {op.name}{detail}")
+    if recursive:
+        for constant in code.constants:
+            if isinstance(constant, CodeObject):
+                lines.append("")
+                lines.append(disassemble(constant, recursive=True, indent=indent + "  "))
+    return "\n".join(lines)

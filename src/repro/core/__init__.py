@@ -1,0 +1,6 @@
+"""Core public API: the Engine and its configuration."""
+
+from repro.core.config import RICConfig
+from repro.core.engine import Engine, Scripts, WorkloadMeasurement
+
+__all__ = ["Engine", "RICConfig", "Scripts", "WorkloadMeasurement"]

@@ -1,0 +1,30 @@
+"""Configuration switches for RIC, including the ablation knobs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RICConfig:
+    """Controls how RIC behaves; defaults reproduce the paper's setup.
+
+    The non-default combinations implement the ablations indexed in
+    DESIGN.md §6:
+
+    * ``enable_linking=False`` — no Triggering→Dependent linking; the
+      ICRecord is effectively ignored during the Reuse run (Conventional).
+    * ``enable_handler_reuse=False`` — linking still preloads slots, but
+      each preload pays the handler-generation cost again instead of reusing
+      the saved handler (isolates idea 1 of the paper's Table 2).
+    * ``validate=False`` — the *naive* persistence scheme: hidden classes
+      are matched by creation order with no address validation.  Unsound
+      under divergence; exists to demonstrate why validation is necessary.
+    * ``include_global_ics=True`` — lifts the paper's §6 exclusion of
+      global-object ICs (order-sensitive; breaks cross-website reuse).
+    """
+
+    enable_linking: bool = True
+    enable_handler_reuse: bool = True
+    validate: bool = True
+    include_global_ics: bool = False

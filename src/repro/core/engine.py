@@ -1,0 +1,298 @@
+"""The Engine: the library's main entry point.
+
+An :class:`Engine` owns the cross-execution artifacts — the code cache
+(bytecode persists across runs, paper §8.1) and, after extraction, the
+ICRecord — and creates a fresh, address-randomized runtime for every
+execution.  The paper's three measured configurations map to:
+
+* **Initial run** — ``engine.run(scripts)`` on a cold engine (compiles and
+  fills the code cache, builds IC state from scratch).
+* **Conventional Reuse run** — ``engine.run(scripts)`` again: bytecode comes
+  from the code cache but IC state is rebuilt from scratch.
+* **RIC Reuse run** — ``engine.run(scripts, icrecord=record)`` with the
+  record from ``engine.extract_icrecord()``: IC state is partially preloaded.
+
+Example::
+
+    engine = Engine()
+    initial = engine.run(scripts, name="react-like")
+    record = engine.extract_icrecord()
+    conventional = engine.run(scripts, name="react-like")
+    ric = engine.run(scripts, name="react-like", icrecord=record)
+    assert ric.ic_miss_rate < conventional.ic_miss_rate
+"""
+
+from __future__ import annotations
+
+import random
+import time
+import typing
+
+from repro.bytecode.cache import CodeCache, source_hash
+from repro.bytecode.code import CodeObject
+from repro.bytecode.compiler import compile_source
+from repro.core.config import RICConfig
+from repro.ic.icvector import FeedbackState
+from repro.ic.miss import ICRuntime
+from repro.interpreter.vm import VM
+from repro.ric.extraction import extract_icrecord
+from repro.ric.icrecord import ICRecord
+from repro.ric.reuse import MultiReuseSession, ReuseSession
+from repro.runtime.builtins import install_builtins
+from repro.runtime.context import Runtime
+from repro.stats.counters import Counters
+from repro.stats.profile import RunProfile
+
+#: A workload: list of (filename, source) scripts executed in order.
+Scripts = typing.Sequence[typing.Tuple[str, str]]
+
+
+class Engine:
+    """Drives executions of jsl workloads with optional RIC reuse."""
+
+    def __init__(
+        self,
+        config: RICConfig | None = None,
+        cache_dir: str | None = None,
+        seed: int | None = None,
+        optimize: bool = True,
+    ):
+        self.config = config or RICConfig()
+        self.optimize = optimize
+        self.code_cache = CodeCache(cache_dir=cache_dir)
+        # Every execution gets a distinct sub-seed, so heap addresses differ
+        # across runs even when the engine itself is seeded (which is the
+        # whole premise of the paper).  Seeding the engine makes the
+        # *sequence* of runs reproducible.
+        self._seed_stream = random.Random(seed)
+        #: State of the most recent run, kept for extraction.
+        self._last_runtime: Runtime | None = None
+        self._last_feedback: FeedbackState | None = None
+        self._last_script_keys: list[str] = []
+
+    # -- compilation --------------------------------------------------------------
+
+    def compile(self, filename: str, source: str) -> CodeObject:
+        """Compile through the code cache (hit = frontend skipped); the
+        peephole optimizer runs before the bytecode is cached."""
+        code = self.code_cache.lookup(filename, source)
+        if code is None:
+            code = compile_source(source, filename)
+            if self.optimize:
+                from repro.bytecode.optimizer import optimize_code
+
+                optimize_code(code)
+            self.code_cache.store(filename, source, code)
+        return code
+
+    # -- execution -------------------------------------------------------------------
+
+    def run(
+        self,
+        scripts: Scripts | str,
+        name: str = "workload",
+        icrecord: "ICRecord | typing.Sequence[ICRecord] | None" = None,
+        seed: int | None = None,
+        time_source: typing.Callable[[], float] | None = None,
+        tracer=None,
+    ) -> RunProfile:
+        """Execute a workload in a fresh runtime and measure it.
+
+        ``scripts`` is either a single source string or a sequence of
+        ``(filename, source)`` pairs executed in order (a "website").
+        Passing ``icrecord`` makes this a RIC Reuse run.
+        """
+        if isinstance(scripts, str):
+            scripts = [("<script>", scripts)]
+        run_seed = seed if seed is not None else self._seed_stream.getrandbits(48)
+
+        counters = Counters()
+        runtime = Runtime(seed=run_seed)
+        feedback = FeedbackState()
+
+        reuse_session: "ReuseSession | MultiReuseSession | None" = None
+
+        def on_hidden_class_created(hc) -> None:
+            counters.hidden_classes_created += 1
+            if tracer is not None:
+                from repro.stats.tracing import HC_CREATED
+
+                tracer.emit(
+                    HC_CREATED, site_key=hc.creation_key, hc_index=hc.index
+                )
+            if reuse_session is not None:
+                reuse_session.on_hidden_class_created(hc)
+
+        runtime.hidden_classes.on_created = on_hidden_class_created
+
+        mode = "reuse-ric" if icrecord is not None else "initial"
+        cache_hits_before = self.code_cache.hits
+        cache_misses_before = self.code_cache.misses
+
+        # Compile (or fetch) all scripts first, then register their feedback
+        # vectors *before* builtins are created: builtin validation may
+        # preload sites anywhere in the workload.
+        compiled: list[CodeObject] = []
+        script_keys: list[str] = []
+        for filename, source in scripts:
+            code = self.compile(filename, source)
+            compiled.append(code)
+            feedback.register_script(code)
+            script_keys.append(f"{filename}:{source_hash(source)}")
+            for nested in code.iter_code_objects():
+                runtime.heap.charge(
+                    "bytecode",
+                    16 * len(nested.instructions)
+                    + 8 * len(nested.constants)
+                    + 24 * len(nested.feedback_slots),
+                )
+
+        # Sessions are created only now that this run's script keys
+        # (filename:source-hash) are known: a record's file-bound state only
+        # applies to files whose content matches what it was extracted from.
+        if icrecord is not None:
+            trusted = set(script_keys)
+            if isinstance(icrecord, ICRecord):
+                reuse_session = ReuseSession(
+                    icrecord,
+                    feedback,
+                    counters,
+                    self.config,
+                    tracer=tracer,
+                    trusted_script_keys=trusted,
+                )
+            else:
+                # A sequence of per-script records (see repro.ric.store):
+                # one session per record, each in its own HCID namespace.
+                reuse_session = MultiReuseSession(
+                    [
+                        ReuseSession(
+                            record,
+                            feedback,
+                            counters,
+                            self.config,
+                            tracer=tracer,
+                            trusted_script_keys=trusted,
+                        )
+                        for record in icrecord
+                    ]
+                )
+
+        start = time.perf_counter()
+        install_builtins(runtime)
+        ic_runtime = ICRuntime(runtime, counters, reuse_session, tracer=tracer)
+        vm = VM(runtime, counters, ic_runtime, feedback, time_source=time_source)
+        for code in compiled:
+            # Uncaught guest exceptions surface from run_code as
+            # JSLRuntimeError with a guest stack trace attached.
+            vm.run_code(code)
+        wall_time_ms = (time.perf_counter() - start) * 1000.0
+
+        self._last_runtime = runtime
+        self._last_feedback = feedback
+        self._last_script_keys = script_keys
+
+        return RunProfile(
+            name=name,
+            mode=mode,
+            counters=counters,
+            wall_time_ms=wall_time_ms,
+            heap_bytes=runtime.heap.bytes_allocated,
+            console_output=list(runtime.console_output),
+            scripts=script_keys,
+            code_cache_hits=self.code_cache.hits - cache_hits_before,
+            code_cache_misses=self.code_cache.misses - cache_misses_before,
+        )
+
+    # -- extraction --------------------------------------------------------------------
+
+    def extract_icrecord(self) -> ICRecord:
+        """Run the RIC extraction phase over the most recent execution."""
+        if self._last_runtime is None or self._last_feedback is None:
+            raise RuntimeError("no completed run to extract from; call run() first")
+        return extract_icrecord(
+            self._last_runtime,
+            self._last_feedback,
+            config=self.config,
+            script_keys=self._last_script_keys,
+        )
+
+    def extract_per_script_records(self) -> dict:
+        """Per-file ICRecords from the most recent execution (paper §9:
+        RIC information is maintained per JavaScript file and shareable
+        across applications).  See :mod:`repro.ric.store`."""
+        if self._last_runtime is None or self._last_feedback is None:
+            raise RuntimeError("no completed run to extract from; call run() first")
+        from repro.ric.store import extract_per_script_records
+
+        records = extract_per_script_records(
+            self._last_runtime, self._last_feedback, config=self.config
+        )
+        # Stamp each record with its script's content identity so reuse can
+        # refuse records whose source has changed.
+        hash_by_filename = {
+            key.split(":", 1)[0]: key for key in self._last_script_keys
+        }
+        for filename, record in records.items():
+            if filename in hash_by_filename:
+                record.script_keys = [hash_by_filename[filename]]
+        return records
+
+    # -- the paper's full measurement protocol ------------------------------------------
+
+    def measure_workload(
+        self, scripts: Scripts | str, name: str = "workload"
+    ) -> "WorkloadMeasurement":
+        """Run the full Initial → extract → Conventional/RIC protocol."""
+        initial = self.run(scripts, name=name)
+        record = self.extract_icrecord()
+        conventional = self.run(scripts, name=name)
+        conventional.mode = "reuse-conventional"
+        ric = self.run(scripts, name=name, icrecord=record)
+        return WorkloadMeasurement(
+            name=name,
+            initial=initial,
+            conventional=conventional,
+            ric=ric,
+            record=record,
+        )
+
+
+class WorkloadMeasurement:
+    """The three measured runs plus the extracted record for one workload."""
+
+    def __init__(
+        self,
+        name: str,
+        initial: RunProfile,
+        conventional: RunProfile,
+        ric: RunProfile,
+        record: ICRecord,
+    ):
+        self.name = name
+        self.initial = initial
+        self.conventional = conventional
+        self.ric = ric
+        self.record = record
+
+    @property
+    def instruction_reduction(self) -> float:
+        """Fractional instruction saving of RIC vs Conventional (Figure 8)."""
+        base = self.conventional.total_instructions
+        if base == 0:
+            return 0.0
+        return 1.0 - self.ric.total_instructions / base
+
+    @property
+    def normalized_instructions(self) -> float:
+        base = self.conventional.total_instructions
+        if base == 0:
+            return 1.0
+        return self.ric.total_instructions / base
+
+    @property
+    def miss_rate_reduction_pp(self) -> float:
+        """Miss-rate drop in percentage points (Table 4 cols 2-3)."""
+        return 100.0 * (
+            self.initial.ic_miss_rate - self.ric.ic_miss_rate
+        )

@@ -1,0 +1,25 @@
+"""Experiment harness: one regeneration function per paper table/figure."""
+
+from repro.harness.experiments import (
+    figure1_trends,
+    figure5_instruction_breakdown,
+    figure8_instruction_counts,
+    figure9_execution_times,
+    measure_all_workloads,
+    section6_websites,
+    section73_overheads,
+    table1_ic_statistics,
+    table4_miss_rates,
+)
+
+__all__ = [
+    "figure1_trends",
+    "figure5_instruction_breakdown",
+    "figure8_instruction_counts",
+    "figure9_execution_times",
+    "measure_all_workloads",
+    "section6_websites",
+    "section73_overheads",
+    "table1_ic_statistics",
+    "table4_miss_rates",
+]

@@ -1,0 +1,214 @@
+"""``ric-bench`` command-line entry point.
+
+Regenerates any paper exhibit from the terminal::
+
+    ric-bench table1
+    ric-bench table4
+    ric-bench fig5
+    ric-bench fig8
+    ric-bench fig9
+    ric-bench overheads
+    ric-bench websites
+    ric-bench fig1
+    ric-bench all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness import experiments
+from repro.harness.reporting import (
+    render_bars,
+    render_series,
+    render_stacked_fraction,
+    render_table,
+)
+
+
+def _print_table1(measurements) -> None:
+    rows = experiments.table1_ic_statistics(measurements)
+    print(
+        render_table(
+            "Table 1: IC statistics during library initialization",
+            [
+                ("Library", "library"),
+                ("#HiddenCls", "hidden_classes"),
+                ("#ICMisses", "ic_misses"),
+                ("Misses/HC", "misses_per_hc"),
+                ("%CI-Handlers", "ci_handler_pct"),
+            ],
+            rows,
+            paper=experiments.PAPER_TABLE1,
+        )
+    )
+
+
+def _print_table4(measurements) -> None:
+    rows = experiments.table4_miss_rates(measurements)
+    print(
+        render_table(
+            "Table 4: IC miss rate, Initial vs RIC Reuse (with attribution)",
+            [
+                ("Library", "library"),
+                ("Initial%", "initial_miss_pct"),
+                ("Reuse%", "reuse_miss_pct"),
+                ("Handler%", "handler_pct"),
+                ("Global%", "global_pct"),
+                ("Other%", "other_pct"),
+            ],
+            rows,
+            paper=experiments.PAPER_TABLE4,
+        )
+    )
+
+
+def _print_fig5(measurements) -> None:
+    rows = experiments.figure5_instruction_breakdown(measurements)
+    print(
+        render_stacked_fraction(
+            "Figure 5: instruction breakdown during initialization",
+            rows,
+            part_key="ic_miss_handling",
+        )
+    )
+    print(f"\n(paper average: {100 * experiments.PAPER_FIG5_MISS_FRACTION_AVG:.0f}%)")
+
+
+def _print_fig8(measurements) -> None:
+    rows = experiments.figure8_instruction_counts(measurements)
+    print(
+        render_bars(
+            "Figure 8: RIC Reuse instruction count, normalized to Conventional",
+            rows,
+            value_key="ric",
+        )
+    )
+    print(f"\n(paper average: {experiments.PAPER_FIG8_NORMALIZED_AVG:.2f})")
+
+
+def _print_fig9(measurements=None) -> None:
+    rows = experiments.figure9_execution_times(measurements)
+    print(
+        render_table(
+            "Figure 9: Reuse execution time, Conventional vs RIC",
+            [
+                ("Library", "library"),
+                ("Conv (ms)", "conventional_ms"),
+                ("RIC (ms)", "ric_ms"),
+                ("Normalized", "normalized"),
+                ("Wall conv", "wall_conventional_ms"),
+                ("Wall RIC", "wall_ric_ms"),
+            ],
+            rows,
+        )
+    )
+    print(f"\n(modeled time; paper average: {experiments.PAPER_FIG9_NORMALIZED_AVG:.2f})")
+
+
+def _print_overheads(measurements) -> None:
+    rows = experiments.section73_overheads(measurements)
+    print(
+        render_table(
+            "Section 7.3: RIC overheads (extraction time, ICRecord memory)",
+            [
+                ("Library", "library"),
+                ("Extract(ms)", "extraction_ms"),
+                ("ICRec(KB)", "icrecord_kb"),
+                ("Heap(KB)", "heap_kb"),
+                ("Overhead%", "overhead_pct"),
+            ],
+            rows,
+        )
+    )
+
+
+def _print_websites() -> None:
+    result = experiments.section6_websites()
+    print("Section 6: cross-website reuse (record from site A, reuse on site B)")
+    print("=" * 68)
+    print(f"outputs match:        {result['outputs_match']}")
+    print(f"miss-rate drop:       {result['miss_rate_drop_pp']:.2f} pp")
+    print(f"instruction saving:   {100 * result['instruction_saving']:.1f}%")
+    print(f"record: {result['record_stats']}")
+
+
+def _print_fig1() -> None:
+    trends = experiments.figure1_trends()
+    print(
+        render_series(
+            "Figure 1: page-load-time expectations vs website JS complexity",
+            {
+                "Expected page load time (s)": trends["expected_page_load_time_s"],
+                "# JavaScript requests (top 1000 sites)": trends["js_requests_top1000"],
+            },
+        )
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="ric-bench",
+        description="Regenerate the paper's tables and figures",
+    )
+    parser.add_argument(
+        "exhibit",
+        choices=[
+            "table1",
+            "table4",
+            "fig1",
+            "fig5",
+            "fig8",
+            "fig9",
+            "overheads",
+            "websites",
+            "all",
+        ],
+    )
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args(argv)
+
+    needs_measurements = args.exhibit in (
+        "table1",
+        "table4",
+        "fig5",
+        "fig8",
+        "fig9",
+        "overheads",
+        "all",
+    )
+    measurements = (
+        experiments.measure_all_workloads(seed=args.seed)
+        if needs_measurements
+        else None
+    )
+
+    if args.exhibit in ("fig1", "all"):
+        _print_fig1()
+        print()
+    if args.exhibit in ("fig5", "all"):
+        _print_fig5(measurements)
+        print()
+    if args.exhibit in ("table1", "all"):
+        _print_table1(measurements)
+        print()
+    if args.exhibit in ("table4", "all"):
+        _print_table4(measurements)
+        print()
+    if args.exhibit in ("fig8", "all"):
+        _print_fig8(measurements)
+        print()
+    if args.exhibit in ("fig9", "all"):
+        _print_fig9(measurements)
+        print()
+    if args.exhibit in ("overheads", "all"):
+        _print_overheads(measurements)
+        print()
+    if args.exhibit in ("websites", "all"):
+        _print_websites()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

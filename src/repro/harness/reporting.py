@@ -1,0 +1,85 @@
+"""ASCII renderers that print experiment results in the paper's layout."""
+
+from __future__ import annotations
+
+import typing
+
+
+def render_table(
+    title: str,
+    columns: list[tuple[str, str]],
+    rows: list[dict],
+    paper: dict[str, tuple] | None = None,
+    paper_columns: list[str] | None = None,
+) -> str:
+    """Render rows as a fixed-width table.
+
+    ``columns`` is a list of (header, row-key) pairs; floats are printed
+    with two decimals.  When ``paper`` reference values are supplied, a
+    "paper:" line with ``paper_columns`` values is printed under each row.
+    """
+    headers = [header for header, _ in columns]
+    widths = [max(len(header), 12) for header in headers]
+    lines = [title, "=" * len(title)]
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.2f}"
+        return str(value)
+
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        cells = [fmt(row[key]) for _, key in columns]
+        lines.append("  ".join(c.ljust(w) for c, w in zip(cells, widths)))
+        if paper is not None and row.get("library") in paper:
+            reference = paper[row["library"]]
+            cells = ["  (paper)"] + [fmt(v) for v in reference]
+            lines.append("  ".join(c.ljust(w) for c, w in zip(cells, widths)))
+    return "\n".join(lines)
+
+
+def render_bars(
+    title: str,
+    rows: list[dict],
+    value_key: str,
+    label_key: str = "library",
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Render a horizontal bar chart (for the figure-style exhibits)."""
+    lines = [title, "=" * len(title)]
+    peak = max((row[value_key] for row in rows), default=1.0) or 1.0
+    for row in rows:
+        value = row[value_key]
+        bar = "#" * max(1, int(round(width * value / peak)))
+        lines.append(f"{str(row[label_key])[:18]:18s} |{bar:<{width}s}| {value:.3f}{unit}")
+    return "\n".join(lines)
+
+
+def render_stacked_fraction(
+    title: str,
+    rows: list[dict],
+    part_key: str,
+    label_key: str = "library",
+    width: int = 50,
+) -> str:
+    """Render Figure-5-style stacked fraction bars (part vs remainder)."""
+    lines = [title, "=" * len(title)]
+    for row in rows:
+        part = row[part_key]
+        filled = int(round(width * part))
+        bar = "#" * filled + "." * (width - filled)
+        lines.append(f"{str(row[label_key])[:18]:18s} |{bar}| {100 * part:5.1f}%")
+    lines.append(f"{'':18s}  ('#' = {part_key}, '.' = rest of the work)")
+    return "\n".join(lines)
+
+
+def render_series(title: str, series: dict[str, typing.Iterable[tuple]]) -> str:
+    """Render (x, y) series as aligned columns (for Figure 1)."""
+    lines = [title, "=" * len(title)]
+    for name, points in series.items():
+        lines.append(f"{name}:")
+        for x, y in points:
+            lines.append(f"  {x}: {y}")
+    return "\n".join(lines)

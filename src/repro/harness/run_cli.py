@@ -1,0 +1,169 @@
+"""``ric-run`` — execute jsl files from the command line.
+
+Runs one or more scripts in a fresh engine, optionally persisting/reusing
+an ICRecord and bytecode cache across invocations (the full cross-process
+RIC experience), printing execution statistics, a disassembly, or an IC
+event trace.  With no files, starts a small REPL.
+
+Examples::
+
+    ric-run lib.jsl app.jsl                  # run scripts in order
+    ric-run --stats lib.jsl                  # + IC statistics
+    ric-run --record /tmp/lib.ric lib.jsl    # persist/reuse the ICRecord
+    ric-run --trace lib.jsl                  # print the IC event trace
+    ric-run --disassemble lib.jsl            # show bytecode, don't run
+    ric-run                                  # REPL
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.bytecode.compiler import compile_source
+from repro.bytecode.disasm import disassemble
+from repro.core.engine import Engine
+from repro.lang.errors import JSLError
+from repro.ric.serialize import load_icrecord, save_icrecord
+from repro.stats.tracing import Tracer
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="ric-run", description=__doc__)
+    parser.add_argument("files", nargs="*", help="jsl scripts, run in order")
+    parser.add_argument("--stats", action="store_true", help="print IC statistics")
+    parser.add_argument(
+        "--record",
+        metavar="PATH",
+        help="ICRecord file: reused if it exists, written after the run",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", help="bytecode code-cache directory"
+    )
+    parser.add_argument("--trace", action="store_true", help="print the IC event trace")
+    parser.add_argument(
+        "--disassemble", action="store_true", help="print bytecode and exit"
+    )
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument(
+        "--no-optimize",
+        action="store_true",
+        help="disable the peephole bytecode optimizer",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.files:
+        return _repl(args)
+
+    scripts = []
+    for filename in args.files:
+        path = Path(filename)
+        if not path.exists():
+            print(f"ric-run: no such file: {filename}", file=sys.stderr)
+            return 2
+        scripts.append((path.name, path.read_text()))
+
+    if args.disassemble:
+        for filename, source in scripts:
+            try:
+                code = compile_source(source, filename)
+            except JSLError as error:
+                print(f"ric-run: {error}", file=sys.stderr)
+                return 1
+            print(disassemble(code, recursive=True))
+        return 0
+
+    engine = Engine(
+        seed=args.seed, cache_dir=args.cache_dir, optimize=not args.no_optimize
+    )
+    record = None
+    if args.record and Path(args.record).exists():
+        try:
+            record = load_icrecord(args.record)
+        except ValueError as error:
+            print(f"ric-run: ignoring stale record: {error}", file=sys.stderr)
+
+    tracer = Tracer() if args.trace else None
+    try:
+        profile = engine.run(scripts, name="cli", icrecord=record, tracer=tracer)
+    except JSLError as error:
+        print(f"ric-run: {error}", file=sys.stderr)
+        return 1
+
+    for line in profile.console_output:
+        print(line)
+
+    if args.record:
+        save_icrecord(engine.extract_icrecord(), args.record)
+
+    if args.trace and tracer is not None:
+        print("\n-- IC event trace " + "-" * 40, file=sys.stderr)
+        print(tracer.render(limit=200), file=sys.stderr)
+
+    if args.stats:
+        counters = profile.counters
+        print("\n-- statistics " + "-" * 44, file=sys.stderr)
+        print(
+            f"guest instructions: {counters.total_instructions}\n"
+            f"IC accesses:        {counters.ic_accesses} "
+            f"(hits {counters.ic_hits}, misses {counters.ic_misses}, "
+            f"miss rate {100 * counters.ic_miss_rate:.1f}%)\n"
+            f"hidden classes:     {counters.hidden_classes_created}\n"
+            f"handlers generated: {counters.handlers_generated} "
+            f"({counters.handlers_generated_context_independent} context-independent)\n"
+            f"RIC: {counters.ric_validations} validations, "
+            f"{counters.ric_preloads} preloads, "
+            f"{counters.ic_hits_on_preloaded} hits on preloaded slots\n"
+            f"wall time:          {profile.wall_time_ms:.2f} ms",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _repl(args: argparse.Namespace) -> int:
+    """A line-oriented REPL: each entry runs as a script sharing one global
+    object (a persistent runtime across lines)."""
+    from repro.ic.icvector import FeedbackState
+    from repro.ic.miss import ICRuntime
+    from repro.interpreter.vm import VM
+    from repro.runtime.builtins import install_builtins
+    from repro.runtime.context import Runtime
+    from repro.runtime.values import UNDEFINED, to_string
+    from repro.stats.counters import Counters
+
+    runtime = Runtime(seed=args.seed)
+    install_builtins(runtime)
+    counters = Counters()
+    runtime.hidden_classes.on_created = lambda hc: None
+    feedback = FeedbackState()
+    vm = VM(runtime, counters, ICRuntime(runtime, counters), feedback)
+
+    print("jsl repl — empty line or Ctrl-D to exit")
+    line_number = 0
+    while True:
+        try:
+            line = input("jsl> ")
+        except EOFError:
+            print()
+            return 0
+        if not line.strip():
+            return 0
+        line_number += 1
+        try:
+            code = compile_source(line, f"<repl:{line_number}>")
+            feedback.register_script(code)
+            result = vm.run_code(code)
+            printed = len(runtime.console_output)
+            for output in runtime.console_output:
+                print(output)
+            del runtime.console_output[:printed]
+            if result is not UNDEFINED:
+                print(to_string(result))
+        except JSLError as error:
+            print(f"error: {error}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

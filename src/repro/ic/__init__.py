@@ -1,0 +1,41 @@
+"""Inline caching: ICVector, handlers, and the runtime miss path."""
+
+from repro.ic.handlers import (
+    MISS,
+    Handler,
+    LoadArrayLengthHandler,
+    LoadElementHandler,
+    LoadFieldHandler,
+    LoadGlobalHandler,
+    LoadNotFoundHandler,
+    LoadPrototypeChainHandler,
+    StoreElementHandler,
+    StoreFieldHandler,
+    StoreGlobalHandler,
+    StoreTransitionHandler,
+    deserialize_handler,
+)
+from repro.ic.icvector import POLY_LIMIT, FeedbackState, ICSite, ICState, ICVector
+from repro.ic.miss import ICRuntime
+
+__all__ = [
+    "MISS",
+    "POLY_LIMIT",
+    "FeedbackState",
+    "Handler",
+    "ICRuntime",
+    "ICSite",
+    "ICState",
+    "ICVector",
+    "LoadArrayLengthHandler",
+    "LoadElementHandler",
+    "LoadFieldHandler",
+    "LoadGlobalHandler",
+    "LoadNotFoundHandler",
+    "LoadPrototypeChainHandler",
+    "StoreElementHandler",
+    "StoreFieldHandler",
+    "StoreGlobalHandler",
+    "StoreTransitionHandler",
+    "deserialize_handler",
+]

@@ -1,0 +1,267 @@
+"""IC handler routines and their context-(in)dependence classification.
+
+A handler is the specialised routine an object access site jumps to when the
+incoming object's hidden class matches an IC slot (paper §2.3).  The paper's
+key taxonomy (§3.2):
+
+* **context-independent** handlers only mention slot offsets — e.g. "load
+  the field at offset 2".  These are serialisable and reusable across
+  executions; they are what RIC's handler store holds.
+* **context-dependent** handlers embed heap addresses: the target hidden
+  class of a transitioning store, or the prototype-chain hidden classes a
+  load must re-validate.  These can never be persisted.
+
+``Handler.execute`` returns :data:`MISS` when its embedded assumptions no
+longer hold (e.g. a prototype was mutated); the caller then falls back to
+the runtime miss path.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.runtime.objects import JSArray, JSFunction, JSObject
+from repro.runtime.values import UNDEFINED
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.hidden_class import HiddenClass
+
+#: Sentinel returned by handlers whose embedded assumptions failed.
+MISS = object()
+
+
+class Handler:
+    """Base class for all IC handlers."""
+
+    kind: str = "?"
+    is_context_independent: bool = False
+
+    def serialize(self) -> dict | None:
+        """JSON form for the ICRecord handler store; None if not reusable."""
+        return None
+
+    def describe(self) -> str:
+        return self.kind
+
+
+class LoadFieldHandler(Handler):
+    """Load an own fast property at a fixed offset.  Context-independent —
+    the paper's canonical reusable handler (H2 in Figure 4)."""
+
+    kind = "load_field"
+    is_context_independent = True
+
+    __slots__ = ("offset",)
+
+    def __init__(self, offset: int):
+        self.offset = offset
+
+    def execute(self, obj: JSObject) -> object:
+        return obj.slots[self.offset]
+
+    def serialize(self) -> dict:
+        return {"kind": self.kind, "offset": self.offset}
+
+    def describe(self) -> str:
+        return f"load_field[{self.offset}]"
+
+
+class LoadArrayLengthHandler(Handler):
+    """Load an array's length.  Context-independent."""
+
+    kind = "load_array_length"
+    is_context_independent = True
+
+    def execute(self, obj: JSObject) -> object:
+        if isinstance(obj, JSArray):
+            return obj.length
+        return MISS
+
+    def serialize(self) -> dict:
+        return {"kind": self.kind}
+
+
+class LoadPrototypeChainHandler(Handler):
+    """Load a property found on the prototype chain.
+
+    Embeds a validity cell per prototype hop (V8's mechanism) plus the
+    holder object and offset — all heap state, hence context-dependent
+    (paper §3.2: "when accessing an inherited property, the handler
+    traverses the chain of prototype objects ... The result is
+    context-dependent state").  A shape change anywhere on the chain
+    invalidates the cells and the handler falls back to the runtime."""
+
+    kind = "load_proto_chain"
+    is_context_independent = False
+
+    __slots__ = ("cells", "holder", "offset")
+
+    def __init__(
+        self,
+        chain: tuple[tuple[JSObject, "HiddenClass"], ...],
+        holder: JSObject,
+        offset: int,
+    ):
+        self.cells = tuple(proto.dependent_validity_cell() for proto, _ in chain)
+        self.holder = holder
+        self.offset = offset
+
+    def execute(self, obj: JSObject) -> object:
+        for cell in self.cells:
+            if not cell.valid:
+                return MISS
+        return self.holder.slots[self.offset]
+
+    def describe(self) -> str:
+        return f"load_proto_chain[cells={len(self.cells)},{self.offset}]"
+
+
+class LoadNotFoundHandler(Handler):
+    """Load of an absent property: yields undefined while the whole chain's
+    validity cells hold.  Context-dependent."""
+
+    kind = "load_not_found"
+    is_context_independent = False
+
+    __slots__ = ("cells",)
+
+    def __init__(self, chain: tuple[tuple[JSObject, "HiddenClass"], ...]):
+        self.cells = tuple(proto.dependent_validity_cell() for proto, _ in chain)
+
+    def execute(self, obj: JSObject) -> object:
+        for cell in self.cells:
+            if not cell.valid:
+                return MISS
+        return UNDEFINED
+
+
+class StoreFieldHandler(Handler):
+    """Store to an existing own property at a fixed offset.
+    Context-independent."""
+
+    kind = "store_field"
+    is_context_independent = True
+
+    __slots__ = ("offset",)
+
+    def __init__(self, offset: int):
+        self.offset = offset
+
+    def execute(self, obj: JSObject, value: object) -> object:
+        obj.slots[self.offset] = value
+        return None
+
+    def serialize(self) -> dict:
+        return {"kind": self.kind, "offset": self.offset}
+
+    def describe(self) -> str:
+        return f"store_field[{self.offset}]"
+
+
+class StoreTransitionHandler(Handler):
+    """Store that adds a property, transitioning the object to a new hidden
+    class.  Embeds the target hidden class (address) — context-dependent
+    (H1 in the paper's Figure 4)."""
+
+    kind = "store_transition"
+    is_context_independent = False
+
+    __slots__ = ("offset", "target_hc")
+
+    def __init__(self, offset: int, target_hc: "HiddenClass"):
+        self.offset = offset
+        self.target_hc = target_hc
+
+    def execute(self, obj: JSObject, value: object) -> object:
+        if len(obj.slots) != self.offset:
+            return MISS
+        obj.slots.append(value)
+        obj.hidden_class = self.target_hc
+        obj.invalidate_shape_dependents()
+        if isinstance(obj, JSFunction) and self.target_hc.transition_property == "prototype":
+            obj.invalidate_constructor_hc()
+        return None
+
+    def describe(self) -> str:
+        return f"store_transition[{self.offset}->#{self.target_hc.index}]"
+
+
+class LoadElementHandler(Handler):
+    """Keyed load of integer-indexed elements.  Context-independent."""
+
+    kind = "load_element"
+    is_context_independent = True
+
+    def execute(self, obj: JSObject, index: int) -> object:
+        found, value = obj.get_element(index)
+        return value if found else UNDEFINED
+
+    def serialize(self) -> dict:
+        return {"kind": self.kind}
+
+
+class StoreElementHandler(Handler):
+    """Keyed store of integer-indexed elements.  Context-independent."""
+
+    kind = "store_element"
+    is_context_independent = True
+
+    def execute(self, obj: JSObject, index: int, value: object) -> object:
+        obj.set_element(index, value)
+        return None
+
+    def serialize(self) -> dict:
+        return {"kind": self.kind}
+
+
+class LoadGlobalHandler(Handler):
+    """Load of a global-object property.
+
+    Fixed offset like a field load, but tied to the global object whose
+    hidden class depends on script load order — the reason the paper
+    disables RIC for global objects (§6).  Classified context-dependent
+    (V8's equivalents embed property cells)."""
+
+    kind = "load_global"
+    is_context_independent = False
+
+    __slots__ = ("offset",)
+
+    def __init__(self, offset: int):
+        self.offset = offset
+
+    def execute(self, obj: JSObject) -> object:
+        return obj.slots[self.offset]
+
+
+class StoreGlobalHandler(Handler):
+    """Store to an existing global-object property.  Context-dependent for
+    the same reason as :class:`LoadGlobalHandler`."""
+
+    kind = "store_global"
+    is_context_independent = False
+
+    __slots__ = ("offset",)
+
+    def __init__(self, offset: int):
+        self.offset = offset
+
+    def execute(self, obj: JSObject, value: object) -> object:
+        obj.slots[self.offset] = value
+        return None
+
+
+def deserialize_handler(data: dict) -> Handler:
+    """Materialise a context-independent handler from its ICRecord form."""
+    kind = data["kind"]
+    if kind == LoadFieldHandler.kind:
+        return LoadFieldHandler(int(data["offset"]))
+    if kind == StoreFieldHandler.kind:
+        return StoreFieldHandler(int(data["offset"]))
+    if kind == LoadArrayLengthHandler.kind:
+        return LoadArrayLengthHandler()
+    if kind == LoadElementHandler.kind:
+        return LoadElementHandler()
+    if kind == StoreElementHandler.kind:
+        return StoreElementHandler()
+    raise ValueError(f"not a reusable handler kind: {kind!r}")

@@ -1,0 +1,151 @@
+"""The ICVector: per-function out-of-line inline-cache state (paper §2.3).
+
+One :class:`ICVector` exists per function per execution; it has one
+:class:`ICSite` per object access site, each holding up to
+:data:`POLY_LIMIT` ``(hidden class, handler)`` slots.  The vector is
+*context-dependent* state: V8 — and this reproduction — throws it away at
+the end of every execution, which is precisely the waste RIC recovers.
+"""
+
+from __future__ import annotations
+
+import enum
+import typing
+
+from repro.bytecode.code import CodeObject, FeedbackSlotInfo
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.ic.handlers import Handler
+    from repro.runtime.hidden_class import HiddenClass
+
+#: Max hidden classes cached per site before it goes megamorphic (V8 uses 4).
+POLY_LIMIT = 4
+
+
+class ICState(enum.Enum):
+    """Lifecycle of one IC site."""
+
+    UNINITIALIZED = "uninitialized"
+    MONOMORPHIC = "monomorphic"
+    POLYMORPHIC = "polymorphic"
+    MEGAMORPHIC = "megamorphic"
+
+
+class ICSite:
+    """IC state for a single object access site."""
+
+    __slots__ = ("info", "slots", "state", "preloaded_addresses")
+
+    def __init__(self, info: FeedbackSlotInfo):
+        self.info = info
+        #: Up to POLY_LIMIT (hidden class, handler) pairs.
+        self.slots: list[tuple["HiddenClass", "Handler"]] = []
+        self.state = ICState.UNINITIALIZED
+        #: Addresses of hidden classes whose slot was preloaded by RIC, used
+        #: to attribute averted misses.
+        self.preloaded_addresses: set[int] = set()
+
+    def lookup(self, hidden_class: "HiddenClass") -> "Handler | None":
+        """Fast-path probe: the dispatch the specialised site code does."""
+        for cached_hc, handler in self.slots:
+            if cached_hc is hidden_class:
+                return handler
+        return None
+
+    def install(
+        self,
+        hidden_class: "HiddenClass",
+        handler: "Handler",
+        preloaded: bool = False,
+    ) -> bool:
+        """Add a slot for ``hidden_class``; returns False once megamorphic.
+
+        Re-installing for a hidden class already present replaces its
+        handler (used when a prototype-chain handler is invalidated).
+        """
+        if self.state is ICState.MEGAMORPHIC:
+            return False
+        for index, (cached_hc, _) in enumerate(self.slots):
+            if cached_hc is hidden_class:
+                self.slots[index] = (hidden_class, handler)
+                return True
+        if len(self.slots) >= POLY_LIMIT:
+            self.slots.clear()
+            self.preloaded_addresses.clear()
+            self.state = ICState.MEGAMORPHIC
+            return False
+        self.slots.append((hidden_class, handler))
+        if preloaded:
+            self.preloaded_addresses.add(hidden_class.address)
+        self.state = (
+            ICState.MONOMORPHIC if len(self.slots) == 1 else ICState.POLYMORPHIC
+        )
+        return True
+
+    def was_preloaded(self, hidden_class: "HiddenClass") -> bool:
+        return hidden_class.address in self.preloaded_addresses
+
+    def __repr__(self) -> str:
+        return (
+            f"<ICSite {self.info.site_key} {self.state.value} "
+            f"slots={len(self.slots)}>"
+        )
+
+
+class ICVector:
+    """All IC sites of one function (paper Figure 3)."""
+
+    __slots__ = ("code", "sites")
+
+    def __init__(self, code: CodeObject):
+        self.code = code
+        self.sites = [ICSite(info) for info in code.feedback_slots]
+
+    def __getitem__(self, slot_index: int) -> ICSite:
+        return self.sites[slot_index]
+
+    def __len__(self) -> int:
+        return len(self.sites)
+
+
+class FeedbackState:
+    """Per-execution registry of every ICVector.
+
+    Also maintains the site-key index RIC's reuse machinery uses to preload
+    slots for Dependent sites that may live in *other* functions than the
+    Triggering one.  Vectors are created eagerly when a script is loaded so
+    preloads can always find their target site.
+    """
+
+    def __init__(self) -> None:
+        self._vectors: dict[int, ICVector] = {}
+        self._vector_list: list[ICVector] = []
+        self._sites_by_key: dict[str, ICSite] = {}
+
+    def register_script(self, toplevel_code: CodeObject) -> None:
+        """Create ICVectors for a script's top level and every nested
+        function."""
+        for code in toplevel_code.iter_code_objects():
+            if id(code) in self._vectors:
+                continue
+            vector = ICVector(code)
+            self._vectors[id(code)] = vector
+            self._vector_list.append(vector)
+            for site in vector.sites:
+                key = site.info.site_key
+                # First registration wins; duplicate keys cannot occur for
+                # distinct sites by construction (see Compiler.feedback).
+                self._sites_by_key.setdefault(key, site)
+
+    def vector_for(self, code: CodeObject) -> ICVector:
+        return self._vectors[id(code)]
+
+    def site_by_key(self, site_key: str) -> ICSite | None:
+        return self._sites_by_key.get(site_key)
+
+    def all_vectors(self) -> list[ICVector]:
+        return list(self._vector_list)
+
+    def all_sites(self) -> typing.Iterator[ICSite]:
+        for vector in self._vector_list:
+            yield from vector.sites

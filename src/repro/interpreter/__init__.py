@@ -1,0 +1,25 @@
+"""Bytecode VM: frames, dispatch loop and the guest-instruction cost model.
+
+``VM`` is exported lazily (PEP 562) because :mod:`repro.interpreter.vm`
+imports the IC layer, which in turn needs :mod:`repro.interpreter.cost_model`
+from this package — a cycle that eager re-export would trip.
+"""
+
+from repro.interpreter.frames import Environment, ForInIterator, Frame, GuestThrow
+
+__all__ = [
+    "Environment",
+    "ForInIterator",
+    "Frame",
+    "GuestThrow",
+    "MAX_CALL_DEPTH",
+    "VM",
+]
+
+
+def __getattr__(name: str):
+    if name in ("VM", "MAX_CALL_DEPTH"):
+        from repro.interpreter import vm
+
+        return getattr(vm, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

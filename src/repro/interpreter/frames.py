@@ -1,0 +1,88 @@
+"""Call frames, environments and guest exceptions."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.bytecode.code import CodeObject
+from repro.runtime.values import UNDEFINED
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.ic.icvector import ICSite
+
+
+class Environment:
+    """Heap-allocated variable storage for one function activation.
+
+    Environments outlive frames so closures can capture them; the chain of
+    ``parent`` links mirrors lexical nesting, matched at compile time by
+    the ``(depth, index)`` operands of LOAD_ENV/STORE_ENV.
+    """
+
+    __slots__ = ("slots", "parent")
+
+    def __init__(self, size: int, parent: "Environment | None"):
+        self.slots: list[object] = [UNDEFINED] * size
+        self.parent = parent
+
+    def ancestor(self, depth: int) -> "Environment":
+        env: Environment = self
+        for _ in range(depth):
+            assert env.parent is not None, "compiler emitted bad env depth"
+            env = env.parent
+        return env
+
+
+class GuestThrow(Exception):
+    """A guest-level exception in flight (from ``throw`` or runtime errors
+    converted to guest error objects).
+
+    ``trace`` accumulates one "at <function> (<file:line:col>)" entry per
+    frame the exception unwinds through — a guest stack trace."""
+
+    def __init__(self, value: object):
+        super().__init__(repr(value))
+        self.value = value
+        self.trace: list[str] = []
+        #: Source position of the innermost unwound frame.
+        self.position = None
+
+
+class ForInIterator:
+    """Host-side iterator for ``for (k in obj)``; lives only on the VM
+    operand stack."""
+
+    __slots__ = ("keys", "index")
+
+    def __init__(self, keys: list[str]):
+        self.keys = keys
+        self.index = 0
+
+    def next_key(self) -> str | None:
+        if self.index >= len(self.keys):
+            return None
+        key = self.keys[self.index]
+        self.index += 1
+        return key
+
+
+class Frame:
+    """One activation of a code object."""
+
+    __slots__ = ("code", "env", "this_value", "stack", "pc", "try_stack", "sites")
+
+    def __init__(
+        self,
+        code: CodeObject,
+        env: Environment,
+        this_value: object,
+        sites: "list[ICSite]",
+    ):
+        self.code = code
+        self.env = env
+        self.this_value = this_value
+        self.stack: list[object] = []
+        self.pc = 0
+        #: (handler pc, stack depth) pairs for active try regions.
+        self.try_stack: list[tuple[int, int]] = []
+        self.sites = sites

@@ -1,0 +1,580 @@
+"""The jsl bytecode virtual machine.
+
+A straightforward stack VM.  The dispatch loop is one long method — the
+idiomatic shape for an interpreter inner loop, where a per-opcode function
+call would dominate runtime.  All object access sites route through
+:class:`~repro.ic.miss.ICRuntime`, which implements the inline-cache fast
+path and the runtime miss path.
+
+Guest instruction accounting: each dispatched bytecode charges
+``cost_model.DISPATCH`` (batched per frame for speed); everything heavier
+(allocation, natives, IC misses) is charged where it happens.
+"""
+
+from __future__ import annotations
+
+import time
+import typing
+
+from repro.bytecode.code import CodeObject
+from repro.bytecode.opcodes import BinOp, Op, UnOp
+from repro.ic.icvector import FeedbackState
+from repro.ic.miss import ICRuntime
+from repro.interpreter import cost_model as cost
+from repro.interpreter.frames import Environment, ForInIterator, Frame, GuestThrow
+from repro.lang.errors import JSLRuntimeError, JSLTypeError
+from repro.runtime.context import Runtime
+from repro.runtime.objects import JSArray, JSFunction, JSObject
+from repro.runtime.values import (
+    NULL,
+    UNDEFINED,
+    loose_equals,
+    strict_equals,
+    to_boolean,
+    to_number,
+    to_property_key,
+    to_string,
+    to_int32,
+    to_uint32,
+    type_of,
+)
+from repro.stats.counters import (
+    CATEGORY_EXECUTE,
+    CATEGORY_RUNTIME_OTHER,
+    Counters,
+)
+
+#: Python recursion ceiling for guest calls (guest recursion maps onto host
+#: recursion; deep guest recursion raises a guest RangeError).
+MAX_CALL_DEPTH = 900
+
+# Each guest call consumes several host frames; make sure the guest hits its
+# own MAX_CALL_DEPTH RangeError before Python's recursion limit.
+import sys as _sys
+
+if _sys.getrecursionlimit() < 20_000:
+    _sys.setrecursionlimit(20_000)
+
+
+class VM:
+    """Executes compiled jsl code against a :class:`Runtime`."""
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        counters: Counters,
+        ic_runtime: ICRuntime,
+        feedback: FeedbackState,
+        time_source: typing.Callable[[], float] | None = None,
+    ):
+        self.runtime = runtime
+        self.counters = counters
+        self.ic = ic_runtime
+        self.feedback = feedback
+        self._call_depth = 0
+        self._time_source = time_source or time.time
+
+    # -- public entry points ---------------------------------------------------
+
+    def run_code(self, code: CodeObject) -> object:
+        """Execute a script's top-level code object.
+
+        Uncaught guest exceptions surface as :class:`JSLRuntimeError` with
+        the thrown value's string form.
+        """
+        env = Environment(code.num_locals, parent=None)
+        frame = Frame(
+            code, env, UNDEFINED, self.feedback.vector_for(code).sites
+        )
+        try:
+            return self._execute(frame)
+        except GuestThrow as thrown:
+            trace = "".join(f"\n  {entry}" for entry in thrown.trace)
+            error = JSLRuntimeError(
+                f"uncaught guest exception: {self._throw_summary(thrown.value)}{trace}"
+            )
+            error.position = thrown.position
+            raise error from thrown
+
+    def call_value(self, callee: object, this_value: object, args: list) -> object:
+        """Call an arbitrary guest value (native or interpreted)."""
+        if not isinstance(callee, JSFunction):
+            raise self.guest_type_error(f"{to_string(callee)} is not a function")
+        if callee.native is not None:
+            self.counters.charge(CATEGORY_RUNTIME_OTHER, cost.NATIVE_CALL_BASE)
+            return callee.native(self, this_value, args)
+        return self.call_function(callee, this_value, args)
+
+    def call_function(self, fn: JSFunction, this_value: object, args: list) -> object:
+        """Call an interpreted guest function."""
+        code = fn.code
+        assert code is not None
+        self.counters.charge(CATEGORY_EXECUTE, cost.CALL_SETUP)
+        if self._call_depth >= MAX_CALL_DEPTH:
+            raise GuestThrow("RangeError: maximum call stack size exceeded")
+        env = Environment(code.num_locals, parent=fn.env)  # type: ignore[arg-type]
+        self.runtime.heap.charge("environment", 32 + 8 * code.num_locals)
+        for index in range(len(code.params)):
+            env.slots[index] = args[index] if index < len(args) else UNDEFINED
+        frame = Frame(code, env, this_value, self.feedback.vector_for(code).sites)
+        self._call_depth += 1
+        try:
+            return self._execute(frame)
+        finally:
+            self._call_depth -= 1
+
+    def construct(self, ctor: object, args: list) -> object:
+        """``new ctor(...)`` (paper Figure 2's object-construction path)."""
+        if not isinstance(ctor, JSFunction):
+            raise self.guest_type_error(f"{to_string(ctor)} is not a constructor")
+        self.counters.charge(CATEGORY_RUNTIME_OTHER, cost.ALLOCATE_OBJECT)
+        hc = self.runtime.constructor_hidden_class(ctor)
+        instance = self.runtime.new_object(hc)
+        if ctor.native is not None:
+            self.counters.charge(CATEGORY_RUNTIME_OTHER, cost.NATIVE_CALL_BASE)
+            result = ctor.native(self, instance, args)
+        else:
+            result = self.call_function(ctor, instance, args)
+        return result if isinstance(result, JSObject) else instance
+
+    # -- helpers for natives -----------------------------------------------------
+
+    def charge_native(self, elements: int = 0) -> None:
+        """Accounting hook for native builtins."""
+        self.counters.charge(
+            CATEGORY_RUNTIME_OTHER,
+            cost.NATIVE_CALL_BASE + cost.NATIVE_PER_ELEMENT * elements,
+        )
+
+    def get_property_slow(self, obj: JSObject, name: str) -> object:
+        """Uncached property read for natives (no IC site involved)."""
+        lookup = self.runtime.lookup_property(obj, name)
+        self.counters.charge(
+            CATEGORY_RUNTIME_OTHER,
+            cost.PROPERTY_LOOKUP_BASE + cost.PROPERTY_LOOKUP_PER_HOP * lookup.hops,
+        )
+        return lookup.value
+
+    def set_property_native(
+        self, obj: JSObject, name: str, value: object, site_key: str
+    ) -> None:
+        """Uncached property write for natives; transitions use the stable
+        ``site_key`` so RIC can link hidden classes created by builtins."""
+        _, created = self.runtime.define_own_property(obj, name, value, site_key)
+        self.counters.charge(CATEGORY_RUNTIME_OTHER, cost.PROPERTY_LOOKUP_BASE)
+        if created:
+            self.counters.charge(CATEGORY_RUNTIME_OTHER, cost.HIDDEN_CLASS_CREATE)
+
+    def runtime_time_ms(self) -> float:
+        return float(self._time_source() * 1000.0)
+
+    @staticmethod
+    def _throw_summary(value: object) -> str:
+        """Readable form of a thrown value (Error objects show name: message)."""
+        if isinstance(value, JSObject) and not isinstance(value, (JSArray, JSFunction)):
+            found_name, name = value.get_own("name")
+            found_message, message = value.get_own("message")
+            if found_name or found_message:
+                name_text = to_string(name) if found_name else "Error"
+                message_text = to_string(message) if found_message else ""
+                return f"{name_text}: {message_text}" if message_text else name_text
+        return to_string(value)
+
+    def guest_type_error(self, message: str) -> GuestThrow:
+        return GuestThrow(self._make_guest_error("TypeError", message))
+
+    def _make_guest_error(self, name: str, message: str) -> JSObject:
+        error = self.runtime.new_object()
+        # Use the error prototype chain so guest `e.toString()` works.
+        error.hidden_class = self.runtime.hidden_classes.create_root(
+            "builtin", f"builtin:thrown:{name}", prototype=self.runtime.error_prototype
+        )
+        self.runtime.define_own_property(error, "name", name, "native:error:name")
+        self.runtime.define_own_property(
+            error, "message", message, "native:error:message"
+        )
+        return error
+
+    # -- property access with primitives ----------------------------------------
+
+    def get_property(self, obj: object, name: str, site) -> object:
+        """GET_PROP: primitives take uncached fast paths; objects go through
+        the IC."""
+        if isinstance(obj, JSObject):
+            return self.ic.named_load(site, obj, name)
+        if isinstance(obj, str):
+            if name == "length":
+                return float(len(obj))
+            method = self.runtime.string_methods.get(name)
+            if method is not None:
+                return method
+            return UNDEFINED
+        if isinstance(obj, bool) or isinstance(obj, float):
+            method = self.runtime.number_methods.get(name)
+            if method is not None:
+                return method
+            return UNDEFINED
+        raise self.guest_type_error(
+            f"Cannot read properties of {to_string(obj)} (reading '{name}')"
+        )
+
+    def set_property(self, obj: object, name: str, value: object, site) -> None:
+        if isinstance(obj, JSObject):
+            self.ic.named_store(site, obj, name, value)
+            return
+        if obj is UNDEFINED or obj is NULL:
+            raise self.guest_type_error(
+                f"Cannot set properties of {to_string(obj)} (setting '{name}')"
+            )
+        # Writes to primitives are silently dropped (non-strict JS).
+
+    # -- the dispatch loop -------------------------------------------------------
+
+    def _execute(self, frame: Frame) -> object:
+        code = frame.code
+        instructions = code.instructions
+        constants = code.constants
+        names = code.names
+        stack = frame.stack
+        env = frame.env
+        sites = frame.sites
+        runtime = self.runtime
+        counters = self.counters
+        ic = self.ic
+
+        pc = 0
+        dispatched = 0  # batched DISPATCH charges
+
+        try:
+            while True:
+                op, a, b = instructions[pc]
+                pc += 1
+                dispatched += 1
+                try:
+                    if op == Op.LOAD_CONST:
+                        stack.append(constants[a])
+                    elif op == Op.LOAD_LOCAL:
+                        stack.append(env.slots[a])
+                    elif op == Op.STORE_LOCAL:
+                        env.slots[a] = stack.pop()
+                    elif op == Op.GET_PROP:
+                        obj = stack.pop()
+                        stack.append(self.get_property(obj, names[a], sites[b]))
+                    elif op == Op.SET_PROP:
+                        value = stack.pop()
+                        obj = stack.pop()
+                        self.set_property(obj, names[a], value, sites[b])
+                        stack.append(value)
+                    elif op == Op.OBJ_LIT_PROP:
+                        value = stack.pop()
+                        obj = stack[-1]
+                        self.set_property(obj, names[a], value, sites[b])
+                    elif op == Op.LOAD_GLOBAL:
+                        stack.append(ic.global_load(sites[b], names[a]))
+                    elif op == Op.LOAD_GLOBAL_SOFT:
+                        stack.append(ic.global_load(sites[b], names[a], soft=True))
+                    elif op == Op.STORE_GLOBAL:
+                        value = stack[-1]
+                        ic.global_store(sites[b], names[a], value)
+                    elif op == Op.DECLARE_GLOBAL:
+                        ic.declare_global(sites[b], names[a])
+                    elif op == Op.GET_INDEX:
+                        key = stack.pop()
+                        obj = stack.pop()
+                        stack.append(self._keyed_get(obj, key, sites[a]))
+                    elif op == Op.SET_INDEX:
+                        value = stack.pop()
+                        key = stack.pop()
+                        obj = stack.pop()
+                        self._keyed_set(obj, key, value, sites[a])
+                        stack.append(value)
+                    elif op == Op.LOAD_UNDEFINED:
+                        stack.append(UNDEFINED)
+                    elif op == Op.LOAD_NULL:
+                        stack.append(NULL)
+                    elif op == Op.LOAD_TRUE:
+                        stack.append(True)
+                    elif op == Op.LOAD_FALSE:
+                        stack.append(False)
+                    elif op == Op.LOAD_THIS:
+                        stack.append(frame.this_value)
+                    elif op == Op.LOAD_ENV:
+                        stack.append(env.ancestor(a).slots[b])
+                    elif op == Op.STORE_ENV:
+                        env.ancestor(a).slots[b] = stack.pop()
+                    elif op == Op.BINARY:
+                        right = stack.pop()
+                        left = stack.pop()
+                        stack.append(self._binary(a, left, right))
+                    elif op == Op.UNARY:
+                        stack.append(self._unary(a, stack.pop()))
+                    elif op == Op.TYPEOF:
+                        stack.append(type_of(stack.pop()))
+                    elif op == Op.JUMP:
+                        pc = a
+                    elif op == Op.JUMP_IF_FALSE:
+                        if not to_boolean(stack.pop()):
+                            pc = a
+                    elif op == Op.JUMP_IF_TRUE:
+                        if to_boolean(stack.pop()):
+                            pc = a
+                    elif op == Op.JUMP_IF_FALSE_KEEP:
+                        if not to_boolean(stack[-1]):
+                            pc = a
+                    elif op == Op.JUMP_IF_TRUE_KEEP:
+                        if to_boolean(stack[-1]):
+                            pc = a
+                    elif op == Op.CALL:
+                        args = stack[len(stack) - a :]
+                        del stack[len(stack) - a :]
+                        callee = stack.pop()
+                        stack.append(self.call_value(callee, UNDEFINED, args))
+                    elif op == Op.CALL_METHOD:
+                        args = stack[len(stack) - a :]
+                        del stack[len(stack) - a :]
+                        callee = stack.pop()
+                        receiver = stack.pop()
+                        stack.append(self.call_value(callee, receiver, args))
+                    elif op == Op.NEW:
+                        args = stack[len(stack) - a :]
+                        del stack[len(stack) - a :]
+                        ctor = stack.pop()
+                        stack.append(self.construct(ctor, args))
+                    elif op == Op.RETURN:
+                        return stack.pop()
+                    elif op == Op.MAKE_FUNCTION:
+                        counters.charge(CATEGORY_RUNTIME_OTHER, cost.ALLOCATE_FUNCTION)
+                        fn_code = constants[a]
+                        assert isinstance(fn_code, CodeObject)
+                        stack.append(runtime.new_function(fn_code, env))
+                    elif op == Op.MAKE_OBJECT:
+                        counters.charge(CATEGORY_RUNTIME_OTHER, cost.ALLOCATE_OBJECT)
+                        stack.append(runtime.new_object())
+                    elif op == Op.MAKE_ARRAY:
+                        counters.charge(
+                            CATEGORY_RUNTIME_OTHER,
+                            cost.ALLOCATE_ARRAY + cost.NATIVE_PER_ELEMENT * a,
+                        )
+                        elements = stack[len(stack) - a :]
+                        del stack[len(stack) - a :]
+                        stack.append(runtime.new_array(elements))
+                    elif op == Op.POP:
+                        stack.pop()
+                    elif op == Op.DUP:
+                        stack.append(stack[-1])
+                    elif op == Op.DUP2:
+                        stack.extend(stack[-2:])
+                    elif op == Op.SWAP:
+                        stack[-1], stack[-2] = stack[-2], stack[-1]
+                    elif op == Op.DELETE_PROP:
+                        obj = stack.pop()
+                        counters.charge(CATEGORY_RUNTIME_OTHER, cost.DICT_ACCESS)
+                        if isinstance(obj, JSObject):
+                            stack.append(runtime.delete_property(obj, names[a]))
+                        else:
+                            stack.append(True)
+                    elif op == Op.DELETE_INDEX:
+                        key = stack.pop()
+                        obj = stack.pop()
+                        counters.charge(CATEGORY_RUNTIME_OTHER, cost.DICT_ACCESS)
+                        if isinstance(obj, JSObject):
+                            stack.append(
+                                runtime.delete_property(obj, to_property_key(key))
+                            )
+                        else:
+                            stack.append(True)
+                    elif op == Op.THROW:
+                        raise GuestThrow(stack.pop())
+                    elif op == Op.SETUP_TRY:
+                        frame.try_stack.append((a, len(stack)))
+                    elif op == Op.POP_TRY:
+                        frame.try_stack.pop()
+                    elif op == Op.FOR_IN_PREP:
+                        obj = stack.pop()
+                        if isinstance(obj, JSObject):
+                            keys = obj.own_property_names()
+                            counters.charge(
+                                CATEGORY_RUNTIME_OTHER,
+                                cost.DICT_ACCESS + cost.NATIVE_PER_ELEMENT * len(keys),
+                            )
+                            stack.append(ForInIterator(keys))
+                        else:
+                            stack.append(ForInIterator([]))
+                    elif op == Op.FOR_IN_NEXT:
+                        iterator = stack[-1]
+                        assert isinstance(iterator, ForInIterator)
+                        key = iterator.next_key()
+                        if key is None:
+                            pc = a
+                        else:
+                            stack.append(key)
+                    else:  # pragma: no cover - all opcodes are handled
+                        raise JSLRuntimeError(f"unknown opcode {op}")
+                except GuestThrow as thrown:
+                    if not frame.try_stack:
+                        if thrown.position is None:
+                            thrown.position = code.position_at(pc - 1)
+                        thrown.trace.append(
+                            f"at {code.name} ({code.position_at(pc - 1)})"
+                        )
+                        raise
+                    target, depth = frame.try_stack.pop()
+                    del stack[depth:]
+                    stack.append(thrown.value)
+                    pc = target
+                except JSLRuntimeError as error:
+                    # Engine-level errors become catchable guest Error objects
+                    # named like their JS counterparts (JSLTypeError ->
+                    # TypeError).
+                    if not frame.try_stack:
+                        if error.position is None:
+                            error.position = code.position_at(pc - 1)
+                        if not hasattr(error, "guest_trace"):
+                            error.guest_trace = []  # type: ignore[attr-defined]
+                        error.guest_trace.append(  # type: ignore[attr-defined]
+                            f"at {code.name} ({code.position_at(pc - 1)})"
+                        )
+                        raise
+                    target, depth = frame.try_stack.pop()
+                    del stack[depth:]
+                    name = type(error).__name__
+                    if name.startswith("JSL"):
+                        name = name[3:]
+                    if name == "RuntimeError":
+                        name = "Error"
+                    stack.append(self._make_guest_error(name, error.message))
+                    pc = target
+        finally:
+            counters.charge(CATEGORY_EXECUTE, cost.DISPATCH * dispatched)
+
+    # -- keyed access helpers ---------------------------------------------------
+
+    def _keyed_get(self, obj: object, key: object, site) -> object:
+        if isinstance(obj, JSObject):
+            return self.ic.keyed_load(site, obj, key)
+        if isinstance(obj, str):
+            if isinstance(key, float) and key == int(key) and 0 <= int(key) < len(obj):
+                return obj[int(key)]
+            return self.get_property(obj, to_property_key(key), site)
+        raise self.guest_type_error(
+            f"Cannot read properties of {to_string(obj)} (reading '{to_string(key)}')"
+        )
+
+    def _keyed_set(self, obj: object, key: object, value: object, site) -> None:
+        if isinstance(obj, JSObject):
+            self.ic.keyed_store(site, obj, key, value)
+            return
+        if obj is UNDEFINED or obj is NULL:
+            raise self.guest_type_error(
+                f"Cannot set properties of {to_string(obj)}"
+            )
+        # Primitive writes silently dropped.
+
+    # -- operators ------------------------------------------------------------------
+
+    def _binary(self, op: int, left: object, right: object) -> object:
+        if op == BinOp.ADD:
+            if isinstance(left, str) or isinstance(right, str):
+                return to_string(left) + to_string(right)
+            if isinstance(left, JSObject) or isinstance(right, JSObject):
+                return to_string(left) + to_string(right)
+            return to_number(left) + to_number(right)
+        if op == BinOp.SUB:
+            return to_number(left) - to_number(right)
+        if op == BinOp.MUL:
+            return to_number(left) * to_number(right)
+        if op == BinOp.DIV:
+            divisor = to_number(right)
+            dividend = to_number(left)
+            if divisor == 0.0:
+                if dividend == 0.0 or dividend != dividend:
+                    return float("nan")
+                return float("inf") if dividend > 0 else float("-inf")
+            return dividend / divisor
+        if op == BinOp.MOD:
+            divisor = to_number(right)
+            dividend = to_number(left)
+            if divisor == 0.0 or dividend != dividend or divisor != divisor:
+                return float("nan")
+            return float(
+                dividend - divisor * int(dividend / divisor)
+            )  # JS truncating remainder
+        if op == BinOp.EQ:
+            return loose_equals(left, right)
+        if op == BinOp.NEQ:
+            return not loose_equals(left, right)
+        if op == BinOp.STRICT_EQ:
+            return strict_equals(left, right)
+        if op == BinOp.STRICT_NEQ:
+            return not strict_equals(left, right)
+        if op in (BinOp.LT, BinOp.GT, BinOp.LE, BinOp.GE):
+            return self._compare(op, left, right)
+        if op == BinOp.BIT_AND:
+            return float(to_int32(left) & to_int32(right))
+        if op == BinOp.BIT_OR:
+            return float(to_int32(left) | to_int32(right))
+        if op == BinOp.BIT_XOR:
+            return float(to_int32(left) ^ to_int32(right))
+        if op == BinOp.SHL:
+            shifted = (to_int32(left) << (to_uint32(right) & 31)) & 0xFFFFFFFF
+            if shifted >= 0x80000000:
+                shifted -= 0x100000000
+            return float(shifted)
+        if op == BinOp.SHR:
+            return float(to_int32(left) >> (to_uint32(right) & 31))
+        if op == BinOp.USHR:
+            return float(to_uint32(left) >> (to_uint32(right) & 31))
+        if op == BinOp.IN:
+            if not isinstance(right, JSObject):
+                raise self.guest_type_error("'in' requires an object")
+            self.counters.charge(CATEGORY_RUNTIME_OTHER, cost.PROPERTY_LOOKUP_BASE)
+            name = to_property_key(left)
+            if isinstance(right, JSArray) and name.isdigit():
+                return 0 <= int(name) < len(right.array_elements)
+            return self.runtime.lookup_property(right, name).kind != "absent"
+        if op == BinOp.INSTANCEOF:
+            if not isinstance(right, JSFunction):
+                raise self.guest_type_error("Right-hand side of 'instanceof' is not callable")
+            if not isinstance(left, JSObject):
+                return False
+            prototype = right.get_own("prototype")[1]
+            current = left.hidden_class.prototype
+            while current is not None:
+                if current is prototype:
+                    return True
+                current = current.hidden_class.prototype
+            return False
+        raise JSLRuntimeError(f"unknown binary operator {op}")  # pragma: no cover
+
+    @staticmethod
+    def _compare(op: int, left: object, right: object) -> bool:
+        if isinstance(left, str) and isinstance(right, str):
+            if op == BinOp.LT:
+                return left < right
+            if op == BinOp.GT:
+                return left > right
+            if op == BinOp.LE:
+                return left <= right
+            return left >= right
+        a = to_number(left)
+        b = to_number(right)
+        if a != a or b != b:  # NaN comparisons are always false
+            return False
+        if op == BinOp.LT:
+            return a < b
+        if op == BinOp.GT:
+            return a > b
+        if op == BinOp.LE:
+            return a <= b
+        return a >= b
+
+    def _unary(self, op: int, operand: object) -> object:
+        if op == UnOp.NEG:
+            return -to_number(operand)
+        if op == UnOp.PLUS:
+            return to_number(operand)
+        if op == UnOp.NOT:
+            return not to_boolean(operand)
+        if op == UnOp.BIT_NOT:
+            return float(~to_int32(operand))
+        raise JSLRuntimeError(f"unknown unary operator {op}")  # pragma: no cover

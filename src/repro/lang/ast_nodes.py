@@ -1,0 +1,313 @@
+"""Abstract syntax tree for jsl.
+
+Every node carries the :class:`~repro.lang.errors.SourcePosition` of its
+first token.  Positions on member-access and property-assignment nodes are
+load-bearing: the bytecode compiler derives stable object-access-site
+identifiers from them (paper §5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang.errors import SourcePosition
+
+
+@dataclass
+class Node:
+    """Base class for all AST nodes."""
+
+    position: SourcePosition
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Expression(Node):
+    """Base class for expression nodes."""
+
+
+@dataclass
+class NumberLiteral(Expression):
+    value: float
+
+
+@dataclass
+class StringLiteral(Expression):
+    value: str
+
+
+@dataclass
+class BooleanLiteral(Expression):
+    value: bool
+
+
+@dataclass
+class NullLiteral(Expression):
+    pass
+
+
+@dataclass
+class UndefinedLiteral(Expression):
+    pass
+
+
+@dataclass
+class Identifier(Expression):
+    name: str
+
+
+@dataclass
+class ThisExpression(Expression):
+    pass
+
+
+@dataclass
+class ArrayLiteral(Expression):
+    elements: list[Expression]
+
+
+@dataclass
+class ObjectProperty:
+    """One ``key: value`` entry of an object literal."""
+
+    key: str
+    value: Expression
+    position: SourcePosition
+
+
+@dataclass
+class ObjectLiteral(Expression):
+    properties: list[ObjectProperty]
+
+
+@dataclass
+class FunctionExpression(Expression):
+    name: str | None
+    params: list[str]
+    body: "Block"
+
+
+@dataclass
+class MemberAccess(Expression):
+    """``object.property`` — a named object access site (load)."""
+
+    obj: Expression
+    prop: str
+
+
+@dataclass
+class IndexAccess(Expression):
+    """``object[expr]`` — a keyed/element access site (load)."""
+
+    obj: Expression
+    index: Expression
+
+
+@dataclass
+class Call(Expression):
+    callee: Expression
+    args: list[Expression]
+
+
+@dataclass
+class New(Expression):
+    callee: Expression
+    args: list[Expression]
+
+
+@dataclass
+class Assignment(Expression):
+    """``target = value`` plus the compound forms (``+=`` etc.).
+
+    ``op`` is ``"="`` for plain assignment or the binary operator spelling
+    (``"+"``, ``"-"``, ...) for compound assignment.
+    """
+
+    target: Expression
+    value: Expression
+    op: str = "="
+
+
+@dataclass
+class Binary(Expression):
+    op: str
+    left: Expression
+    right: Expression
+
+
+@dataclass
+class Logical(Expression):
+    """Short-circuiting ``&&`` / ``||``."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+
+@dataclass
+class Unary(Expression):
+    op: str
+    operand: Expression
+
+
+@dataclass
+class Update(Expression):
+    """``++x``, ``x++``, ``--x``, ``x--``."""
+
+    op: str
+    operand: Expression
+    prefix: bool
+
+
+@dataclass
+class Conditional(Expression):
+    test: Expression
+    consequent: Expression
+    alternate: Expression
+
+
+@dataclass
+class Delete(Expression):
+    target: Expression
+
+
+@dataclass
+class TypeOf(Expression):
+    operand: Expression
+
+
+@dataclass
+class Sequence(Expression):
+    """Comma expression: evaluate all, yield the last."""
+
+    expressions: list[Expression]
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Statement(Node):
+    """Base class for statement nodes."""
+
+
+@dataclass
+class ExpressionStatement(Statement):
+    expression: Expression
+
+
+@dataclass
+class VariableDeclarator:
+    name: str
+    init: Expression | None
+    position: SourcePosition
+
+
+@dataclass
+class VariableDeclaration(Statement):
+    kind: str  # "var" | "let" | "const"
+    declarators: list[VariableDeclarator]
+
+
+@dataclass
+class FunctionDeclaration(Statement):
+    name: str
+    params: list[str]
+    body: "Block"
+
+
+@dataclass
+class Block(Statement):
+    statements: list[Statement] = field(default_factory=list)
+
+
+@dataclass
+class If(Statement):
+    test: Expression
+    consequent: Statement
+    alternate: Statement | None
+
+
+@dataclass
+class While(Statement):
+    test: Expression
+    body: Statement
+
+
+@dataclass
+class DoWhile(Statement):
+    body: Statement
+    test: Expression
+
+
+@dataclass
+class For(Statement):
+    init: Statement | None
+    test: Expression | None
+    update: Expression | None
+    body: Statement
+
+
+@dataclass
+class ForIn(Statement):
+    """``for (var k in obj) body`` — enumerates own property names."""
+
+    var_name: str
+    declares: bool
+    obj: Expression
+    body: Statement
+
+
+@dataclass
+class Return(Statement):
+    value: Expression | None
+
+
+@dataclass
+class Break(Statement):
+    pass
+
+
+@dataclass
+class Continue(Statement):
+    pass
+
+
+@dataclass
+class Throw(Statement):
+    value: Expression
+
+
+@dataclass
+class Try(Statement):
+    block: Block
+    catch_param: str | None
+    catch_block: Block | None
+    finally_block: Block | None
+
+
+@dataclass
+class SwitchCase:
+    test: Expression | None  # None for default
+    body: list[Statement]
+    position: SourcePosition
+
+
+@dataclass
+class Switch(Statement):
+    discriminant: Expression
+    cases: list[SwitchCase]
+
+
+@dataclass
+class Program(Node):
+    """Root of a parsed script."""
+
+    body: list[Statement] = field(default_factory=list)
+    filename: str = "<script>"

@@ -1,0 +1,65 @@
+"""Exception types raised by the jsl language implementation.
+
+All errors carry a :class:`SourcePosition` when one is available so that
+diagnostics point at the offending source location.  Object access sites are
+identified across executions by exactly these positions (see
+``repro.ric.icrecord``), which is why positions are first-class here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class SourcePosition:
+    """A location in a jsl source file.
+
+    ``filename``, ``line`` and ``column`` are invariant across executions of
+    the same script, so the tuple doubles as the stable identity of an object
+    access site (paper §5.1: "determined by file name, line number and
+    position in the line").
+    """
+
+    filename: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.filename}:{self.line}:{self.column}"
+
+
+class JSLError(Exception):
+    """Base class for every error produced by the jsl toolchain."""
+
+    def __init__(self, message: str, position: SourcePosition | None = None):
+        self.message = message
+        self.position = position
+        if position is not None:
+            super().__init__(f"{position}: {message}")
+        else:
+            super().__init__(message)
+
+
+class JSLSyntaxError(JSLError):
+    """Raised by the lexer or parser on malformed source."""
+
+
+class JSLCompileError(JSLError):
+    """Raised by the bytecode compiler on semantically invalid programs."""
+
+
+class JSLRuntimeError(JSLError):
+    """Raised by the VM for guest-level runtime failures."""
+
+
+class JSLTypeError(JSLRuntimeError):
+    """Guest TypeError: operation applied to a value of the wrong type."""
+
+
+class JSLReferenceError(JSLRuntimeError):
+    """Guest ReferenceError: unresolved variable."""
+
+
+class JSLRangeError(JSLRuntimeError):
+    """Guest RangeError: e.g. invalid array length."""

@@ -1,0 +1,37 @@
+"""Reusable Inline Caching — the paper's contribution.
+
+Extraction (post-Initial-run analysis) builds an :class:`ICRecord`; a
+:class:`ReuseSession` consumes it during a later execution, validating
+hidden classes and preloading Dependent sites' ICVector slots.
+"""
+
+from repro.ric.extraction import extract_icrecord
+from repro.ric.icrecord import DependentEntry, HCVTRow, ICRecord, ToastPair
+from repro.ric.reuse import MultiReuseSession, ReuseSession
+from repro.ric.store import RecordStore, extract_per_script_records
+from repro.ric.serialize import (
+    ICRECORD_FORMAT_VERSION,
+    load_icrecord,
+    record_from_json,
+    record_size_bytes,
+    record_to_json,
+    save_icrecord,
+)
+
+__all__ = [
+    "DependentEntry",
+    "MultiReuseSession",
+    "RecordStore",
+    "extract_per_script_records",
+    "HCVTRow",
+    "ICRECORD_FORMAT_VERSION",
+    "ICRecord",
+    "ReuseSession",
+    "ToastPair",
+    "extract_icrecord",
+    "load_icrecord",
+    "record_from_json",
+    "record_size_bytes",
+    "record_to_json",
+    "save_icrecord",
+]

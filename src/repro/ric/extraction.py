@@ -1,0 +1,152 @@
+"""RIC extraction phase (paper §5.2.1).
+
+Runs off-line after an Initial execution completes.  It walks two data
+sources:
+
+1. the :class:`~repro.runtime.hidden_class.HiddenClassRegistry` — every
+   hidden class of the run, in creation order, with its creator (builtin
+   name, constructor key, or triggering site) — to build the TOAST and
+   assign HCIDs; and
+2. the final :class:`~repro.ic.icvector.FeedbackState` (the ICVectors) — to
+   find, for each hidden class, the sites that encountered it and the
+   handlers they used, which become the HCVT's Dependent lists.
+
+Global-object state is excluded (paper §6), as are hidden classes whose
+creator key is ambiguous within the run (the creation key must identify the
+transition uniquely for validation to be sound).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.bytecode.code import SiteKind
+from repro.core.config import RICConfig
+from repro.ic.handlers import StoreTransitionHandler
+from repro.ic.icvector import FeedbackState
+from repro.ric.icrecord import DependentEntry, HCVTRow, ICRecord, ToastPair
+from repro.runtime.context import Runtime
+
+#: Creation-key prefixes that are never reusable across executions.
+_EXCLUDED_KEY_PREFIXES = ("builtin:thrown:", "builtin:Dictionary")
+
+
+def extract_icrecord(
+    runtime: Runtime,
+    feedback: FeedbackState,
+    config: RICConfig | None = None,
+    script_keys: list[str] | None = None,
+) -> ICRecord:
+    """Build an :class:`ICRecord` from a completed Initial run."""
+    config = config or RICConfig()
+    start = time.perf_counter()
+
+    record = ICRecord(script_keys=list(script_keys or []))
+
+    # HCIDs are creation-order indices; the registry preserved them.
+    classes = runtime.hidden_classes.all_classes
+    record.hcvt = [HCVTRow(hcid=index) for index in range(len(classes))]
+
+    global_site_keys = _global_site_keys(feedback, config)
+
+    # ---- TOAST -------------------------------------------------------------
+    # Group creations by key first: a key that produced more than one hidden
+    # class for the same (incoming, property) is ambiguous and skipped.
+    pairs_by_key: dict[str, list[ToastPair]] = {}
+    excluded_hcids: set[int] = set()
+    for hc in classes:
+        key = hc.creation_key
+        if key.startswith(_EXCLUDED_KEY_PREFIXES):
+            excluded_hcids.add(hc.index)
+            continue
+        if not config.include_global_ics:
+            if key == "builtin:global" or key in global_site_keys:
+                excluded_hcids.add(hc.index)
+                continue
+        if hc.creation_kind in ("builtin", "ctor"):
+            pair = ToastPair(
+                incoming_hcid=None,
+                transition_property=None,
+                outgoing_hcid=hc.index,
+            )
+        else:
+            assert hc.incoming is not None
+            pair = ToastPair(
+                incoming_hcid=hc.incoming.index,
+                transition_property=hc.transition_property,
+                outgoing_hcid=hc.index,
+            )
+        pairs_by_key.setdefault(key, []).append(pair)
+
+    for key, pairs in pairs_by_key.items():
+        deduped: list[ToastPair] = []
+        seen: dict[tuple, int] = {}
+        ambiguous: set[tuple] = set()
+        for pair in pairs:
+            signature = (pair.incoming_hcid, pair.transition_property)
+            if signature in seen:
+                ambiguous.add(signature)
+            else:
+                seen[signature] = pair.outgoing_hcid
+                deduped.append(pair)
+        kept = [
+            pair
+            for pair in deduped
+            if (pair.incoming_hcid, pair.transition_property) not in ambiguous
+        ]
+        for pair in deduped:
+            if (pair.incoming_hcid, pair.transition_property) in ambiguous:
+                excluded_hcids.add(pair.outgoing_hcid)
+        if kept:
+            record.toast[key] = kept
+
+    # ---- HCVT dependents (scan the ICVectors) ----------------------------------
+    handler_ids: dict[str, int] = {}
+
+    def intern_handler(serialized: dict) -> int:
+        text = json.dumps(serialized, sort_keys=True)
+        handler_id = handler_ids.get(text)
+        if handler_id is None:
+            handler_id = len(record.handlers)
+            handler_ids[text] = handler_id
+            record.handlers.append(serialized)
+        return handler_id
+
+    for site in feedback.all_sites():
+        info = site.info
+        if info.kind not in (SiteKind.NAMED_LOAD, SiteKind.NAMED_STORE):
+            continue  # keyed + global sites are not linked (paper §6)
+        for hc, handler in site.slots:
+            if hc.index in excluded_hcids or hc.index >= len(record.hcvt):
+                continue
+            row = record.hcvt[hc.index]
+            if handler.is_context_independent:
+                serialized = handler.serialize()
+                assert serialized is not None
+                row.dependents.append(
+                    DependentEntry(
+                        site_key=info.site_key,
+                        handler_id=intern_handler(serialized),
+                    )
+                )
+            elif not isinstance(handler, StoreTransitionHandler):
+                # Context-dependent non-transitioning handler: RIC cannot
+                # preload this site, and its Reuse miss is attributed to the
+                # "Handler" bucket of Table 4.  Transitioning stores are the
+                # Triggering sites themselves ("Other" by construction).
+                row.cd_dependent_sites.append(info.site_key)
+
+    record.extraction_time_ms = (time.perf_counter() - start) * 1000.0
+    return record
+
+
+def _global_site_keys(feedback: FeedbackState, config: RICConfig) -> set[str]:
+    """Site keys of global-object access sites (excluded from RIC)."""
+    if config.include_global_ics:
+        return set()
+    return {
+        site.info.site_key
+        for site in feedback.all_sites()
+        if site.info.kind in (SiteKind.GLOBAL_LOAD, SiteKind.GLOBAL_STORE)
+    }

@@ -1,0 +1,121 @@
+"""The ICRecord: RIC's persisted, context-independent IC information.
+
+This is the paper's Figure 6 structure, produced by the extraction phase
+after an Initial run and consumed by Reuse runs:
+
+* **HCVT** (Hidden Class Validation Table): one row per hidden class of the
+  Initial run, identified by a small integer ``hcid`` (creation order).
+  Each row lists the Dependent sites to preload once the hidden class is
+  validated, with the reusable handler to install.  The runtime fields of
+  the paper's HCVT (``HCAddr``, ``V``) live in the Reuse session, not here —
+  they are per-execution by definition.
+* **TOAST** (Triggering Object Access Site Table): keyed by the stable
+  identity of whatever creates hidden classes — a triggering object access
+  site (file:line:col), a builtin name, or a constructor key — mapping to
+  ``(incoming hcid, transition property, outgoing hcid)`` entries.
+* **handler store**: deduplicated serialized context-independent handlers,
+  referenced by index from HCVT dependent entries.
+
+Everything in this module is context-independent plain data; nothing here
+ever holds a heap address.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def filename_of_creation_key(key: str) -> str | None:
+    """Which script file a creation key / site key belongs to.
+
+    None for file-unbound keys (builtins, natives).  Site keys look like
+    ``file.jsl:12:3:named_store``; constructor keys like
+    ``ctor:file.jsl:4:1#Name:0``.
+    """
+    if key.startswith("builtin:") or key.startswith("native:"):
+        return None
+    if key.startswith("ctor:"):
+        key = key[len("ctor:"):].split("#", 1)[0]
+    parts = key.split(":")
+    if len(parts) < 3:
+        return None
+    return parts[0]
+
+
+@dataclass(frozen=True)
+class DependentEntry:
+    """One (Dependent site, handler) tuple of an HCVT row."""
+
+    site_key: str
+    handler_id: int
+
+
+@dataclass
+class HCVTRow:
+    """Static part of one HCVT entry (paper Figure 6a).
+
+    ``cd_dependent_sites`` are sites that encountered this hidden class but
+    whose handler was context-dependent (other than transitioning stores):
+    RIC cannot preload them, and their Reuse-run misses are attributed to
+    Table 4's "Handler" column.
+    """
+
+    hcid: int
+    dependents: list[DependentEntry] = field(default_factory=list)
+    cd_dependent_sites: list[str] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class ToastPair:
+    """One (incoming, outgoing) entry of a TOAST row (Figure 6b).
+
+    ``incoming_hcid`` is None for builtins and constructor initial classes
+    ("Entries for built-in objects have no incoming hidden class").
+    ``transition_property`` pins the added property so keyed/triggering
+    sites that add different properties on different iterations validate
+    only the matching transition.
+    """
+
+    incoming_hcid: int | None
+    transition_property: str | None
+    outgoing_hcid: int
+
+
+@dataclass
+class ICRecord:
+    """The full persisted RIC artifact for one initialization workload."""
+
+    #: Source scripts this record was extracted from (filenames + hashes),
+    #: for cache-style integrity checking.
+    script_keys: list[str] = field(default_factory=list)
+    hcvt: list[HCVTRow] = field(default_factory=list)
+    toast: dict[str, list[ToastPair]] = field(default_factory=dict)
+    #: Deduplicated context-independent handlers (serialized form).
+    handlers: list[dict] = field(default_factory=list)
+    #: Extraction wall-clock time in milliseconds (paper §7.3).
+    extraction_time_ms: float = 0.0
+
+    def row(self, hcid: int) -> HCVTRow:
+        return self.hcvt[hcid]
+
+    @property
+    def num_hidden_classes(self) -> int:
+        return len(self.hcvt)
+
+    @property
+    def num_dependent_links(self) -> int:
+        return sum(len(row.dependents) for row in self.hcvt)
+
+    def stats(self) -> dict:
+        """Summary counts used by reports and tests."""
+        return {
+            "hidden_classes": len(self.hcvt),
+            "toast_entries": len(self.toast),
+            "toast_pairs": sum(len(pairs) for pairs in self.toast.values()),
+            "dependent_links": self.num_dependent_links,
+            "cd_dependent_links": sum(
+                len(row.cd_dependent_sites) for row in self.hcvt
+            ),
+            "handlers": len(self.handlers),
+            "extraction_time_ms": self.extraction_time_ms,
+        }

@@ -1,0 +1,94 @@
+"""ICRecord persistence: JSON serialization, disk round-trip, integrity.
+
+The ICRecord is the artifact RIC persists between executions — unlike the
+snapshot approach the paper compares against (§9), it is per-script, can be
+shared between applications, and contains no heap state, so it stays valid
+under nondeterministic initialization.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.ric.icrecord import DependentEntry, HCVTRow, ICRecord, ToastPair
+
+#: Bump when the on-disk format changes.
+ICRECORD_FORMAT_VERSION = 2
+
+
+def record_to_json(record: ICRecord) -> dict:
+    """Serialize an ICRecord to JSON-compatible plain data."""
+    return {
+        "version": ICRECORD_FORMAT_VERSION,
+        "script_keys": record.script_keys,
+        "hcvt": [
+            {
+                "hcid": row.hcid,
+                "dependents": [
+                    [entry.site_key, entry.handler_id] for entry in row.dependents
+                ],
+                "cd_dependent_sites": row.cd_dependent_sites,
+            }
+            for row in record.hcvt
+        ],
+        "toast": {
+            key: [
+                [pair.incoming_hcid, pair.transition_property, pair.outgoing_hcid]
+                for pair in pairs
+            ]
+            for key, pairs in record.toast.items()
+        },
+        "handlers": record.handlers,
+        "extraction_time_ms": record.extraction_time_ms,
+    }
+
+
+def record_from_json(data: dict) -> ICRecord:
+    """Inverse of :func:`record_to_json`."""
+    if data.get("version") != ICRECORD_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported ICRecord version {data.get('version')!r} "
+            f"(expected {ICRECORD_FORMAT_VERSION})"
+        )
+    record = ICRecord(script_keys=list(data["script_keys"]))
+    record.hcvt = [
+        HCVTRow(
+            hcid=row["hcid"],
+            dependents=[
+                DependentEntry(site_key=site_key, handler_id=handler_id)
+                for site_key, handler_id in row["dependents"]
+            ],
+            cd_dependent_sites=list(row["cd_dependent_sites"]),
+        )
+        for row in data["hcvt"]
+    ]
+    record.toast = {
+        key: [
+            ToastPair(
+                incoming_hcid=incoming,
+                transition_property=prop,
+                outgoing_hcid=outgoing,
+            )
+            for incoming, prop, outgoing in pairs
+        ]
+        for key, pairs in data["toast"].items()
+    }
+    record.handlers = [dict(handler) for handler in data["handlers"]]
+    record.extraction_time_ms = float(data.get("extraction_time_ms", 0.0))
+    return record
+
+
+def record_size_bytes(record: ICRecord) -> int:
+    """Serialized size — the paper §7.3 memory-overhead metric."""
+    return len(json.dumps(record_to_json(record)).encode("utf-8"))
+
+
+def save_icrecord(record: ICRecord, path: str | Path) -> None:
+    """Persist an ICRecord to disk."""
+    Path(path).write_text(json.dumps(record_to_json(record)))
+
+
+def load_icrecord(path: str | Path) -> ICRecord:
+    """Load a previously saved ICRecord."""
+    return record_from_json(json.loads(Path(path).read_text()))

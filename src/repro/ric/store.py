@@ -1,0 +1,250 @@
+"""Per-script ICRecords and the record store.
+
+The paper contrasts RIC with snapshotting (§9): *"in RIC, the information
+is maintained for each JavaScript file.  Therefore, the IC information for
+a library can be shared by different applications."*  This module makes
+that a first-class capability:
+
+* :func:`extract_per_script_records` splits a completed run's IC
+  information into one self-contained :class:`~repro.ric.icrecord.ICRecord`
+  per script file.  Each record renumbers hidden classes into a
+  record-local HCID space (global creation indices are an artifact of one
+  specific page's load order and would not transfer), keeps the TOAST
+  entries whose creators belong to that file (plus the builtins, which are
+  shared), and keeps only Dependent sites inside the same file —
+  cross-file links are dropped, a sound and conservative choice.
+* :class:`RecordStore` holds per-script records keyed by (filename,
+  source hash), with directory persistence — the browser-cache shape.
+* At reuse time, the engine runs one
+  :class:`~repro.ric.reuse.ReuseSession` per record simultaneously
+  (see ``Engine.run`` accepting a sequence of records): each session
+  validates in its own HCID namespace, so records extracted by different
+  applications compose on one page.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.bytecode.cache import source_hash
+from repro.bytecode.code import SiteKind
+from repro.core.config import RICConfig
+from repro.ic.handlers import StoreTransitionHandler
+from repro.ic.icvector import FeedbackState
+from repro.ric.extraction import _global_site_keys
+from repro.ric.icrecord import (
+    DependentEntry,
+    HCVTRow,
+    ICRecord,
+    ToastPair,
+    filename_of_creation_key,
+)
+from repro.ric.serialize import record_from_json, record_to_json
+from repro.runtime.context import Runtime
+from repro.runtime.hidden_class import HiddenClass
+
+#: Creation-key prefixes never reusable across executions (mirrors
+#: repro.ric.extraction).
+_EXCLUDED_KEY_PREFIXES = ("builtin:thrown:", "builtin:Dictionary")
+
+
+def extract_per_script_records(
+    runtime: Runtime,
+    feedback: FeedbackState,
+    config: RICConfig | None = None,
+) -> dict[str, ICRecord]:
+    """Split a completed run's IC information into per-file records."""
+    config = config or RICConfig()
+    classes = runtime.hidden_classes.all_classes
+    global_site_keys = _global_site_keys(feedback, config)
+
+    filenames = sorted(
+        {
+            name
+            for hc in classes
+            if (name := filename_of_creation_key(hc.creation_key)) is not None
+        }
+    )
+    records: dict[str, ICRecord] = {}
+    for filename in filenames:
+        records[filename] = _extract_for_file(
+            filename, classes, feedback, config, global_site_keys
+        )
+    return records
+
+
+def _extract_for_file(
+    filename: str,
+    classes: list[HiddenClass],
+    feedback: FeedbackState,
+    config: RICConfig,
+    global_site_keys: set[str],
+) -> ICRecord:
+    # --- choose the hidden classes this record covers -----------------------
+    # Builtins and this file's creations seed the set; native-created
+    # transitions are pulled in transitively when their incoming class is
+    # already covered (e.g. Object.assign extending this file's objects).
+    included: dict[int, HiddenClass] = {}
+
+    def eligible(hc: HiddenClass) -> bool:
+        key = hc.creation_key
+        if key.startswith(_EXCLUDED_KEY_PREFIXES):
+            return False
+        if not config.include_global_ics:
+            if key == "builtin:global" or key in global_site_keys:
+                return False
+        return True
+
+    for hc in classes:
+        if not eligible(hc):
+            continue
+        owner = filename_of_creation_key(hc.creation_key)
+        if owner is None and not hc.creation_key.startswith("native:"):
+            included[hc.index] = hc  # builtin
+        elif owner == filename:
+            included[hc.index] = hc
+
+    changed = True
+    while changed:
+        changed = False
+        for hc in classes:
+            if hc.index in included or not eligible(hc):
+                continue
+            if (
+                hc.creation_key.startswith("native:")
+                and hc.incoming is not None
+                and hc.incoming.index in included
+            ):
+                included[hc.index] = hc
+                changed = True
+
+    # --- record-local HCIDs ------------------------------------------------------
+    ordered = [classes[index] for index in sorted(included)]
+    local_id = {hc.index: local for local, hc in enumerate(ordered)}
+
+    record = ICRecord(script_keys=[filename])
+    record.hcvt = [HCVTRow(hcid=local) for local in range(len(ordered))]
+
+    # --- TOAST (deduplicated per (incoming, property) as in extraction) ---------
+    pairs_by_key: dict[str, list[ToastPair]] = {}
+    for hc in ordered:
+        if hc.creation_kind in ("builtin", "ctor"):
+            pair = ToastPair(None, None, local_id[hc.index])
+        else:
+            assert hc.incoming is not None
+            if hc.incoming.index not in local_id:
+                continue  # incoming outside this record: unlinkable
+            pair = ToastPair(
+                local_id[hc.incoming.index],
+                hc.transition_property,
+                local_id[hc.index],
+            )
+        pairs_by_key.setdefault(hc.creation_key, []).append(pair)
+
+    for key, pairs in pairs_by_key.items():
+        seen: set[tuple] = set()
+        ambiguous: set[tuple] = set()
+        for pair in pairs:
+            signature = (pair.incoming_hcid, pair.transition_property)
+            if signature in seen:
+                ambiguous.add(signature)
+            seen.add(signature)
+        kept = [
+            pair
+            for pair in pairs
+            if (pair.incoming_hcid, pair.transition_property) not in ambiguous
+        ]
+        if kept:
+            record.toast[key] = kept
+
+    # --- dependents: only sites inside this file --------------------------------
+    handler_ids: dict[str, int] = {}
+
+    def intern_handler(serialized: dict) -> int:
+        text = json.dumps(serialized, sort_keys=True)
+        handler_id = handler_ids.get(text)
+        if handler_id is None:
+            handler_id = len(record.handlers)
+            handler_ids[text] = handler_id
+            record.handlers.append(serialized)
+        return handler_id
+
+    for site in feedback.all_sites():
+        info = site.info
+        if info.kind not in (SiteKind.NAMED_LOAD, SiteKind.NAMED_STORE):
+            continue
+        if info.position.filename != filename:
+            continue
+        for hc, handler in site.slots:
+            local = local_id.get(hc.index)
+            if local is None:
+                continue
+            row = record.hcvt[local]
+            if handler.is_context_independent:
+                serialized = handler.serialize()
+                assert serialized is not None
+                row.dependents.append(
+                    DependentEntry(info.site_key, intern_handler(serialized))
+                )
+            elif not isinstance(handler, StoreTransitionHandler):
+                row.cd_dependent_sites.append(info.site_key)
+
+    return record
+
+
+class RecordStore:
+    """Per-script record cache keyed by (filename, source hash).
+
+    Mirrors how a browser would persist RIC information next to its code
+    cache: one entry per script, shared by every page that loads it.
+    """
+
+    def __init__(self, directory: str | Path | None = None):
+        self._entries: dict[str, ICRecord] = {}
+        self._directory = Path(directory) if directory is not None else None
+        if self._directory is not None:
+            self._directory.mkdir(parents=True, exist_ok=True)
+            self._load_directory()
+
+    @staticmethod
+    def _key(filename: str, source: str) -> str:
+        return f"{filename}:{source_hash(source)}"
+
+    def put(self, filename: str, source: str, record: ICRecord) -> None:
+        key = self._key(filename, source)
+        self._entries[key] = record
+        if self._directory is not None:
+            path = self._directory / f"{_safe(key)}.icrecord.json"
+            payload = {"key": key, "record": record_to_json(record)}
+            path.write_text(json.dumps(payload))
+
+    def get(self, filename: str, source: str) -> ICRecord | None:
+        return self._entries.get(self._key(filename, source))
+
+    def records_for(self, scripts) -> list[ICRecord]:
+        """Records available for a (filename, source) script list."""
+        found = []
+        for filename, source in scripts:
+            record = self.get(filename, source)
+            if record is not None:
+                found.append(record)
+        return found
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _load_directory(self) -> None:
+        assert self._directory is not None
+        for path in sorted(self._directory.glob("*.icrecord.json")):
+            try:
+                payload = json.loads(path.read_text())
+                self._entries[payload["key"]] = record_from_json(payload["record"])
+            except (OSError, ValueError, KeyError):
+                continue  # corrupt entries are ignored, like a cache
+
+
+def _safe(key: str) -> str:
+    import hashlib
+
+    return hashlib.sha256(key.encode("utf-8")).hexdigest()[:24]

@@ -1,0 +1,39 @@
+"""Runtime object model: heap, hidden classes, objects, values, builtins."""
+
+from repro.runtime.context import LookupResult, Runtime
+from repro.runtime.heap import Heap
+from repro.runtime.hidden_class import HiddenClass, HiddenClassRegistry
+from repro.runtime.objects import JSArray, JSFunction, JSObject
+from repro.runtime.values import (
+    NULL,
+    UNDEFINED,
+    loose_equals,
+    number_to_string,
+    strict_equals,
+    to_boolean,
+    to_number,
+    to_property_key,
+    to_string,
+    type_of,
+)
+
+__all__ = [
+    "NULL",
+    "UNDEFINED",
+    "Heap",
+    "HiddenClass",
+    "HiddenClassRegistry",
+    "JSArray",
+    "JSFunction",
+    "JSObject",
+    "LookupResult",
+    "Runtime",
+    "loose_equals",
+    "number_to_string",
+    "strict_equals",
+    "to_boolean",
+    "to_number",
+    "to_property_key",
+    "to_string",
+    "type_of",
+]

@@ -1,0 +1,71 @@
+"""Simulated heap with per-execution address randomization.
+
+The paper's core premise is that IC state cannot simply be persisted because
+it embeds heap addresses (of hidden classes and prototype objects) that
+differ between executions (§3.2).  Real engines get this from ASLR and
+allocation nondeterminism; we make it explicit: every :class:`Heap` draws a
+random base address, so the "same" hidden class lands at a different address
+in every run.  Any scheme that naively replays recorded ``HCAddr`` values is
+therefore guaranteed to break — which is what RIC's validation protocol is
+for, and what our unsoundness tests demonstrate.
+
+The heap also does coarse byte accounting so §7.3's memory comparison
+(ICRecord size vs. heap usage) can be reproduced.
+"""
+
+from __future__ import annotations
+
+import random
+
+#: Sizes (bytes) charged per allocation kind; coarse V8-like figures.
+ALLOCATION_SIZES = {
+    "object": 48,
+    "function": 96,
+    "array": 64,
+    "hidden_class": 80,
+    "property_slot": 8,
+    "element": 8,
+    "handler": 40,
+    "string": 24,
+}
+
+#: Alignment of simulated allocations.
+_ALIGN = 16
+
+#: Baseline footprint of a fresh isolate: builtins, startup snapshot,
+#: internal tables.  A fresh V8 isolate occupies on the order of 1-2 MB
+#: before any user script runs; the paper's §7.3 heap figures (2.6-5.6 MB)
+#: include this.  Charged once at heap construction.
+BASELINE_ISOLATE_BYTES = 1_400_000
+
+
+class Heap:
+    """Allocates monotonically increasing, run-randomized addresses."""
+
+    def __init__(self, seed: int | None = None):
+        rng = random.Random(seed)
+        # A 47-bit user-space-style base, 4 KiB aligned.
+        self._next_address = (rng.getrandbits(34) << 12) | 0x10000000000
+        self.bytes_allocated = BASELINE_ISOLATE_BYTES
+        self.allocation_count = 0
+        self.allocations_by_kind: dict[str, int] = {}
+
+    def allocate(self, kind: str, extra_bytes: int = 0) -> int:
+        """Reserve an address for an allocation of ``kind``.
+
+        Returns the (simulated) address.  ``extra_bytes`` accounts for
+        variable-size payloads such as property backing stores.
+        """
+        size = ALLOCATION_SIZES.get(kind, 32) + extra_bytes
+        size = (size + _ALIGN - 1) // _ALIGN * _ALIGN
+        address = self._next_address
+        self._next_address += size
+        self.bytes_allocated += size
+        self.allocation_count += 1
+        self.allocations_by_kind[kind] = self.allocations_by_kind.get(kind, 0) + 1
+        return address
+
+    def charge(self, kind: str, nbytes: int) -> None:
+        """Account for growth of an existing allocation (e.g. slot array)."""
+        self.bytes_allocated += nbytes
+        self.allocations_by_kind[kind] = self.allocations_by_kind.get(kind, 0)

@@ -1,0 +1,198 @@
+"""Guest value model and coercions.
+
+jsl values map onto Python values where possible — numbers are ``float``,
+strings are ``str``, booleans are ``bool`` — with singleton sentinels for
+``undefined`` and ``null`` and :class:`~repro.runtime.objects.JSObject` for
+everything heap-allocated.  Keeping primitives as Python natives keeps the
+interpreter loop fast; only objects participate in hidden classes and IC.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class _Undefined:
+    """The single ``undefined`` value."""
+
+    _instance: "_Undefined | None" = None
+
+    def __new__(cls) -> "_Undefined":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "undefined"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+class _Null:
+    """The single ``null`` value."""
+
+    _instance: "_Null | None" = None
+
+    def __new__(cls) -> "_Null":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "null"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+UNDEFINED = _Undefined()
+NULL = _Null()
+
+
+def is_nullish(value: object) -> bool:
+    """True for ``undefined`` and ``null``."""
+    return value is UNDEFINED or value is NULL
+
+
+def to_boolean(value: object) -> bool:
+    """JS ToBoolean."""
+    if value is UNDEFINED or value is NULL:
+        return False
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, float):
+        return not (value == 0.0 or math.isnan(value))
+    if isinstance(value, str):
+        return bool(value)
+    return True  # objects are always truthy
+
+
+def to_number(value: object) -> float:
+    """JS ToNumber (objects coerce through their primitive hint; we use
+    their string form, which suffices for the workloads)."""
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    if isinstance(value, float):
+        return value
+    if value is UNDEFINED:
+        return float("nan")
+    if value is NULL:
+        return 0.0
+    if isinstance(value, str):
+        text = value.strip()
+        if not text:
+            return 0.0
+        try:
+            if text.lower().startswith(("0x", "-0x", "+0x")):
+                return float(int(text, 16))
+            return float(text)
+        except ValueError:
+            return float("nan")
+    return float("nan")  # objects: simplified (no valueOf protocol)
+
+
+def number_to_string(value: float) -> str:
+    """JS Number-to-string: integral floats print without the '.0'."""
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "Infinity" if value > 0 else "-Infinity"
+    if value == int(value) and abs(value) < 1e21:
+        return str(int(value))
+    return repr(value)
+
+
+def to_string(value: object) -> str:
+    """JS ToString."""
+    if value is UNDEFINED:
+        return "undefined"
+    if value is NULL:
+        return "null"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return number_to_string(value)
+    if isinstance(value, str):
+        return value
+    return value.js_to_string()  # type: ignore[attr-defined]
+
+
+def to_int32(value: object) -> int:
+    """JS ToInt32 (for bitwise operators)."""
+    number = to_number(value)
+    if math.isnan(number) or math.isinf(number):
+        return 0
+    result = int(number) & 0xFFFFFFFF
+    if result >= 0x80000000:
+        result -= 0x100000000
+    return result
+
+
+def to_uint32(value: object) -> int:
+    """JS ToUint32 (for >>>)."""
+    number = to_number(value)
+    if math.isnan(number) or math.isinf(number):
+        return 0
+    return int(number) & 0xFFFFFFFF
+
+
+def to_property_key(value: object) -> str:
+    """Convert an arbitrary keyed-access subscript to a property key."""
+    if isinstance(value, float):
+        return number_to_string(value)
+    return to_string(value)
+
+
+def type_of(value: object) -> str:
+    """JS typeof."""
+    if value is UNDEFINED:
+        return "undefined"
+    if value is NULL:
+        return "object"  # the famous JS quirk, preserved
+    if isinstance(value, bool):
+        return "boolean"
+    if isinstance(value, float):
+        return "number"
+    if isinstance(value, str):
+        return "string"
+    if getattr(value, "is_callable", False):
+        return "function"
+    return "object"
+
+
+def strict_equals(a: object, b: object) -> bool:
+    """JS ``===``."""
+    if isinstance(a, bool) or isinstance(b, bool):
+        # bool must not compare equal to numbers under ===
+        return a is b if (isinstance(a, bool) and isinstance(b, bool)) else False
+    if isinstance(a, float) and isinstance(b, float):
+        return a == b  # NaN != NaN falls out naturally
+    if isinstance(a, str) and isinstance(b, str):
+        return a == b
+    return a is b
+
+
+def loose_equals(a: object, b: object) -> bool:
+    """JS ``==`` (simplified object-coercion: via ToString for objects)."""
+    if is_nullish(a) and is_nullish(b):
+        return True
+    if is_nullish(a) or is_nullish(b):
+        return False
+    if isinstance(a, bool):
+        return loose_equals(to_number(a), b)
+    if isinstance(b, bool):
+        return loose_equals(a, to_number(b))
+    if isinstance(a, float) and isinstance(b, float):
+        return a == b
+    if isinstance(a, str) and isinstance(b, str):
+        return a == b
+    if isinstance(a, float) and isinstance(b, str):
+        return a == to_number(b)
+    if isinstance(a, str) and isinstance(b, float):
+        return to_number(a) == b
+    if isinstance(a, (float, str)) and not isinstance(b, (float, str)):
+        return loose_equals(a, to_string(b))
+    if isinstance(b, (float, str)) and not isinstance(a, (float, str)):
+        return loose_equals(to_string(a), b)
+    return a is b

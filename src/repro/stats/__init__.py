@@ -1,0 +1,28 @@
+"""Measurement: counters, run profiles, memory accounting."""
+
+from repro.stats.counters import (
+    CATEGORY_EXECUTE,
+    CATEGORY_IC_MISS,
+    CATEGORY_RIC,
+    CATEGORY_RUNTIME_OTHER,
+    MISS_GLOBAL,
+    MISS_HANDLER,
+    MISS_OTHER,
+    Counters,
+)
+from repro.stats.memory import MemoryOverhead, measure_memory_overhead
+from repro.stats.profile import RunProfile
+
+__all__ = [
+    "CATEGORY_EXECUTE",
+    "CATEGORY_IC_MISS",
+    "CATEGORY_RIC",
+    "CATEGORY_RUNTIME_OTHER",
+    "Counters",
+    "MISS_GLOBAL",
+    "MISS_HANDLER",
+    "MISS_OTHER",
+    "MemoryOverhead",
+    "RunProfile",
+    "measure_memory_overhead",
+]

@@ -1,0 +1,127 @@
+"""Execution counters: guest instructions, IC events, miss attribution.
+
+One :class:`Counters` instance accompanies each execution.  Guest
+instructions are grouped into the categories the paper's Figure 5 plots
+("IC Miss Handling" vs "Rest of the Work"), IC accesses/hits/misses feed
+Tables 1 and 4, and the reuse-run miss attribution implements Table 4's
+Handler / Global / Other breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+#: Instruction categories.  IC_MISS is the paper's "IC Miss Handling";
+#: everything else is "Rest of the Work".
+CATEGORY_EXECUTE = "execute"
+CATEGORY_IC_MISS = "ic_miss"
+CATEGORY_RUNTIME_OTHER = "runtime_other"
+CATEGORY_RIC = "ric"
+
+#: Reuse-run miss attribution buckets (paper Table 4).
+MISS_HANDLER = "handler"
+MISS_GLOBAL = "global"
+MISS_OTHER = "other"
+
+
+@dataclass
+class Counters:
+    """Mutable counters for one execution."""
+
+    instructions: dict[str, int] = field(
+        default_factory=lambda: {
+            CATEGORY_EXECUTE: 0,
+            CATEGORY_IC_MISS: 0,
+            CATEGORY_RUNTIME_OTHER: 0,
+            CATEGORY_RIC: 0,
+        }
+    )
+
+    ic_accesses: int = 0
+    ic_hits: int = 0
+    ic_misses: int = 0
+    #: Hits on slots RIC preloaded = misses averted by RIC.
+    ic_hits_on_preloaded: int = 0
+
+    #: Miss attribution (populated during Reuse runs).
+    misses_by_reason: dict[str, int] = field(
+        default_factory=lambda: {MISS_HANDLER: 0, MISS_GLOBAL: 0, MISS_OTHER: 0}
+    )
+
+    hidden_classes_created: int = 0
+    handlers_generated: int = 0
+    handlers_generated_context_independent: int = 0
+
+    #: RIC reuse bookkeeping.
+    ric_validations: int = 0
+    ric_preloads: int = 0
+    ric_toast_lookups: int = 0
+    ric_divergences: int = 0
+
+    # -- charging ------------------------------------------------------------
+
+    def charge(self, category: str, amount: int) -> None:
+        self.instructions[category] += amount
+
+    # -- derived metrics -------------------------------------------------------
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(self.instructions.values())
+
+    @property
+    def ic_miss_rate(self) -> float:
+        """Fraction of IC accesses that missed (paper Table 4)."""
+        if self.ic_accesses == 0:
+            return 0.0
+        return self.ic_misses / self.ic_accesses
+
+    @property
+    def ic_miss_handling_fraction(self) -> float:
+        """Fraction of instructions spent handling IC misses (Figure 5)."""
+        total = self.total_instructions
+        if total == 0:
+            return 0.0
+        return self.instructions[CATEGORY_IC_MISS] / total
+
+    @property
+    def context_independent_handler_fraction(self) -> float:
+        """Fraction of generated handlers that are reusable (Table 1)."""
+        if self.handlers_generated == 0:
+            return 0.0
+        return (
+            self.handlers_generated_context_independent / self.handlers_generated
+        )
+
+    def miss_rate_contribution(self, reason: str) -> float:
+        """Contribution of one attribution bucket to the miss rate, in the
+        same units as :attr:`ic_miss_rate` (Table 4 columns 4-6)."""
+        if self.ic_accesses == 0:
+            return 0.0
+        return self.misses_by_reason[reason] / self.ic_accesses
+
+    def record_miss(self, reason: str) -> None:
+        self.ic_misses += 1
+        self.misses_by_reason[reason] += 1
+
+    def as_dict(self) -> dict:
+        """Plain-data snapshot for reports and tests."""
+        return {
+            "instructions": dict(self.instructions),
+            "total_instructions": self.total_instructions,
+            "ic_accesses": self.ic_accesses,
+            "ic_hits": self.ic_hits,
+            "ic_misses": self.ic_misses,
+            "ic_hits_on_preloaded": self.ic_hits_on_preloaded,
+            "ic_miss_rate": self.ic_miss_rate,
+            "misses_by_reason": dict(self.misses_by_reason),
+            "hidden_classes_created": self.hidden_classes_created,
+            "handlers_generated": self.handlers_generated,
+            "handlers_generated_context_independent": (
+                self.handlers_generated_context_independent
+            ),
+            "ric_validations": self.ric_validations,
+            "ric_preloads": self.ric_preloads,
+            "ric_divergences": self.ric_divergences,
+        }

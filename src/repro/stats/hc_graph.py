@@ -1,0 +1,123 @@
+"""Hidden-class transition-graph analysis.
+
+The hidden classes of an execution form a forest: roots (builtins,
+constructor initial maps, `{}`'s empty-object class) with transition edges
+labelled by the added property (paper Figure 2).  This module builds that
+graph with networkx and computes the structural statistics that explain a
+workload's Table 1 signature:
+
+* many long chains → many transitioning stores → many unavoidable
+  Triggering-site misses;
+* high *sharing* (objects flowing through the same chains) plus wide
+  *fan-in of access sites* → many Dependent sites → RIC opportunity.
+
+Used by tests and by analysis scripts; not on any hot path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.runtime.context import Runtime
+from repro.runtime.hidden_class import HiddenClass
+
+
+def build_transition_graph(runtime: Runtime) -> "nx.DiGraph":
+    """Directed graph: node per hidden class, edge per transition.
+
+    Node attributes: ``kind`` (builtin/ctor/site), ``key`` (creation key),
+    ``properties`` (layout size).  Edge attribute: ``property``.
+    """
+    graph = nx.DiGraph()
+    for hc in runtime.hidden_classes.all_classes:
+        graph.add_node(
+            hc.index,
+            kind=hc.creation_kind,
+            key=hc.creation_key,
+            properties=hc.property_count,
+            dictionary=hc.is_dictionary,
+        )
+    for hc in runtime.hidden_classes.all_classes:
+        for prop, target in hc.transitions.items():
+            graph.add_edge(hc.index, target.index, property=prop)
+    return graph
+
+
+@dataclass(frozen=True)
+class TransitionStats:
+    """Structural summary of one execution's hidden-class forest."""
+
+    classes: int
+    roots: int
+    transitions: int
+    max_chain_depth: int
+    max_branching: int
+    #: Classes reachable from the shared empty-object class — the `{}`
+    #: literal population.
+    empty_object_family: int
+
+    def as_dict(self) -> dict:
+        return {
+            "classes": self.classes,
+            "roots": self.roots,
+            "transitions": self.transitions,
+            "max_chain_depth": self.max_chain_depth,
+            "max_branching": self.max_branching,
+            "empty_object_family": self.empty_object_family,
+        }
+
+
+def transition_stats(runtime: Runtime) -> TransitionStats:
+    """Compute :class:`TransitionStats` for a completed execution."""
+    graph = build_transition_graph(runtime)
+    roots = [node for node in graph.nodes if graph.in_degree(node) == 0]
+    max_depth = 0
+    if graph.number_of_nodes():
+        # The transition forest is acyclic by construction.
+        max_depth = nx.dag_longest_path_length(graph)
+    max_branching = max((graph.out_degree(n) for n in graph.nodes), default=0)
+    empty_family = 0
+    empty_nodes = [
+        node
+        for node, data in graph.nodes(data=True)
+        if data["key"] == "builtin:EmptyObject"
+    ]
+    if empty_nodes:
+        empty_family = len(nx.descendants(graph, empty_nodes[0])) + 1
+    return TransitionStats(
+        classes=graph.number_of_nodes(),
+        roots=len(roots),
+        transitions=graph.number_of_edges(),
+        max_chain_depth=max_depth,
+        max_branching=max_branching,
+        empty_object_family=empty_family,
+    )
+
+
+def chain_of(hc: HiddenClass) -> list[HiddenClass]:
+    """The transition chain from the root down to ``hc`` (inclusive)."""
+    chain: list[HiddenClass] = []
+    current: HiddenClass | None = hc
+    while current is not None:
+        chain.append(current)
+        current = current.incoming
+    chain.reverse()
+    return chain
+
+
+def to_dot(runtime: Runtime, max_nodes: int = 200) -> str:
+    """Render the transition forest as GraphViz DOT (for inspection)."""
+    graph = build_transition_graph(runtime)
+    lines = ["digraph hidden_classes {", "  rankdir=LR;"]
+    for node, data in list(graph.nodes(data=True))[:max_nodes]:
+        shape = "box" if data["kind"] == "builtin" else "ellipse"
+        label = f"#{node}\\n{data['key'][:28]}"
+        lines.append(f'  n{node} [label="{label}", shape={shape}];')
+    for source, target, data in graph.edges(data=True):
+        if source >= max_nodes or target >= max_nodes:
+            continue
+        lines.append(f'  n{source} -> n{target} [label="{data["property"]}"];')
+    lines.append("}")
+    return "\n".join(lines)

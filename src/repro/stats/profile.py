@@ -1,0 +1,88 @@
+"""RunProfile: everything measured about one execution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.stats.counters import (
+    CATEGORY_IC_MISS,
+    MISS_GLOBAL,
+    MISS_HANDLER,
+    MISS_OTHER,
+    Counters,
+)
+
+
+@dataclass
+class RunProfile:
+    """Measurements from one guest execution (Initial, Conventional Reuse,
+    or RIC Reuse).  This is what the experiment harness consumes."""
+
+    name: str
+    mode: str  # "initial" | "reuse-conventional" | "reuse-ric" | custom
+    counters: Counters
+    wall_time_ms: float
+    heap_bytes: int
+    console_output: list[str] = field(default_factory=list)
+    scripts: list[str] = field(default_factory=list)
+    code_cache_hits: int = 0
+    code_cache_misses: int = 0
+
+    # -- convenience views over the counters ---------------------------------
+
+    @property
+    def total_instructions(self) -> int:
+        return self.counters.total_instructions
+
+    @property
+    def modeled_time_ms(self) -> float:
+        """Execution time under the documented cost model (Figure 9's
+        metric in this reproduction; ``wall_time_ms`` is the host-side
+        Python time, reported for transparency)."""
+        from repro.interpreter.cost_model import modeled_time_ms
+
+        return modeled_time_ms(self.counters.instructions)
+
+    @property
+    def ic_miss_rate(self) -> float:
+        return self.counters.ic_miss_rate
+
+    @property
+    def ic_miss_rate_pct(self) -> float:
+        return 100.0 * self.counters.ic_miss_rate
+
+    @property
+    def ic_miss_handling_fraction(self) -> float:
+        return self.counters.ic_miss_handling_fraction
+
+    @property
+    def miss_breakdown_pct(self) -> dict[str, float]:
+        """Table 4's Handler/Global/Other columns, in percent of accesses."""
+        return {
+            reason: 100.0 * self.counters.miss_rate_contribution(reason)
+            for reason in (MISS_HANDLER, MISS_GLOBAL, MISS_OTHER)
+        }
+
+    def summary(self) -> dict:
+        """Flat summary used by reports and EXPERIMENTS.md generation."""
+        counters = self.counters
+        return {
+            "name": self.name,
+            "mode": self.mode,
+            "wall_time_ms": self.wall_time_ms,
+            "total_instructions": counters.total_instructions,
+            "ic_miss_instructions": counters.instructions[CATEGORY_IC_MISS],
+            "ic_miss_handling_fraction": counters.ic_miss_handling_fraction,
+            "ic_accesses": counters.ic_accesses,
+            "ic_hits": counters.ic_hits,
+            "ic_misses": counters.ic_misses,
+            "ic_miss_rate_pct": 100.0 * counters.ic_miss_rate,
+            "miss_breakdown_pct": self.miss_breakdown_pct,
+            "hidden_classes_created": counters.hidden_classes_created,
+            "handlers_generated": counters.handlers_generated,
+            "ci_handler_fraction": counters.context_independent_handler_fraction,
+            "ric_preloads": counters.ric_preloads,
+            "ric_validations": counters.ric_validations,
+            "preloaded_hits": counters.ic_hits_on_preloaded,
+            "heap_bytes": self.heap_bytes,
+        }

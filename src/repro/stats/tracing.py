@@ -1,0 +1,104 @@
+"""Structured tracing of IC and RIC events.
+
+A :class:`Tracer` attached to an execution records the interesting events —
+IC misses, handler generation, hidden-class creation, RIC validations,
+preloads, divergences — as structured entries.  IC *hits* are not traced
+(they are the hot path and would swamp the trace), except hits on preloaded
+slots, which are the misses RIC averted and therefore the most interesting
+event of a Reuse run.
+
+Used by tests to assert fine-grained behaviour and by ``examples/`` to
+show the machinery working; attach via ``Engine.run(..., tracer=Tracer())``.
+"""
+
+from __future__ import annotations
+
+import typing
+from collections import Counter as _Counter
+from dataclasses import dataclass, field
+
+#: Event kinds.
+IC_MISS = "ic_miss"
+HANDLER_GENERATED = "handler_generated"
+HC_CREATED = "hc_created"
+RIC_VALIDATED = "ric_validated"
+RIC_PRELOADED = "ric_preloaded"
+RIC_DIVERGENCE = "ric_divergence"
+PRELOADED_HIT = "preloaded_hit"
+SITE_MEGAMORPHIC = "site_megamorphic"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced event.
+
+    ``site_key`` / ``hc_index`` / ``detail`` are populated when meaningful
+    for the event kind; ``sequence`` is a monotonically increasing index
+    within the execution.
+    """
+
+    sequence: int
+    kind: str
+    site_key: str | None = None
+    hc_index: int | None = None
+    detail: str = ""
+
+    def __str__(self) -> str:
+        parts = [f"#{self.sequence:<5d} {self.kind:18s}"]
+        if self.site_key is not None:
+            parts.append(f"site={self.site_key}")
+        if self.hc_index is not None:
+            parts.append(f"hc=#{self.hc_index}")
+        if self.detail:
+            parts.append(self.detail)
+        return " ".join(parts)
+
+
+@dataclass
+class Tracer:
+    """Collects :class:`TraceEvent` entries for one execution."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+    #: Optional allow-list of kinds; None traces everything.
+    kinds: typing.Optional[set] = None
+
+    def emit(
+        self,
+        kind: str,
+        site_key: str | None = None,
+        hc_index: int | None = None,
+        detail: str = "",
+    ) -> None:
+        if self.kinds is not None and kind not in self.kinds:
+            return
+        self.events.append(
+            TraceEvent(
+                sequence=len(self.events),
+                kind=kind,
+                site_key=site_key,
+                hc_index=hc_index,
+                detail=detail,
+            )
+        )
+
+    # -- queries -----------------------------------------------------------
+
+    def by_kind(self, kind: str) -> list[TraceEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+    def count(self, kind: str) -> int:
+        return sum(1 for event in self.events if event.kind == kind)
+
+    def summary(self) -> dict[str, int]:
+        return dict(_Counter(event.kind for event in self.events))
+
+    def for_site(self, site_key: str) -> list[TraceEvent]:
+        return [event for event in self.events if event.site_key == site_key]
+
+    def render(self, limit: int | None = None) -> str:
+        """Human-readable trace listing."""
+        events = self.events if limit is None else self.events[:limit]
+        lines = [str(event) for event in events]
+        if limit is not None and len(self.events) > limit:
+            lines.append(f"... {len(self.events) - limit} more events")
+        return "\n".join(lines)

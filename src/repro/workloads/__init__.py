@@ -1,0 +1,90 @@
+"""The seven synthetic library workloads (paper Table 3) and the two
+synthetic websites (paper §6).
+
+Each workload mimics the *initialization pattern* of one of the paper's
+libraries — the object-shape and access-site structure, not the feature
+set — so that the IC statistics RIC exploits (Table 1) come out with the
+same signatures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads import (
+    angularlike,
+    camanlike,
+    handlebarslike,
+    jquerylike,
+    jsfeatlike,
+    reactlike,
+    underscorelike,
+)
+from repro.workloads.websites import (
+    WEBSITE_A_ORDER,
+    WEBSITE_B_ORDER,
+    website_a,
+    website_b,
+    website_scripts,
+)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One library workload: its name, jsl source and description."""
+
+    name: str
+    source: str
+    description: str
+
+    @property
+    def filename(self) -> str:
+        return f"{self.name}.jsl"
+
+    def scripts(self) -> list[tuple[str, str]]:
+        return [(self.filename, self.source)]
+
+
+_MODULES = [
+    angularlike,
+    camanlike,
+    handlebarslike,
+    jquerylike,
+    jsfeatlike,
+    reactlike,
+    underscorelike,
+]
+
+#: Registry, in the paper's (alphabetical) table order.
+WORKLOADS: dict[str, Workload] = {
+    module.NAME: Workload(
+        name=module.NAME, source=module.SOURCE, description=module.DESCRIPTION
+    )
+    for module in _MODULES
+}
+
+#: Paper Table 3 order.
+WORKLOAD_NAMES = list(WORKLOADS)
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a workload by name (KeyError lists the valid names)."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {', '.join(WORKLOADS)}"
+        ) from None
+
+
+__all__ = [
+    "WEBSITE_A_ORDER",
+    "WEBSITE_B_ORDER",
+    "WORKLOADS",
+    "WORKLOAD_NAMES",
+    "Workload",
+    "get_workload",
+    "website_a",
+    "website_b",
+    "website_scripts",
+]

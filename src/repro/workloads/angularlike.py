@@ -1,0 +1,438 @@
+'''Angular-like workload: module system and dependency injection.
+
+Initialization pattern mimicked: module registration, provider recipes
+stored as config objects, an injector instantiating singletons through a
+dependency graph, directive/filter registries, and a digest-cycle warmup
+over scope objects.
+'''
+
+NAME = "angularlike"
+DESCRIPTION = "MVC framework: modules, DI container, directives, digest loop"
+
+SOURCE = r"""
+// angular-like framework initialization (IIFE module pattern)
+var angular = (function () {
+var angular = {};
+angular.modules = {};
+angular.injectorCache = {};
+
+function Module(name, requires) {
+  this.name = name;
+  this.requires = requires;
+  this.providers = [];
+  this.directives = [];
+  this.filters = [];
+  this.runBlocks = [];
+  this.configBlocks = [];
+}
+
+Module.prototype.provider = function (name, recipe) {
+  var entry = {};
+  entry.name = name;
+  entry.recipe = recipe;
+  entry.kind = "provider";
+  entry.eager = false;
+  this.providers.push(entry);
+  return this;
+};
+
+Module.prototype.factory = function (name, deps, fn) {
+  var entry = {};
+  entry.name = name;
+  entry.recipe = { deps: deps, build: fn };
+  entry.kind = "factory";
+  entry.eager = false;
+  this.providers.push(entry);
+  return this;
+};
+
+Module.prototype.service = function (name, deps, ctor) {
+  var entry = {};
+  entry.name = name;
+  entry.recipe = { deps: deps, build: ctor };
+  entry.kind = "service";
+  entry.eager = false;
+  this.providers.push(entry);
+  return this;
+};
+
+Module.prototype.value = function (name, value) {
+  var entry = {};
+  entry.name = name;
+  entry.recipe = { deps: [], build: null, value: value };
+  entry.kind = "value";
+  entry.eager = true;
+  this.providers.push(entry);
+  return this;
+};
+
+Module.prototype.directive = function (name, fn) {
+  this.directives.push({ name: name, compile: fn, restrict: "EA", priority: 0 });
+  return this;
+};
+
+Module.prototype.filter = function (name, fn) {
+  this.filters.push({ name: name, transform: fn });
+  return this;
+};
+
+Module.prototype.run = function (fn) {
+  this.runBlocks.push(fn);
+  return this;
+};
+
+Module.prototype.config = function (fn) {
+  this.configBlocks.push(fn);
+  return this;
+};
+
+angular.module = function (name, requires) {
+  if (requires === undefined) { return angular.modules[name]; }
+  var mod = new Module(name, requires);
+  angular.modules[name] = mod;
+  return mod;
+};
+
+// ---- the injector -----------------------------------------------------------
+function Injector(modules) {
+  this.instances = {};
+  this.recipes = {};
+  this.pending = {};
+  this.filterTable = {};
+  this.directiveTable = {};
+  for (var i = 0; i < modules.length; i++) {
+    this.installModule(modules[i]);
+  }
+}
+
+Injector.prototype.installModule = function (mod) {
+  for (var p = 0; p < mod.providers.length; p++) {
+    var entry = mod.providers[p];
+    this.recipes[entry.name] = entry;
+  }
+  for (var d = 0; d < mod.directives.length; d++) {
+    var dir = mod.directives[d];
+    this.directiveTable[dir.name] = dir;
+  }
+  for (var f = 0; f < mod.filters.length; f++) {
+    var filt = mod.filters[f];
+    this.filterTable[filt.name] = filt;
+  }
+};
+
+Injector.prototype.get = function (name) {
+  if (this.instances.hasOwnProperty(name)) { return this.instances[name]; }
+  if (this.pending[name]) { throw new Error("circular dependency: " + name); }
+  var entry = this.recipes[name];
+  if (entry === undefined) { throw new Error("unknown provider: " + name); }
+  this.pending[name] = true;
+  var instance;
+  if (entry.kind === "value") {
+    instance = entry.recipe.value;
+  } else {
+    var deps = entry.recipe.deps;
+    var resolved = [];
+    for (var i = 0; i < deps.length; i++) { resolved.push(this.get(deps[i])); }
+    instance = entry.recipe.build.apply(null, resolved);
+  }
+  this.pending[name] = false;
+  this.instances[name] = instance;
+  return instance;
+};
+
+// ---- scopes and digest --------------------------------------------------------
+function Scope(parent, id) {
+  this.id = id;
+  this.parent = parent;
+  this.watchers = [];
+  this.children = [];
+  this.model = {};
+  this.dirty = false;
+}
+
+Scope.prototype.watch = function (key, listener) {
+  this.watchers.push({ key: key, listener: listener, last: undefined });
+};
+
+Scope.prototype.set = function (key, value) {
+  this.model[key] = value;
+  this.dirty = true;
+};
+
+Scope.prototype.digestOnce = function () {
+  var changed = 0;
+  for (var w = 0; w < this.watchers.length; w++) {
+    var watcher = this.watchers[w];
+    var current = this.model[watcher.key];
+    if (current !== watcher.last) {
+      watcher.listener(current, watcher.last);
+      watcher.last = current;
+      changed++;
+    }
+  }
+  for (var c = 0; c < this.children.length; c++) {
+    changed += this.children[c].digestOnce();
+  }
+  return changed;
+};
+
+Scope.prototype.newChild = function (id) {
+  var child = new Scope(this, id);
+  this.children.push(child);
+  return child;
+};
+
+// ---- scope events ($on / $emit / $broadcast) --------------------------------
+Scope.prototype.listeners = null;
+
+Scope.prototype.on = function (eventName, handler) {
+  if (this.eventTable === undefined) { this.eventTable = {}; }
+  if (this.eventTable[eventName] === undefined) { this.eventTable[eventName] = []; }
+  this.eventTable[eventName].push(handler);
+};
+
+Scope.prototype.emit = function (eventName, payload) {
+  // bubbles up toward the root
+  var current = this;
+  var delivered = 0;
+  while (current !== null) {
+    if (current.eventTable !== undefined && current.eventTable[eventName] !== undefined) {
+      var handlers = current.eventTable[eventName];
+      for (var h = 0; h < handlers.length; h++) {
+        handlers[h]({ name: eventName, targetScope: this, currentScope: current }, payload);
+        delivered++;
+      }
+    }
+    current = current.parent;
+  }
+  return delivered;
+};
+
+Scope.prototype.broadcast = function (eventName, payload) {
+  // propagates down the tree
+  var delivered = 0;
+  if (this.eventTable !== undefined && this.eventTable[eventName] !== undefined) {
+    var handlers = this.eventTable[eventName];
+    for (var h = 0; h < handlers.length; h++) {
+      handlers[h]({ name: eventName, targetScope: this, currentScope: this }, payload);
+      delivered++;
+    }
+  }
+  for (var c = 0; c < this.children.length; c++) {
+    delivered += this.children[c].broadcast(eventName, payload);
+  }
+  return delivered;
+};
+
+// ---- the $interpolate-style service -----------------------------------------
+function Interpolator(openDelim, closeDelim) {
+  this.open = openDelim;
+  this.close = closeDelim;
+  this.compiled = {};
+  this.compileCount = 0;
+}
+
+Interpolator.prototype.compile = function (template) {
+  var cached = this.compiled[template];
+  if (cached !== undefined) { return cached; }
+  this.compileCount++;
+  var parts = [];
+  var index = 0;
+  while (index < template.length) {
+    var start = template.indexOf(this.open, index);
+    if (start < 0) {
+      parts.push({ kind: "text", text: template.substring(index) });
+      break;
+    }
+    if (start > index) {
+      parts.push({ kind: "text", text: template.substring(index, start) });
+    }
+    var end = template.indexOf(this.close, start);
+    parts.push({
+      kind: "expr",
+      path: template.substring(start + this.open.length, end).trim()
+    });
+    index = end + this.close.length;
+  }
+  var interpolator = this;
+  var fn = function (context) {
+    var out = "";
+    for (var p = 0; p < parts.length; p++) {
+      var part = parts[p];
+      if (part.kind === "text") { out += part.text; }
+      else {
+        var v = context[part.path];
+        out += v === undefined ? "" : v;
+      }
+    }
+    return out;
+  };
+  this.compiled[template] = fn;
+  return fn;
+};
+
+// ---- build the application ------------------------------------------------------
+var core = angular.module("core", []);
+core.value("appName", "ric-demo");
+core.value("version", "1.0");
+core.factory("logger", [], function () {
+  var buffer = [];
+  return {
+    log: function (msg) { buffer.push(msg); },
+    count: function () { return buffer.length; }
+  };
+});
+core.factory("http", ["logger"], function (logger) {
+  return {
+    pending: [],
+    get: function (url) {
+      logger.log("GET " + url);
+      return { url: url, status: 200, data: null };
+    }
+  };
+});
+core.service("store", ["logger"], function (logger) {
+  var data = {};
+  return {
+    put: function (k, v) { data[k] = v; logger.log("put " + k); },
+    get: function (k) { return data[k]; }
+  };
+});
+core.factory("i18n", [], function () {
+  var table = { hello: "Hello", bye: "Goodbye", items: "Items", empty: "Nothing here" };
+  return { t: function (k) { var v = table[k]; return v === undefined ? k : v; } };
+});
+
+var widgets = angular.module("widgets", ["core"]);
+widgets.directive("appHeader", function (scope) { return "<header>" + scope.id + "</header>"; });
+widgets.directive("appFooter", function (scope) { return "<footer/>"; });
+widgets.directive("appList", function (scope) { return "<ul/>"; });
+widgets.directive("appItem", function (scope) { return "<li/>"; });
+widgets.filter("uppercase", function (s) { return String(s).toUpperCase(); });
+widgets.filter("lowercase", function (s) { return String(s).toLowerCase(); });
+widgets.filter("reverse", function (s) {
+  var text = String(s);
+  var out = "";
+  for (var i = text.length - 1; i >= 0; i--) { out += text.charAt(i); }
+  return out;
+});
+
+core.factory("interpolate", [], function () {
+  return new Interpolator("{{", "}}");
+});
+core.value("config", { debug: false, locale: "en", pageSize: 25 });
+core.factory("cache", [], function () {
+  var entries = {};
+  var hits = 0;
+  return {
+    put: function (k, v) { entries[k] = v; },
+    get: function (k) { if (entries[k] !== undefined) { hits++; } return entries[k]; },
+    stats: function () { return { hits: hits }; }
+  };
+});
+
+widgets.directive("appModal", function (scope) { return "<modal/>"; });
+widgets.directive("appTabs", function (scope) { return "<tabs/>"; });
+widgets.directive("appBadge", function (scope) { return "<badge/>"; });
+widgets.filter("currency", function (n) { return "$" + Number(n).toFixed(2); });
+widgets.filter("limitTo", function (s) { return String(s).substring(0, 5); });
+
+var app = angular.module("app", ["core", "widgets"]);
+app.factory("session", ["store", "i18n"], function (store, i18n) {
+  store.put("greeting", i18n.t("hello"));
+  return { user: "anon", greeting: store.get("greeting") };
+});
+app.run(function (injector) {
+  var logger = injector.get("logger");
+  logger.log("app started");
+});
+
+// bootstrap: create the injector and eagerly instantiate everything
+var injector = new Injector([core, widgets, app]);
+angular.injectorCache.app = injector;
+var names = ["appName", "version", "logger", "http", "store", "i18n", "session"];
+var instances = [];
+for (var n = 0; n < names.length; n++) {
+  instances.push(injector.get(names[n]));
+}
+for (var r = 0; r < app.runBlocks.length; r++) {
+  app.runBlocks[r](injector);
+}
+
+// warm up the digest cycle over a small scope tree
+var rootScope = new Scope(null, 0);
+var scopeSeq = 1;
+for (var s = 0; s < 2; s++) {
+  var child = rootScope.newChild(scopeSeq++);
+  child.newChild(scopeSeq++);
+}
+var fired = 0;
+rootScope.watch("user", function (now, old) { fired++; });
+for (var c2 = 0; c2 < rootScope.children.length; c2++) {
+  rootScope.children[c2].watch("items", function (now, old) { fired++; });
+  rootScope.children[c2].set("items", c2);
+}
+rootScope.set("user", "alice");
+var rounds = 0;
+while (rootScope.digestOnce() > 0 && rounds < 10) { rounds++; }
+
+// introspection pass: reads provider/directive/filter entries at fresh sites
+function describeModule(mod) {
+  var parts = [mod.name, "deps:" + mod.requires.length];
+  for (var p = 0; p < mod.providers.length; p++) {
+    var entry = mod.providers[p];
+    parts.push(entry.kind + ":" + entry.name + (entry.eager ? "!" : ""));
+  }
+  for (var d = 0; d < mod.directives.length; d++) {
+    var dir = mod.directives[d];
+    parts.push("dir:" + dir.name + "/" + dir.restrict + "/" + dir.priority);
+  }
+  for (var f = 0; f < mod.filters.length; f++) {
+    parts.push("filter:" + mod.filters[f].name);
+  }
+  return parts.join(",");
+}
+
+var manifest = [];
+for (var modName in angular.modules) {
+  manifest.push(describeModule(angular.modules[modName]));
+}
+
+// event-system warmup
+var eventsSeen = [];
+rootScope.on("app:start", function (event, payload) {
+  eventsSeen.push("root:" + payload);
+});
+rootScope.children[0].on("app:start", function (event, payload) {
+  eventsSeen.push("child:" + payload);
+});
+var emitted = rootScope.children[0].emit("app:start", "up");
+var broadcasted = rootScope.broadcast("app:start", "down");
+
+// interpolation warmup
+var interpolate = injector.get("interpolate");
+var greetTemplate = interpolate.compile("Hello {{user}}, you have {{count}} alerts");
+var greeting2 = greetTemplate({ user: "ada", count: 3 });
+var cachedTemplate = interpolate.compile("Hello {{user}}, you have {{count}} alerts");
+
+var cache = injector.get("cache");
+cache.put("k1", 100);
+cache.get("k1");
+cache.get("k1");
+
+var session = injector.get("session");
+var httpResult = injector.get("http").get("/api/items");
+var banner = injector.get("appName") + " " + injector.get("version");
+console.log(
+  "angular-like ready:",
+  session.greeting === "Hello" && httpResult.status === 200 &&
+  banner === "ric-demo 1.0" && fired >= 3 && rounds >= 1 &&
+  injector.get("logger").count() >= 3 && manifest.length === 3 &&
+  emitted === 2 && broadcasted === 2 &&
+  greeting2 === "Hello ada, you have 3 alerts" &&
+  cachedTemplate === greetTemplate && interpolate.compileCount === 1 &&
+  cache.stats().hits === 2 && injector.get("config").pageSize === 25
+);
+return angular;
+})();
+"""

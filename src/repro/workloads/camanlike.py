@@ -1,0 +1,351 @@
+'''Caman-like workload: image-manipulation library.
+
+Initialization pattern mimicked: a filter registry where each filter is a
+small pixel kernel, a render pipeline applying queued filters over a
+synthetic pixel buffer, and preset/blender tables.  Numeric loops over
+pixels give this workload a higher hit-to-miss ratio than the framework
+libraries (the paper's CamanJS has few hidden classes, 99, and modest
+misses, 383).
+'''
+
+NAME = "camanlike"
+DESCRIPTION = "Image filters: kernel registry, pixel pipeline, presets"
+
+SOURCE = r"""
+// caman-like image manipulation library initialization (IIFE module pattern)
+var Caman = (function () {
+var Caman = {};
+Caman.version = "4.jsl";
+Caman.filters = {};
+Caman.presets = {};
+Caman.blenders = {};
+
+function clamp(v) {
+  if (v < 0) { return 0; }
+  if (v > 255) { return 255; }
+  return v;
+}
+
+Caman.registerFilter = function (name, fn) {
+  Caman.filters[name] = { name: name, apply: fn, uses: 0 };
+};
+
+Caman.registerBlender = function (name, fn) {
+  Caman.blenders[name] = { name: name, blend: fn };
+};
+
+Caman.registerPreset = function (name, steps) {
+  Caman.presets[name] = { name: name, steps: steps };
+};
+
+// ---- pixel kernels ------------------------------------------------------------
+Caman.registerFilter("brightness", function (px, amount) {
+  px.r = clamp(px.r + amount);
+  px.g = clamp(px.g + amount);
+  px.b = clamp(px.b + amount);
+  return px;
+});
+
+Caman.registerFilter("contrast", function (px, amount) {
+  var factor = (amount + 100) / 100;
+  factor = factor * factor;
+  px.r = clamp(((px.r / 255 - 0.5) * factor + 0.5) * 255);
+  px.g = clamp(((px.g / 255 - 0.5) * factor + 0.5) * 255);
+  px.b = clamp(((px.b / 255 - 0.5) * factor + 0.5) * 255);
+  return px;
+});
+
+Caman.registerFilter("greyscale", function (px, amount) {
+  var avg = 0.299 * px.r + 0.587 * px.g + 0.114 * px.b;
+  px.r = avg;
+  px.g = avg;
+  px.b = avg;
+  return px;
+});
+
+Caman.registerFilter("invert", function (px, amount) {
+  px.r = 255 - px.r;
+  px.g = 255 - px.g;
+  px.b = 255 - px.b;
+  return px;
+});
+
+Caman.registerFilter("sepia", function (px, amount) {
+  var adjust = amount / 100;
+  var r = px.r; var g = px.g; var b = px.b;
+  px.r = clamp(r * (1 - 0.607 * adjust) + g * 0.769 * adjust + b * 0.189 * adjust);
+  px.g = clamp(r * 0.349 * adjust + g * (1 - 0.314 * adjust) + b * 0.168 * adjust);
+  px.b = clamp(r * 0.272 * adjust + g * 0.534 * adjust + b * (1 - 0.869 * adjust));
+  return px;
+});
+
+Caman.registerFilter("saturation", function (px, amount) {
+  var adjust = amount * -0.01;
+  var max = Math.max(px.r, Math.max(px.g, px.b));
+  if (px.r !== max) { px.r = px.r + (max - px.r) * adjust; }
+  if (px.g !== max) { px.g = px.g + (max - px.g) * adjust; }
+  if (px.b !== max) { px.b = px.b + (max - px.b) * adjust; }
+  return px;
+});
+
+Caman.registerFilter("gamma", function (px, amount) {
+  px.r = Math.pow(px.r / 255, amount) * 255;
+  px.g = Math.pow(px.g / 255, amount) * 255;
+  px.b = Math.pow(px.b / 255, amount) * 255;
+  return px;
+});
+
+Caman.registerFilter("noiseFloor", function (px, amount) {
+  if (px.r < amount) { px.r = amount; }
+  if (px.g < amount) { px.g = amount; }
+  if (px.b < amount) { px.b = amount; }
+  return px;
+});
+
+Caman.registerFilter("hue", function (px, amount) {
+  var shift = amount / 100;
+  var r = px.r;
+  px.r = clamp(r * (1 - shift) + px.g * shift);
+  px.g = clamp(px.g * (1 - shift) + px.b * shift);
+  px.b = clamp(px.b * (1 - shift) + r * shift);
+  return px;
+});
+
+Caman.registerFilter("vibrance", function (px, amount) {
+  var avg = (px.r + px.g + px.b) / 3;
+  var max = Math.max(px.r, Math.max(px.g, px.b));
+  var amt = ((Math.abs(max - avg) * 2 / 255) * amount) / 100;
+  if (px.r !== max) { px.r = clamp(px.r + (max - px.r) * amt); }
+  if (px.g !== max) { px.g = clamp(px.g + (max - px.g) * amt); }
+  if (px.b !== max) { px.b = clamp(px.b + (max - px.b) * amt); }
+  return px;
+});
+
+Caman.registerFilter("exposure", function (px, amount) {
+  var factor = Math.pow(2, amount / 100);
+  px.r = clamp(px.r * factor);
+  px.g = clamp(px.g * factor);
+  px.b = clamp(px.b * factor);
+  return px;
+});
+
+Caman.registerFilter("channels", function (px, amount) {
+  px.r = clamp(px.r + amount);
+  px.b = clamp(px.b - amount);
+  return px;
+});
+
+// ---- blenders -------------------------------------------------------------------
+Caman.registerBlender("normal", function (a, b) { return b; });
+Caman.registerBlender("multiply", function (a, b) { return (a * b) / 255; });
+Caman.registerBlender("screen", function (a, b) { return 255 - ((255 - a) * (255 - b)) / 255; });
+Caman.registerBlender("overlay", function (a, b) {
+  return a < 128 ? (2 * a * b) / 255 : 255 - (2 * (255 - a) * (255 - b)) / 255;
+});
+
+// ---- presets --------------------------------------------------------------------
+Caman.registerPreset("vintage", [
+  { filter: "greyscale", amount: 0 },
+  { filter: "contrast", amount: 5 },
+  { filter: "sepia", amount: 100 },
+  { filter: "brightness", amount: 10 }
+]);
+Caman.registerPreset("lomo", [
+  { filter: "brightness", amount: 15 },
+  { filter: "saturation", amount: -20 },
+  { filter: "gamma", amount: 1.8 }
+]);
+Caman.registerPreset("clarity", [
+  { filter: "contrast", amount: 20 },
+  { filter: "noiseFloor", amount: 8 },
+  { filter: "brightness", amount: 5 }
+]);
+
+Caman.registerPreset("sunrise", [
+  { filter: "exposure", amount: 15 },
+  { filter: "channels", amount: 12 },
+  { filter: "vibrance", amount: 30 }
+]);
+Caman.registerPreset("crossProcess", [
+  { filter: "exposure", amount: 5 },
+  { filter: "hue", amount: 10 },
+  { filter: "contrast", amount: 8 },
+  { filter: "channels", amount: -6 }
+]);
+
+// ---- layers: a stack of blend operations over a base image ------------------------
+function Layer(name, mode, opacity) {
+  this.name = name;
+  this.mode = mode;
+  this.opacity = opacity;
+  this.applied = false;
+}
+
+function LayerStack(base) {
+  this.base = base;
+  this.layers = [];
+}
+
+LayerStack.prototype.add = function (name, mode, opacity) {
+  this.layers.push(new Layer(name, mode, opacity));
+  return this;
+};
+
+LayerStack.prototype.flatten = function (other) {
+  for (var i = 0; i < this.layers.length; i++) {
+    var layer = this.layers[i];
+    this.base.blendWith(other, layer.mode);
+    layer.applied = true;
+  }
+  return this.base;
+};
+
+LayerStack.prototype.describe = function () {
+  var parts = [];
+  for (var i = 0; i < this.layers.length; i++) {
+    var layer = this.layers[i];
+    parts.push(layer.name + "/" + layer.mode + "@" + layer.opacity +
+               (layer.applied ? "!" : "?"));
+  }
+  return parts.join(",");
+};
+
+// ---- the rendering pipeline ------------------------------------------------------
+function CamanInstance(width, height) {
+  this.width = width;
+  this.height = height;
+  this.pixels = [];
+  this.queue = [];
+  this.renderedPasses = 0;
+  var seed = 7;
+  for (var i = 0; i < width * height; i++) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    var px = {};
+    px.r = seed % 256;
+    px.g = (seed >> 8) % 256;
+    px.b = (seed >> 16) % 128 + 64;
+    px.a = 255;
+    this.pixels.push(px);
+  }
+}
+
+CamanInstance.prototype.enqueue = function (filterName, amount) {
+  this.queue.push({ filter: filterName, amount: amount });
+  return this;
+};
+
+CamanInstance.prototype.preset = function (name) {
+  var preset = Caman.presets[name];
+  for (var i = 0; i < preset.steps.length; i++) {
+    var step = preset.steps[i];
+    this.enqueue(step.filter, step.amount);
+  }
+  return this;
+};
+
+CamanInstance.prototype.render = function () {
+  for (var q = 0; q < this.queue.length; q++) {
+    var job = this.queue[q];
+    var entry = Caman.filters[job.filter];
+    entry.uses = entry.uses + 1;
+    var kernel = entry.apply;
+    for (var p = 0; p < this.pixels.length; p++) {
+      kernel(this.pixels[p], job.amount);
+    }
+    this.renderedPasses++;
+  }
+  this.queue = [];
+  return this;
+};
+
+CamanInstance.prototype.histogram = function () {
+  var buckets = [0, 0, 0, 0, 0, 0, 0, 0];
+  for (var p = 0; p < this.pixels.length; p++) {
+    var px = this.pixels[p];
+    var luma = (px.r + px.g + px.b) / 3;
+    var bucket = Math.floor(luma / 32);
+    if (bucket > 7) { bucket = 7; }
+    buckets[bucket] = buckets[bucket] + 1;
+  }
+  return buckets;
+};
+
+CamanInstance.prototype.blendWith = function (other, mode) {
+  var blender = Caman.blenders[mode].blend;
+  var n = Math.min(this.pixels.length, other.pixels.length);
+  for (var i = 0; i < n; i++) {
+    var a = this.pixels[i];
+    var b = other.pixels[i];
+    a.r = clamp(blender(a.r, b.r));
+    a.g = clamp(blender(a.g, b.g));
+    a.b = clamp(blender(a.b, b.b));
+  }
+  return this;
+};
+
+// ---- initialization work: calibrate each kernel on a probe pixel, then a
+// ---- tiny smoke render (real CamanJS defers pixel work past initialization)
+var filterCount = 0;
+var calibrated = 0;
+for (var fname in Caman.filters) {
+  filterCount++;
+  var probe = { r: 120, g: 80, b: 200, a: 255 };
+  var entry = Caman.filters[fname];
+  entry.apply(probe, 10);
+  if (probe.r >= 0 && probe.r <= 255) { calibrated++; }
+}
+var blenderCount = 0;
+for (var bname in Caman.blenders) {
+  blenderCount++;
+  var blended = Caman.blenders[bname].blend(64, 192);
+  if (blended < 0) { blenderCount = -1000; }
+}
+// registry audit: reads filter/preset/blender entries at fresh sites
+function describePipeline() {
+  var parts = [];
+  for (var fn2 in Caman.filters) {
+    var filterEntry = Caman.filters[fn2];
+    parts.push(filterEntry.name + "(" + filterEntry.uses + ")");
+  }
+  for (var pn in Caman.presets) {
+    var presetEntry = Caman.presets[pn];
+    var steps = presetEntry.steps;
+    var names = [];
+    for (var s = 0; s < steps.length; s++) {
+      names.push(steps[s].filter + "@" + steps[s].amount);
+    }
+    parts.push(presetEntry.name + "[" + names.join("|") + "]");
+  }
+  return parts.join(";");
+}
+
+var pipelineDescription = describePipeline();
+var image = new CamanInstance(2, 1);
+image.preset("vintage").render();
+var other = new CamanInstance(2, 1);
+other.preset("lomo").render();
+image.blendWith(other, "overlay");
+var stack = new LayerStack(image);
+stack.add("warm", "multiply", 0.8).add("glow", "screen", 0.4);
+stack.flatten(other);
+var layerReport = stack.describe();
+
+var sunriseProbe = new CamanInstance(2, 1);
+sunriseProbe.preset("sunrise").render();
+var crossProbe = new CamanInstance(2, 1);
+crossProbe.preset("crossProcess").render();
+
+var hist = image.histogram();
+var histTotal = 0;
+for (var hb = 0; hb < hist.length; hb++) { histTotal += hist[hb]; }
+console.log(
+  "caman-like ready:",
+  histTotal === 2 && filterCount === 12 && calibrated === 12 &&
+  blenderCount === 4 && image.renderedPasses === 4 && other.renderedPasses === 3 &&
+  pipelineDescription.length > 40 &&
+  layerReport === "warm/multiply@0.8!,glow/screen@0.4!" &&
+  sunriseProbe.renderedPasses === 3 && crossProbe.renderedPasses === 4
+);
+return Caman;
+})();
+"""

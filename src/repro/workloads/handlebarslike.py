@@ -1,0 +1,342 @@
+'''Handlebars-like workload: client-side template engine.
+
+Initialization pattern mimicked: a tokenizer over template strings, an AST
+of several node kinds (each an object-literal shape), a compiler emitting
+opcode objects, helper registration, and rendering a few templates against
+context objects.
+'''
+
+NAME = "handlebarslike"
+DESCRIPTION = "Template engine: tokenizer, AST, compiler, helpers, render"
+
+SOURCE = r"""
+// handlebars-like template engine initialization (IIFE module pattern)
+var Handlebars = (function () {
+var Handlebars = {};
+Handlebars.helpers = {};
+Handlebars.partials = {};
+Handlebars.templateCache = {};
+Handlebars.compileCount = 0;
+
+Handlebars.registerHelper = function (name, fn) {
+  Handlebars.helpers[name] = { name: name, fn: fn, builtin: false };
+};
+
+Handlebars.registerPartial = function (name, template) {
+  Handlebars.partials[name] = { name: name, source: template };
+};
+
+// ---- tokenizer -------------------------------------------------------------
+function tokenize(template) {
+  var tokens = [];
+  var i = 0;
+  var buffer = "";
+  while (i < template.length) {
+    var ch = template.charAt(i);
+    if (ch === "{" && template.charAt(i + 1) === "{") {
+      if (buffer.length > 0) {
+        tokens.push({ kind: "text", value: buffer, pos: i - buffer.length });
+        buffer = "";
+      }
+      var end = template.indexOf("}}", i);
+      var inner = template.substring(i + 2, end);
+      var trimmed = inner.trim();
+      if (trimmed.charAt(0) === "!") {
+        tokens.push({ kind: "comment", value: trimmed.substring(1), pos: i });
+      } else if (trimmed.charAt(0) === "#") {
+        tokens.push({ kind: "open", value: trimmed.substring(1), pos: i });
+      } else if (trimmed.charAt(0) === "/") {
+        tokens.push({ kind: "close", value: trimmed.substring(1), pos: i });
+      } else if (trimmed.charAt(0) === ">") {
+        tokens.push({ kind: "partial", value: trimmed.substring(1).trim(), pos: i });
+      } else {
+        tokens.push({ kind: "mustache", value: trimmed, pos: i });
+      }
+      i = end + 2;
+    } else {
+      buffer += ch;
+      i++;
+    }
+  }
+  if (buffer.length > 0) {
+    tokens.push({ kind: "text", value: buffer, pos: template.length - buffer.length });
+  }
+  return tokens;
+}
+
+// ---- parser: several distinct AST node shapes ---------------------------------
+function TextNode(value) {
+  this.kind = "text";
+  this.value = value;
+}
+
+function MustacheNode(path) {
+  this.kind = "mustache";
+  this.path = path.split(".");
+  this.escaped = true;
+}
+
+function BlockNode(helperName, param) {
+  this.kind = "block";
+  this.helper = helperName;
+  this.param = param;
+  this.body = [];
+}
+
+function PartialNode(name) {
+  this.kind = "partial";
+  this.name = name;
+}
+
+function parseTokens(tokens) {
+  var rootBody = [];
+  var stack = [{ body: rootBody, helper: null }];
+  for (var i = 0; i < tokens.length; i++) {
+    var token = tokens[i];
+    var top = stack[stack.length - 1];
+    if (token.kind === "text") {
+      top.body.push(new TextNode(token.value));
+    } else if (token.kind === "mustache") {
+      var node2 = new MustacheNode(token.value);
+      if (token.value.charAt(0) === "&") {
+        node2.escaped = false;
+        node2.path = token.value.substring(1).trim().split(".");
+      }
+      top.body.push(node2);
+    } else if (token.kind === "comment") {
+      // comments compile to nothing
+    } else if (token.kind === "partial") {
+      top.body.push(new PartialNode(token.value));
+    } else if (token.kind === "open") {
+      var parts = token.value.split(" ");
+      var block = new BlockNode(parts[0], parts.length > 1 ? parts[1] : "");
+      top.body.push(block);
+      stack.push({ body: block.body, helper: parts[0] });
+    } else if (token.kind === "close") {
+      if (stack.length < 2) { throw new Error("unbalanced close at " + token.pos); }
+      stack.pop();
+    }
+  }
+  if (stack.length !== 1) { throw new Error("unclosed block"); }
+  return rootBody;
+}
+
+// ---- compiler: emit opcode objects ----------------------------------------------
+function compileBody(body, opcodes) {
+  for (var i = 0; i < body.length; i++) {
+    var node = body[i];
+    if (node.kind === "text") {
+      opcodes.push({ op: "append", operand: node.value, cost: 1 });
+    } else if (node.kind === "mustache") {
+      opcodes.push({ op: "lookup", operand: node.path, cost: 2 });
+      opcodes.push({ op: node.escaped ? "emitEscaped" : "emit", operand: null, cost: 1 });
+    } else if (node.kind === "partial") {
+      opcodes.push({ op: "invokePartial", operand: node.name, cost: 4 });
+    } else if (node.kind === "block") {
+      var inner = [];
+      compileBody(node.body, inner);
+      opcodes.push({ op: "block", operand: { helper: node.helper, param: node.param, program: inner }, cost: 3 });
+    }
+  }
+  return opcodes;
+}
+
+function escapeHtml(value) {
+  var text = "" + value;
+  var out = "";
+  for (var i = 0; i < text.length; i++) {
+    var ch = text.charAt(i);
+    if (ch === "<") { out += "&lt;"; }
+    else if (ch === ">") { out += "&gt;"; }
+    else if (ch === "&") { out += "&amp;"; }
+    else if (ch === "\"") { out += "&quot;"; }
+    else { out += ch; }
+  }
+  return out;
+}
+
+function resolvePath(context, path) {
+  var value = context;
+  for (var i = 0; i < path.length; i++) {
+    if (value === undefined || value === null) { return ""; }
+    value = value[path[i]];
+  }
+  return value === undefined || value === null ? "" : value;
+}
+
+function executeProgram(opcodes, context) {
+  var out = "";
+  var pendingValue = null;
+  for (var i = 0; i < opcodes.length; i++) {
+    var opcode = opcodes[i];
+    if (opcode.op === "append") {
+      out += opcode.operand;
+    } else if (opcode.op === "lookup") {
+      pendingValue = resolvePath(context, opcode.operand);
+    } else if (opcode.op === "emit") {
+      out += pendingValue;
+    } else if (opcode.op === "emitEscaped") {
+      out += escapeHtml(pendingValue);
+    } else if (opcode.op === "invokePartial") {
+      var partial = Handlebars.partials[opcode.operand];
+      if (partial !== undefined) {
+        out += Handlebars.compile(partial.source)(context);
+      }
+    } else if (opcode.op === "block") {
+      var info = opcode.operand;
+      var helper = Handlebars.helpers[info.helper];
+      if (helper !== undefined) {
+        out += helper.fn(resolvePath(context, [info.param]), info.program, context);
+      }
+    }
+  }
+  return out;
+}
+
+Handlebars.compile = function (template) {
+  var cached = Handlebars.templateCache[template];
+  if (cached !== undefined) { return cached; }
+  Handlebars.compileCount++;
+  var ast = parseTokens(tokenize(template));
+  var opcodes = compileBody(ast, []);
+  var renderer = function (context) { return executeProgram(opcodes, context); };
+  Handlebars.templateCache[template] = renderer;
+  return renderer;
+};
+
+// ---- builtin helpers -----------------------------------------------------------
+Handlebars.registerHelper("each", function (items, program, context) {
+  var out = "";
+  if (items instanceof Array) {
+    for (var i = 0; i < items.length; i++) {
+      out += executeProgram(program, items[i]);
+    }
+  }
+  return out;
+});
+
+Handlebars.registerHelper("if", function (value, program, context) {
+  return value ? executeProgram(program, context) : "";
+});
+
+Handlebars.registerHelper("unless", function (value, program, context) {
+  return value ? "" : executeProgram(program, context);
+});
+
+Handlebars.registerHelper("with", function (value, program, context) {
+  return value ? executeProgram(program, value) : "";
+});
+
+Handlebars.registerHelper("repeat", function (value, program, context) {
+  var out = "";
+  var times = Number(value);
+  for (var i = 0; i < times; i++) { out += executeProgram(program, context); }
+  return out;
+});
+
+Handlebars.registerHelper("first", function (value, program, context) {
+  if (value instanceof Array && value.length > 0) {
+    return executeProgram(program, value[0]);
+  }
+  return "";
+});
+
+Handlebars.registerHelper("empty", function (value, program, context) {
+  var isEmpty = value === undefined || value === null ||
+    (value instanceof Array && value.length === 0) || value === "";
+  return isEmpty ? executeProgram(program, context) : "";
+});
+
+// ---- initialization: register partials, compile and render templates -------------
+Handlebars.registerPartial("userCard", "<card>{{name}} ({{role}})</card>");
+Handlebars.registerPartial("footer", "<footer>{{site.title}}</footer>");
+
+var listTemplate =
+  "<h1>{{title}}</h1>{{#each members}}{{> userCard}}{{/each}}{{> footer}}";
+var profileTemplate =
+  "{{#if active}}<b>{{name}}</b> works on {{project.name}}{{/if}}" +
+  "{{#unless active}}<i>inactive</i>{{/unless}}";
+var nestedTemplate =
+  "{{#with project}}{{name}}: {{#each tags}}[{{label}}]{{/each}}{{/with}}";
+
+var renderList = Handlebars.compile(listTemplate);
+var renderProfile = Handlebars.compile(profileTemplate);
+var renderNested = Handlebars.compile(nestedTemplate);
+
+// post-compile audit passes: fresh read sites over token/AST/opcode shapes
+function opcodeStats(opcodes, stats) {
+  for (var i = 0; i < opcodes.length; i++) {
+    var opcode = opcodes[i];
+    stats.count++;
+    stats.cost += opcode.cost;
+    if (opcode.op === "block") {
+      stats.blocks++;
+      opcodeStats(opcode.operand.program, stats);
+    }
+    if (opcode.operand === null) { stats.bare++; }
+  }
+  return stats;
+}
+
+function astDepth(body) {
+  var depth = 1;
+  for (var i = 0; i < body.length; i++) {
+    var node = body[i];
+    if (node.kind === "block") {
+      var inner = 1 + astDepth(node.body);
+      if (inner > depth) { depth = inner; }
+    }
+  }
+  return depth;
+}
+
+var auditTokens = tokenize(listTemplate);
+var auditAst = parseTokens(auditTokens);
+var auditOpcodes = compileBody(auditAst, []);
+var stats = opcodeStats(auditOpcodes, { count: 0, cost: 0, blocks: 0, bare: 0 });
+var depth = astDepth(auditAst);
+var tokenKinds = {};
+for (var tk = 0; tk < auditTokens.length; tk++) {
+  var kind = auditTokens[tk].kind;
+  if (tokenKinds[kind] === undefined) { tokenKinds[kind] = 0; }
+  tokenKinds[kind] = tokenKinds[kind] + 1;
+}
+
+var escaped = Handlebars.compile("{{content}} vs {{&content}}")({
+  content: "<b>bold</b>"
+});
+var commented = Handlebars.compile("a{{! ignore me }}b")({});
+var repeated = Handlebars.compile("{{#repeat times}}x{{/repeat}}")({ times: 3 });
+var firstOf = Handlebars.compile("{{#first users}}{{name}}{{/first}}")({
+  users: [{ name: "ada" }, { name: "bob" }]
+});
+var whenEmpty = Handlebars.compile("{{#empty items}}none{{/empty}}")({ items: [] });
+
+var site = { title: "ric.example" };
+var members = [
+  { name: "ada", role: "eng" },
+  { name: "grace", role: "eng" },
+  { name: "alan", role: "research" }
+];
+var context1 = { title: "Team", members: members, site: site };
+var html1 = renderList(context1);
+
+var context2 = {
+  name: "ada", active: true,
+  project: { name: "engine", tags: [{ label: "vm" }, { label: "ic" }] }
+};
+var html2 = renderProfile(context2);
+var html3 = renderNested(context2);
+
+console.log(
+  "handlebars-like ready:",
+  html1.indexOf("ada") > 0 && html1.indexOf("footer") > 0 &&
+  html2 === "<b>ada</b> works on engine" &&
+  html3 === "engine: [vm][ic]" &&
+  Handlebars.compileCount >= 4 && stats.count > 5 && depth >= 2 && stats.cost > 8 &&
+  escaped === "&lt;b&gt;bold&lt;/b&gt; vs <b>bold</b>" &&
+  commented === "ab" && repeated === "xxx" && firstOf === "ada" && whenEmpty === "none"
+);
+return Handlebars;
+})();
+"""

@@ -1,0 +1,639 @@
+'''jQuery-like workload: DOM manipulation library over a synthetic DOM.
+
+Initialization pattern mimicked: build a small synthetic DOM tree (element
+nodes with attribute/style sub-objects), a wrapper type with a large
+prototype of chainable methods, a selector mini-engine, event registry and
+attribute/CSS hooks tables.  jQuery is the paper's second-largest workload
+(271 hidden classes, 1547 misses).
+'''
+
+NAME = "jquerylike"
+DESCRIPTION = "DOM library: synthetic DOM, chainable wrapper, selector engine"
+
+SOURCE = r"""
+// jquery-like DOM manipulation library initialization (IIFE module pattern)
+var jQuery = (function () {
+
+// ---- a synthetic DOM (the substrate a browser would provide) -----------------
+var domIdCounter = 0;
+
+function DomElement(tag) {
+  this.tagName = tag;
+  this.id = "";
+  this.className = "";
+  this.children = [];
+  this.parent = null;
+  this.attributes = {};
+  this.style = {};
+  this.listeners = {};
+  this.textContent = "";
+  this.uid = ++domIdCounter;
+}
+
+DomElement.prototype.appendChild = function (child) {
+  child.parent = this;
+  this.children.push(child);
+  return child;
+};
+
+DomElement.prototype.setAttribute = function (name, value) {
+  this.attributes[name] = value;
+  if (name === "id") { this.id = value; }
+  if (name === "class") { this.className = value; }
+};
+
+DomElement.prototype.getAttribute = function (name) {
+  var v = this.attributes[name];
+  return v === undefined ? null : v;
+};
+
+DomElement.prototype.hasClass = function (name) {
+  var classes = this.className.split(" ");
+  for (var i = 0; i < classes.length; i++) {
+    if (classes[i] === name) { return true; }
+  }
+  return false;
+};
+
+function createDocument() {
+  var doc = new DomElement("html");
+  var body = doc.appendChild(new DomElement("body"));
+  var header = body.appendChild(new DomElement("div"));
+  header.setAttribute("id", "header");
+  header.setAttribute("class", "container top");
+  var nav = header.appendChild(new DomElement("ul"));
+  nav.setAttribute("class", "nav");
+  var labels = ["home", "docs", "blog"];
+  for (var i = 0; i < labels.length; i++) {
+    var li = nav.appendChild(new DomElement("li"));
+    li.setAttribute("class", "nav-item");
+    var a = li.appendChild(new DomElement("a"));
+    a.setAttribute("href", "/" + labels[i]);
+    a.textContent = labels[i];
+  }
+  var main = body.appendChild(new DomElement("div"));
+  main.setAttribute("id", "main");
+  main.setAttribute("class", "container");
+  for (var s = 0; s < 2; s++) {
+    var section = main.appendChild(new DomElement("section"));
+    section.setAttribute("class", "card");
+    var h2 = section.appendChild(new DomElement("h2"));
+    h2.textContent = "Section " + s;
+    var p = section.appendChild(new DomElement("p"));
+    p.setAttribute("class", "text body");
+    p.textContent = "content " + s;
+  }
+  var footer = body.appendChild(new DomElement("div"));
+  footer.setAttribute("id", "footer");
+  footer.setAttribute("class", "container bottom");
+  return doc;
+}
+
+var document = createDocument();
+
+// ---- the library itself --------------------------------------------------------
+var jQuery = {};
+jQuery.version = "3.jsl";
+jQuery.fn = {};
+jQuery.cssHooks = {};
+jQuery.attrHooks = {};
+jQuery.eventRegistry = [];
+jQuery.readyCallbacks = [];
+
+function walkDom(node, visit) {
+  visit(node);
+  for (var i = 0; i < node.children.length; i++) {
+    walkDom(node.children[i], visit);
+  }
+}
+
+function matchesSelector(node, selector) {
+  var first = selector.charAt(0);
+  if (first === "#") { return node.id === selector.substring(1); }
+  if (first === ".") { return node.hasClass(selector.substring(1)); }
+  return node.tagName === selector;
+}
+
+function querySelectorAll(root, selector) {
+  var found = [];
+  var parts = selector.split(" ");
+  var last = parts[parts.length - 1];
+  walkDom(root, function (node) {
+    if (matchesSelector(node, last)) {
+      // verify ancestors for compound selectors
+      var ok = true;
+      var ancestor = node.parent;
+      for (var p = parts.length - 2; p >= 0; p--) {
+        var matched = false;
+        while (ancestor !== null) {
+          if (matchesSelector(ancestor, parts[p])) { matched = true; break; }
+          ancestor = ancestor.parent;
+        }
+        if (!matched) { ok = false; break; }
+      }
+      if (ok) { found.push(node); }
+    }
+  });
+  return found;
+}
+
+function JQueryWrapper(elements, selector) {
+  this.elements = elements;
+  this.length = elements.length;
+  this.selector = selector;
+  this.prevObject = null;
+}
+
+jQuery.fn.init = function (selector) {
+  var wrapper = new JQueryWrapper(querySelectorAll(document, selector), selector);
+  return wrapper;
+};
+
+var $ = function (selector) { return jQuery.fn.init(selector); };
+
+JQueryWrapper.prototype.each = function (fn) {
+  for (var i = 0; i < this.elements.length; i++) {
+    fn(i, this.elements[i]);
+  }
+  return this;
+};
+
+JQueryWrapper.prototype.addClass = function (name) {
+  return this.each(function (i, el) {
+    if (!el.hasClass(name)) {
+      el.className = el.className.length > 0 ? el.className + " " + name : name;
+    }
+  });
+};
+
+JQueryWrapper.prototype.removeClass = function (name) {
+  return this.each(function (i, el) {
+    var classes = el.className.split(" ");
+    var kept = [];
+    for (var c = 0; c < classes.length; c++) {
+      if (classes[c] !== name && classes[c].length > 0) { kept.push(classes[c]); }
+    }
+    el.className = kept.join(" ");
+  });
+};
+
+JQueryWrapper.prototype.attr = function (name, value) {
+  if (value === undefined) {
+    if (this.elements.length === 0) { return null; }
+    var hook = jQuery.attrHooks[name];
+    var raw = this.elements[0].getAttribute(name);
+    return hook !== undefined ? hook.get(raw) : raw;
+  }
+  return this.each(function (i, el) { el.setAttribute(name, value); });
+};
+
+JQueryWrapper.prototype.css = function (name, value) {
+  if (value === undefined) {
+    if (this.elements.length === 0) { return null; }
+    var hook = jQuery.cssHooks[name];
+    var raw = this.elements[0].style[name];
+    if (raw === undefined) { raw = null; }
+    return hook !== undefined ? hook.get(raw) : raw;
+  }
+  return this.each(function (i, el) { el.style[name] = value; });
+};
+
+JQueryWrapper.prototype.text = function (value) {
+  if (value === undefined) {
+    var out = "";
+    this.each(function (i, el) { out += el.textContent; });
+    return out;
+  }
+  return this.each(function (i, el) { el.textContent = value; });
+};
+
+JQueryWrapper.prototype.on = function (eventName, handler) {
+  return this.each(function (i, el) {
+    if (el.listeners[eventName] === undefined) { el.listeners[eventName] = []; }
+    el.listeners[eventName].push(handler);
+    jQuery.eventRegistry.push({ element: el, event: eventName, handler: handler });
+  });
+};
+
+JQueryWrapper.prototype.trigger = function (eventName) {
+  return this.each(function (i, el) {
+    var handlers = el.listeners[eventName];
+    if (handlers !== undefined) {
+      for (var h = 0; h < handlers.length; h++) {
+        handlers[h]({ type: eventName, target: el, timeStamp: h });
+      }
+    }
+  });
+};
+
+JQueryWrapper.prototype.find = function (selector) {
+  var found = [];
+  this.each(function (i, el) {
+    var sub = querySelectorAll(el, selector);
+    for (var f = 0; f < sub.length; f++) { found.push(sub[f]); }
+  });
+  var wrapper = new JQueryWrapper(found, selector);
+  wrapper.prevObject = this;
+  return wrapper;
+};
+
+JQueryWrapper.prototype.parent = function () {
+  var parents = [];
+  this.each(function (i, el) {
+    if (el.parent !== null) { parents.push(el.parent); }
+  });
+  var wrapper = new JQueryWrapper(parents, "<parent>");
+  wrapper.prevObject = this;
+  return wrapper;
+};
+
+JQueryWrapper.prototype.first = function () {
+  var subset = this.elements.length > 0 ? [this.elements[0]] : [];
+  var wrapper = new JQueryWrapper(subset, this.selector);
+  wrapper.prevObject = this;
+  return wrapper;
+};
+
+JQueryWrapper.prototype.filter = function (selector) {
+  var kept = [];
+  this.each(function (i, el) {
+    if (matchesSelector(el, selector)) { kept.push(el); }
+  });
+  var wrapper = new JQueryWrapper(kept, selector);
+  wrapper.prevObject = this;
+  return wrapper;
+};
+
+JQueryWrapper.prototype.toggleClass = function (name) {
+  return this.each(function (i, el) {
+    if (el.hasClass(name)) {
+      var classes = el.className.split(" ");
+      var kept = [];
+      for (var c = 0; c < classes.length; c++) {
+        if (classes[c] !== name && classes[c].length > 0) { kept.push(classes[c]); }
+      }
+      el.className = kept.join(" ");
+    } else {
+      el.className = el.className.length > 0 ? el.className + " " + name : name;
+    }
+  });
+};
+
+// ---- the long tail of the jQuery API: defined at init, mostly unused on
+// ---- any given page (each definition is a transitioning store) ---------------------
+JQueryWrapper.prototype.html = function (value) {
+  if (value === undefined) { return this.elements.length > 0 ? this.elements[0].textContent : null; }
+  return this.each(function (i, el) { el.textContent = value; });
+};
+JQueryWrapper.prototype.val = function (value) {
+  if (value === undefined) { return this.attr("value"); }
+  return this.attr("value", value);
+};
+JQueryWrapper.prototype.prop = function (name, value) { return this.attr(name, value); };
+JQueryWrapper.prototype.removeAttr = function (name) {
+  return this.each(function (i, el) { delete el.attributes[name]; });
+};
+JQueryWrapper.prototype.show = function () { return this.css("display", "block"); };
+JQueryWrapper.prototype.hide = function () { return this.css("display", "none"); };
+JQueryWrapper.prototype.toggle = function () {
+  return this.each(function (i, el) {
+    el.style.display = el.style.display === "none" ? "block" : "none";
+  });
+};
+JQueryWrapper.prototype.append = function (child) {
+  return this.each(function (i, el) { el.appendChild(child); });
+};
+JQueryWrapper.prototype.empty = function () {
+  return this.each(function (i, el) { el.children = []; });
+};
+JQueryWrapper.prototype.remove = function () {
+  return this.each(function (i, el) {
+    if (el.parent !== null) {
+      var kept = [];
+      for (var c = 0; c < el.parent.children.length; c++) {
+        if (el.parent.children[c] !== el) { kept.push(el.parent.children[c]); }
+      }
+      el.parent.children = kept;
+    }
+  });
+};
+JQueryWrapper.prototype.children = function () {
+  var all = [];
+  this.each(function (i, el) {
+    for (var c = 0; c < el.children.length; c++) { all.push(el.children[c]); }
+  });
+  var wrapper = new JQueryWrapper(all, "<children>");
+  wrapper.prevObject = this;
+  return wrapper;
+};
+JQueryWrapper.prototype.siblings = function () {
+  var all = [];
+  this.each(function (i, el) {
+    if (el.parent === null) { return; }
+    for (var c = 0; c < el.parent.children.length; c++) {
+      if (el.parent.children[c] !== el) { all.push(el.parent.children[c]); }
+    }
+  });
+  var wrapper = new JQueryWrapper(all, "<siblings>");
+  wrapper.prevObject = this;
+  return wrapper;
+};
+JQueryWrapper.prototype.eq = function (index) {
+  var subset = index >= 0 && index < this.elements.length ? [this.elements[index]] : [];
+  var wrapper = new JQueryWrapper(subset, this.selector);
+  wrapper.prevObject = this;
+  return wrapper;
+};
+JQueryWrapper.prototype.last = function () { return this.eq(this.elements.length - 1); };
+JQueryWrapper.prototype.not = function (selector) {
+  var kept = [];
+  this.each(function (i, el) { if (!matchesSelector(el, selector)) { kept.push(el); } });
+  var wrapper = new JQueryWrapper(kept, this.selector);
+  wrapper.prevObject = this;
+  return wrapper;
+};
+JQueryWrapper.prototype.has = function (selector) {
+  var kept = [];
+  this.each(function (i, el) {
+    if (querySelectorAll(el, selector).length > 0) { kept.push(el); }
+  });
+  var wrapper = new JQueryWrapper(kept, this.selector);
+  wrapper.prevObject = this;
+  return wrapper;
+};
+JQueryWrapper.prototype.is = function (selector) {
+  for (var i = 0; i < this.elements.length; i++) {
+    if (matchesSelector(this.elements[i], selector)) { return true; }
+  }
+  return false;
+};
+JQueryWrapper.prototype.index = function () {
+  if (this.elements.length === 0 || this.elements[0].parent === null) { return -1; }
+  var siblings = this.elements[0].parent.children;
+  for (var i = 0; i < siblings.length; i++) {
+    if (siblings[i] === this.elements[0]) { return i; }
+  }
+  return -1;
+};
+JQueryWrapper.prototype.width = function (value) { return this.css("width", value); };
+JQueryWrapper.prototype.height = function (value) { return this.css("height", value); };
+JQueryWrapper.prototype.offset = function () {
+  return { top: 0, left: 0 };
+};
+JQueryWrapper.prototype.position = function () {
+  return { top: 0, left: 0, relative: true };
+};
+JQueryWrapper.prototype.one = function (eventName, handler) {
+  var self = this;
+  var fired = false;
+  return this.on(eventName, function (event) {
+    if (!fired) { fired = true; handler(event); }
+  });
+};
+JQueryWrapper.prototype.off = function (eventName) {
+  return this.each(function (i, el) { el.listeners[eventName] = undefined; });
+};
+JQueryWrapper.prototype.hover = function (over, out) {
+  this.on("mouseenter", over);
+  return this.on("mouseleave", out);
+};
+JQueryWrapper.prototype.focus = function (handler) { return this.on("focus", handler); };
+JQueryWrapper.prototype.blur = function (handler) { return this.on("blur", handler); };
+JQueryWrapper.prototype.click = function (handler) {
+  if (handler === undefined) { return this.trigger("click"); }
+  return this.on("click", handler);
+};
+JQueryWrapper.prototype.data = function (name, value) {
+  return this.attr("data-" + name, value);
+};
+JQueryWrapper.prototype.get = function (index) {
+  return index === undefined ? this.elements : this.elements[index];
+};
+JQueryWrapper.prototype.add = function (selector) {
+  var merged = this.elements.concat(querySelectorAll(document, selector));
+  var wrapper = new JQueryWrapper(merged, this.selector + "," + selector);
+  wrapper.prevObject = this;
+  return wrapper;
+};
+JQueryWrapper.prototype.end = function () {
+  return this.prevObject !== null ? this.prevObject : this;
+};
+JQueryWrapper.prototype.size = function () { return this.length; };
+JQueryWrapper.prototype.toArray = function () { return this.elements.slice(0); };
+JQueryWrapper.prototype.map = function (fn) {
+  var out = [];
+  this.each(function (i, el) { out.push(fn(i, el)); });
+  return out;
+};
+JQueryWrapper.prototype.contents = function () { return this.children(); };
+JQueryWrapper.prototype.closest = function (selector) {
+  var found = [];
+  this.each(function (i, el) {
+    var current = el;
+    while (current !== null) {
+      if (matchesSelector(current, selector)) { found.push(current); break; }
+      current = current.parent;
+    }
+  });
+  var wrapper = new JQueryWrapper(found, selector);
+  wrapper.prevObject = this;
+  return wrapper;
+};
+
+// ---- attribute and CSS hooks tables ------------------------------------------------
+jQuery.attrHooks.href = {
+  get: function (raw) { return raw === null ? null : "https://example.test" + raw; }
+};
+jQuery.attrHooks.tabindex = {
+  get: function (raw) { return raw === null ? -1 : parseInt(raw, 10); }
+};
+jQuery.cssHooks.opacity = {
+  get: function (raw) { return raw === null ? 1 : parseFloat(raw); }
+};
+jQuery.cssHooks.width = {
+  get: function (raw) { return raw === null ? 0 : parseFloat(raw); }
+};
+jQuery.cssHooks.height = {
+  get: function (raw) { return raw === null ? 0 : parseFloat(raw); }
+};
+jQuery.cssHooks.margin = {
+  get: function (raw) { return raw === null ? "0px" : raw; }
+};
+jQuery.attrHooks.checked = {
+  get: function (raw) { return raw === "checked" || raw === "true"; }
+};
+jQuery.attrHooks.disabled = {
+  get: function (raw) { return raw !== null; }
+};
+jQuery.expr = {
+  cacheLength: 50,
+  match: { ID: "#", CLASS: ".", TAG: "*" },
+  find: {},
+  relative: { ">": { dir: "parentNode", first: true }, " ": { dir: "parentNode" } }
+};
+jQuery.support = {
+  boxModel: true, opacity: true, cssFloat: true, checkOn: true,
+  noCloneEvent: true, reliableMarginRight: true
+};
+jQuery.fx = { off: false, interval: 13, speeds: { slow: 600, fast: 200, _default: 400 } };
+
+// ---- Deferred: jQuery's promise-lite (synchronous resolution model) -----------
+function Deferred() {
+  this.state = "pending";
+  this.valueSlot = undefined;
+  this.doneCallbacks = [];
+  this.failCallbacks = [];
+  this.alwaysCallbacks = [];
+}
+
+Deferred.prototype.done = function (fn) {
+  if (this.state === "resolved") { fn(this.valueSlot); }
+  else if (this.state === "pending") { this.doneCallbacks.push(fn); }
+  return this;
+};
+
+Deferred.prototype.fail = function (fn) {
+  if (this.state === "rejected") { fn(this.valueSlot); }
+  else if (this.state === "pending") { this.failCallbacks.push(fn); }
+  return this;
+};
+
+Deferred.prototype.always = function (fn) {
+  if (this.state !== "pending") { fn(this.valueSlot); }
+  else { this.alwaysCallbacks.push(fn); }
+  return this;
+};
+
+Deferred.prototype.resolve = function (value) {
+  if (this.state !== "pending") { return this; }
+  this.state = "resolved";
+  this.valueSlot = value;
+  for (var i = 0; i < this.doneCallbacks.length; i++) { this.doneCallbacks[i](value); }
+  for (var j = 0; j < this.alwaysCallbacks.length; j++) { this.alwaysCallbacks[j](value); }
+  return this;
+};
+
+Deferred.prototype.reject = function (reason) {
+  if (this.state !== "pending") { return this; }
+  this.state = "rejected";
+  this.valueSlot = reason;
+  for (var i = 0; i < this.failCallbacks.length; i++) { this.failCallbacks[i](reason); }
+  for (var j = 0; j < this.alwaysCallbacks.length; j++) { this.alwaysCallbacks[j](reason); }
+  return this;
+};
+
+Deferred.prototype.then = function (onDone) {
+  var next = new Deferred();
+  this.done(function (value) { next.resolve(onDone(value)); });
+  this.fail(function (reason) { next.reject(reason); });
+  return next;
+};
+
+jQuery.Deferred = function () { return new Deferred(); };
+
+jQuery.when = function (deferreds) {
+  var combined = new Deferred();
+  var remaining = deferreds.length;
+  var results = [];
+  if (remaining === 0) { return combined.resolve(results); }
+  for (var i = 0; i < deferreds.length; i++) {
+    (function (index) {
+      deferreds[index].done(function (value) {
+        results[index] = value;
+        remaining--;
+        if (remaining === 0) { combined.resolve(results); }
+      });
+      deferreds[index].fail(function (reason) { combined.reject(reason); });
+    })(i);
+  }
+  return combined;
+};
+
+// a fake ajax built on Deferred (synchronous "network")
+jQuery.ajaxResponses = {};
+jQuery.ajax = function (url) {
+  var deferred = new Deferred();
+  var canned = jQuery.ajaxResponses[url];
+  if (canned !== undefined) { deferred.resolve(canned); }
+  else { deferred.reject({ status: 404, url: url }); }
+  return deferred;
+};
+
+jQuery.ready = function (fn) {
+  jQuery.readyCallbacks.push(fn);
+  fn($);
+};
+
+// ---- initialization: typical page-setup work ----------------------------------------
+var clicks = 0;
+jQuery.ready(function ($) {
+  $(".nav-item").addClass("initialized");
+  $("#header").css("background", "white").css("color", "#333");
+  $(".card").each(function (i, el) { el.style.order = i; });
+  $(".card h2").addClass("title");
+  $("#main .text").addClass("prose");
+  $("a").on("click", function (event) { clicks++; });
+  $("#footer").text("generated footer");
+});
+
+// feature-audit passes: fresh read sites over the DOM element shape
+function outerHtml(node) {
+  var out = "<" + node.tagName;
+  if (node.id.length > 0) { out += " id=" + node.id; }
+  if (node.className.length > 0) { out += " class=" + node.className; }
+  out += ">";
+  if (node.textContent.length > 0) { out += node.textContent; }
+  for (var i = 0; i < node.children.length; i++) { out += outerHtml(node.children[i]); }
+  return out + "</" + node.tagName + ">";
+}
+
+function domStats(node, stats) {
+  stats.nodes++;
+  if (node.parent !== null) { stats.attached++; }
+  if (node.uid > 0) { stats.identified++; }
+  stats.depth = Math.max(stats.depth, node.children.length);
+  for (var i = 0; i < node.children.length; i++) { domStats(node.children[i], stats); }
+  return stats;
+}
+
+var pageHtml = outerHtml(document);
+var pageStats = domStats(document, { nodes: 0, attached: 0, identified: 0, depth: 0 });
+
+// deferred/ajax warmup
+jQuery.ajaxResponses["/api/user"] = { name: "ada", role: "eng" };
+jQuery.ajaxResponses["/api/flags"] = { beta: true };
+var userName = "";
+var failStatus = 0;
+var chainResult = 0;
+jQuery.ajax("/api/user").done(function (data) { userName = data.name; });
+jQuery.ajax("/missing").fail(function (error) { failStatus = error.status; });
+jQuery.Deferred().resolve(20).then(function (v) { return v + 1; }).done(function (v) {
+  chainResult = v;
+});
+var whenResults = null;
+jQuery.when([jQuery.ajax("/api/user"), jQuery.ajax("/api/flags")]).done(function (rs) {
+  whenResults = rs;
+});
+
+var navCount = $(".nav-item").length;
+var titleText = $(".card h2").first().text();
+var links = $("a");
+links.trigger("click");
+var firstHref = links.first().attr("href");
+var headerColor = $("#header").css("color");
+var initialized = $(".initialized").length;
+$(".nav-item").toggleClass("active");
+var actives = $(".active").length;
+
+console.log(
+  "jquery-like ready:",
+  navCount === 3 && titleText === "Section 0" && clicks === 3 &&
+  firstHref === "https://example.test/home" && headerColor === "#333" &&
+  initialized === 3 && actives === 3 &&
+  pageHtml.length > 100 && pageStats.nodes === pageStats.attached + 1 &&
+  userName === "ada" && failStatus === 404 && chainResult === 21 &&
+  whenResults !== null && whenResults[1].beta === true
+);
+return jQuery;
+})();
+"""

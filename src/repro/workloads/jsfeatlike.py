@@ -1,0 +1,289 @@
+'''JSFeat-like workload: computer-vision kernels.
+
+Initialization pattern mimicked: matrix containers, convolution /
+box-blur / Sobel kernels, a grayscale conversion and an integral image —
+numeric inner loops over flat arrays.  This is the paper's *lowest*
+initial-miss-rate library (18.96%): compute dominates, and the few object
+shapes are hit over and over.
+'''
+
+NAME = "jsfeatlike"
+DESCRIPTION = "Computer vision: matrices, convolution, Sobel, integral image"
+
+SOURCE = r"""
+// jsfeat-like computer vision library initialization (IIFE module pattern)
+var jsfeat = (function () {
+var jsfeat = {};
+jsfeat.version = "0.jsl";
+jsfeat.U8 = 1;
+jsfeat.F32 = 2;
+
+function Matrix(cols, rows, kind) {
+  this.cols = cols;
+  this.rows = rows;
+  this.kind = kind;
+  this.data = [];
+  var n = cols * rows;
+  for (var i = 0; i < n; i++) { this.data.push(0); }
+}
+
+Matrix.prototype.at = function (x, y) {
+  return this.data[y * this.cols + x];
+};
+
+Matrix.prototype.put = function (x, y, v) {
+  this.data[y * this.cols + x] = v;
+};
+
+Matrix.prototype.fillPattern = function (seed) {
+  var state = seed;
+  for (var i = 0; i < this.data.length; i++) {
+    state = (state * 16807) % 2147483647;
+    this.data[i] = state % 256;
+  }
+  return this;
+};
+
+Matrix.prototype.sum = function () {
+  var total = 0;
+  for (var i = 0; i < this.data.length; i++) { total += this.data[i]; }
+  return total;
+};
+
+jsfeat.matrix = function (cols, rows, kind) {
+  return new Matrix(cols, rows, kind);
+};
+
+// ---- grayscale ----------------------------------------------------------------
+jsfeat.grayscale = function (rgb, out) {
+  // rgb: matrix with 3 consecutive entries per pixel
+  var pixels = out.cols * out.rows;
+  for (var p = 0; p < pixels; p++) {
+    var r = rgb.data[p * 3];
+    var g = rgb.data[p * 3 + 1];
+    var b = rgb.data[p * 3 + 2];
+    out.data[p] = Math.round(0.299 * r + 0.587 * g + 0.114 * b);
+  }
+  return out;
+};
+
+// ---- box blur -------------------------------------------------------------------
+jsfeat.boxBlur = function (src, out, radius) {
+  var w = src.cols;
+  var h = src.rows;
+  for (var y = 0; y < h; y++) {
+    for (var x = 0; x < w; x++) {
+      var acc = 0;
+      var count = 0;
+      for (var dy = -radius; dy <= radius; dy++) {
+        for (var dx = -radius; dx <= radius; dx++) {
+          var sx = x + dx;
+          var sy = y + dy;
+          if (sx >= 0 && sx < w && sy >= 0 && sy < h) {
+            acc += src.data[sy * w + sx];
+            count++;
+          }
+        }
+      }
+      out.data[y * w + x] = acc / count;
+    }
+  }
+  return out;
+};
+
+// ---- sobel edge detector -----------------------------------------------------------
+jsfeat.sobel = function (src, out) {
+  var w = src.cols;
+  var h = src.rows;
+  for (var y = 1; y < h - 1; y++) {
+    for (var x = 1; x < w - 1; x++) {
+      var base = y * w + x;
+      var a = src.data[base - w - 1];
+      var b = src.data[base - w];
+      var c = src.data[base - w + 1];
+      var d = src.data[base - 1];
+      var f = src.data[base + 1];
+      var g2 = src.data[base + w - 1];
+      var hh = src.data[base + w];
+      var ii = src.data[base + w + 1];
+      var gx = -a - 2 * d - g2 + c + 2 * f + ii;
+      var gy = -a - 2 * b - c + g2 + 2 * hh + ii;
+      out.data[base] = Math.sqrt(gx * gx + gy * gy);
+    }
+  }
+  return out;
+};
+
+// ---- integral image ------------------------------------------------------------------
+jsfeat.integral = function (src, out) {
+  var w = src.cols;
+  var h = src.rows;
+  for (var y = 0; y < h; y++) {
+    var rowSum = 0;
+    for (var x = 0; x < w; x++) {
+      rowSum += src.data[y * w + x];
+      var above = y > 0 ? out.data[(y - 1) * w + x] : 0;
+      out.data[y * w + x] = rowSum + above;
+    }
+  }
+  return out;
+};
+
+jsfeat.boxSum = function (integral, x0, y0, x1, y1) {
+  var w = integral.cols;
+  var a = x0 > 0 && y0 > 0 ? integral.data[(y0 - 1) * w + (x0 - 1)] : 0;
+  var b = y0 > 0 ? integral.data[(y0 - 1) * w + x1] : 0;
+  var c = x0 > 0 ? integral.data[y1 * w + (x0 - 1)] : 0;
+  var d = integral.data[y1 * w + x1];
+  return d - b - c + a;
+};
+
+// ---- resize (nearest neighbour) -----------------------------------------------
+jsfeat.resample = function (src, out) {
+  var xRatio = src.cols / out.cols;
+  var yRatio = src.rows / out.rows;
+  for (var y = 0; y < out.rows; y++) {
+    for (var x = 0; x < out.cols; x++) {
+      var sx = Math.floor(x * xRatio);
+      var sy = Math.floor(y * yRatio);
+      out.data[y * out.cols + x] = src.data[sy * src.cols + sx];
+    }
+  }
+  return out;
+};
+
+// ---- binary threshold ------------------------------------------------------------
+jsfeat.threshold = function (src, out, cutoff) {
+  for (var i = 0; i < src.data.length; i++) {
+    out.data[i] = src.data[i] >= cutoff ? 255 : 0;
+  }
+  return out;
+};
+
+// ---- histogram equalization --------------------------------------------------------
+jsfeat.equalizeHistogram = function (src, out) {
+  var counts = [];
+  for (var b = 0; b < 256; b++) { counts.push(0); }
+  for (var i = 0; i < src.data.length; i++) {
+    counts[Math.floor(src.data[i]) & 255]++;
+  }
+  var cumulative = [];
+  var running = 0;
+  for (var c = 0; c < 256; c++) {
+    running += counts[c];
+    cumulative.push(running);
+  }
+  var total = src.data.length;
+  for (var p = 0; p < src.data.length; p++) {
+    out.data[p] = Math.round(
+      (cumulative[Math.floor(src.data[p]) & 255] / total) * 255
+    );
+  }
+  return out;
+};
+
+// ---- keypoint detector (toy FAST-ish corner score) --------------------------------------
+function Keypoint(x, y, score) {
+  this.x = x;
+  this.y = y;
+  this.score = score;
+  this.angle = 0;
+  this.level = 0;
+}
+
+jsfeat.detectCorners = function (src, threshold) {
+  var w = src.cols;
+  var h = src.rows;
+  var corners = [];
+  for (var y = 2; y < h - 2; y++) {
+    for (var x = 2; x < w - 2; x++) {
+      var center = src.data[y * w + x];
+      var brighter = 0;
+      var darker = 0;
+      var ring = [
+        src.data[(y - 2) * w + x], src.data[(y + 2) * w + x],
+        src.data[y * w + x - 2], src.data[y * w + x + 2]
+      ];
+      for (var r = 0; r < ring.length; r++) {
+        if (ring[r] > center + threshold) { brighter++; }
+        if (ring[r] < center - threshold) { darker++; }
+      }
+      if (brighter >= 3 || darker >= 3) {
+        corners.push(new Keypoint(x, y, Math.abs(ring[0] - center)));
+      }
+    }
+  }
+  return corners;
+};
+
+// ---- initialization: run each kernel once on a small frame --------------------------------
+var W = 6;
+var H = 5;
+var rgb = jsfeat.matrix(W * 3, H, jsfeat.U8).fillPattern(1234567);
+var gray = jsfeat.matrix(W, H, jsfeat.U8);
+jsfeat.grayscale(rgb, gray);
+var blurred = jsfeat.matrix(W, H, jsfeat.F32);
+jsfeat.boxBlur(gray, blurred, 1);
+var edges = jsfeat.matrix(W, H, jsfeat.F32);
+jsfeat.sobel(blurred, edges);
+var integralImg = jsfeat.matrix(W, H, jsfeat.F32);
+jsfeat.integral(gray, integralImg);
+var totalEnergy = edges.sum();
+var quadrant = jsfeat.boxSum(integralImg, 0, 0, (W >> 1) - 1, (H >> 1) - 1);
+var corners = jsfeat.detectCorners(gray, 4);
+
+// build a small pyramid and audit matrix metadata at fresh access sites
+jsfeat.pyramid = function (base, levels) {
+  var out = [base];
+  var current = base;
+  for (var l = 1; l < levels; l++) {
+    var next = new Matrix(Math.max(2, current.cols >> 1), Math.max(2, current.rows >> 1), current.kind);
+    for (var y = 0; y < next.rows; y++) {
+      for (var x = 0; x < next.cols; x++) {
+        next.data[y * next.cols + x] = current.at(Math.min(x * 2, current.cols - 1), Math.min(y * 2, current.rows - 1));
+      }
+    }
+    out.push(next);
+    current = next;
+  }
+  return out;
+};
+
+function describeMatrix(m) {
+  return m.cols + "x" + m.rows + "/" + m.kind + ":" + m.data.length;
+}
+
+function totalCells(mats) {
+  var cells = 0;
+  for (var i = 0; i < mats.length; i++) {
+    cells += mats[i].cols * mats[i].rows;
+  }
+  return cells;
+}
+
+var half = jsfeat.matrix(3, 3, jsfeat.U8);
+jsfeat.resample(gray, half);
+var binary = jsfeat.matrix(W, H, jsfeat.U8);
+jsfeat.threshold(gray, binary, 128);
+var binarySum = binary.sum();
+var equalized = jsfeat.matrix(W, H, jsfeat.U8);
+jsfeat.equalizeHistogram(gray, equalized);
+
+var pyramid = jsfeat.pyramid(gray, 3);
+var descriptions = [];
+for (var pl = 0; pl < pyramid.length; pl++) { descriptions.push(describeMatrix(pyramid[pl])); }
+var strongest = null;
+for (var ci = 0; ci < corners.length; ci++) {
+  var kp = corners[ci];
+  if (strongest === null || kp.score > strongest.score) { strongest = kp; }
+}
+console.log(
+  "jsfeat-like ready:",
+  totalEnergy > 0 && quadrant > 0 && gray.sum() > 0 &&
+  integralImg.at(W - 1, H - 1) === gray.sum() && corners.length > 0 &&
+  descriptions.length === 3 && totalCells(pyramid) > W * H && strongest.score >= 0 &&
+  half.sum() > 0 && binarySum % 255 === 0 && equalized.sum() > gray.sum() / 2
+);
+return jsfeat;
+})();
+"""

@@ -1,0 +1,334 @@
+'''React-like workload: component framework initialization.
+
+Initialization pattern mimicked: a virtual-DOM node factory producing many
+structurally identical objects, a component registry of spec objects, and
+several tree-walking passes (mount, diff, serialize) that *read* the same
+shapes at many distinct object access sites.  This is the paper's
+highest-miss, highest-reuse library: React has the most hidden classes
+(360), the most IC misses (2356) and the highest fraction of
+context-independent handlers (82.3%) — reads of own fields dominate.
+'''
+
+NAME = "reactlike"
+DESCRIPTION = "Component framework: vdom factories, spec registry, tree walks"
+
+_COMPONENT_DEFS = []
+for _i, (_name, _extra) in enumerate(
+    [
+        ("Text", "content: ''"),
+        ("Image", "src: '', width: 0, height: 0"),
+        ("Button", "label: '', disabled: false"),
+        ("Link", "href: '', target: '_self'"),
+        ("List", "items: [], ordered: false"),
+        ("ListItem", "value: null"),
+        ("Panel", "title: '', collapsed: false"),
+        ("Grid", "rows: 0, cols: 0"),
+        ("Cell", "row: 0, col: 0, span: 1"),
+        ("Form", "action: '', method: 'get'"),
+        ("Input", "name: '', value: '', kind: 'text'"),
+        ("Select", "name: '', options: []"),
+        ("Checkbox", "name: '', checked: false"),
+        ("Modal", "title: '', visible: false, zIndex: 100"),
+        ("Tooltip", "text: '', placement: 'top'"),
+        ("Tabs", "active: 0, labels: []"),
+        ("Badge", "count: 0, maxCount: 99"),
+        ("Avatar", "src: '', size: 32, shape: 'circle'"),
+        ("Spinner", "size: 16, speed: 1"),
+        ("Card", "title: '', footer: '', elevated: true"),
+        ("Table", "rows: [], striped: false"),
+        ("TableRow", "cells: [], selected: false"),
+        ("Menu", "items: [], anchor: 'left'"),
+        ("MenuItem", "label: '', shortcut: ''"),
+        ("Toolbar", "actions: [], dense: true"),
+        ("Breadcrumb", "parts: [], separator: '/'"),
+        ("Progress", "value: 0, max: 100"),
+        ("Slider", "value: 50, step: 1"),
+        ("Chip", "text: '', removable: false"),
+        ("Divider", "vertical: false, inset: 0"),
+        ("Drawer", "open: false, side: 'left'"),
+        ("Snackbar", "message: '', duration: 3000"),
+        ("Stepper", "steps: [], current: 0"),
+        ("Rating", "stars: 0, outOf: 5"),
+        ("Skeleton", "lines: 3, animated: true"),
+    ]
+):
+    _first_prop = _extra.split(":")[0].strip()
+    _COMPONENT_DEFS.append(
+        f"""
+registerComponent({{
+  displayName: "{_name}",
+  defaultProps: {{ {_extra} }},
+  style: {{ margin{_i}: {_i}, padding{_i}: {_i * 2}, flag{_i}: true }},
+  render: function (props, children) {{
+    return h("{_name.lower()}", props, children);
+  }}
+}});
+registerValidator("{_name}", function (comp) {{
+  var defaults = comp.defaultProps;
+  var style = comp.style;
+  var weight = style.margin{_i} + style.padding{_i};
+  if (style.flag{_i}) {{ weight += 1; }}
+  if (defaults.{_first_prop} === undefined) {{ return -1; }}
+  return weight;
+}});
+registerThemer("{_name}", function (comp) {{
+  var style = comp.style;
+  return "m" + style.margin{_i} + "p" + style.padding{_i} + (style.flag{_i} ? "+" : "-");
+}});"""
+    )
+
+SOURCE = (
+    r"""
+// react-like component framework initialization (IIFE module pattern)
+var React = (function () {
+var React = {};
+React.version = "16.jsl";
+React.componentRegistry = {};
+React.roots = [];
+React.updateQueue = [];
+React.idCounter = 0;
+
+function nextId() {
+  React.idCounter = React.idCounter + 1;
+  return React.idCounter;
+}
+
+// The vnode factory: every call site allocates the same shape, so all
+// vnodes share one hidden-class chain that is later *read* from dozens of
+// distinct sites (mount/diff/serialize below).
+function h(type, props, children) {
+  var node = {};
+  node.type = type;
+  node.props = props === undefined ? null : props;
+  node.children = children === undefined ? [] : children;
+  node.key = null;
+  node.ref = null;
+  node.owner = null;
+  node.depth = 0;
+  return node;
+}
+
+function Component(spec) {
+  this.displayName = spec.displayName;
+  this.defaultProps = spec.defaultProps;
+  this.style = spec.style;
+  this.render = spec.render;
+  this.mountCount = 0;
+}
+
+Component.prototype.resolveProps = function (props) {
+  if (props === null || props === undefined) {
+    // fast path: no overrides, share the defaults (React does the same
+    // when no props object is supplied)
+    return this.defaultProps;
+  }
+  var resolved = {};
+  var defaults = this.defaultProps;
+  for (var k in defaults) { resolved[k] = defaults[k]; }
+  for (var p in props) { resolved[p] = props[p]; }
+  return resolved;
+};
+
+Component.prototype.create = function (props, children) {
+  this.mountCount = this.mountCount + 1;
+  var node = this.render(this.resolveProps(props), children || []);
+  node.owner = this.displayName;
+  return node;
+};
+
+function registerComponent(spec) {
+  var component = new Component(spec);
+  React.componentRegistry[spec.displayName] = component;
+  return component;
+}
+
+React.validators = {};
+React.themers = {};
+
+function registerValidator(name, fn) {
+  React.validators[name] = fn;
+}
+
+function registerThemer(name, fn) {
+  React.themers[name] = fn;
+}
+"""
+    + "".join(_COMPONENT_DEFS)
+    + r"""
+
+// ---- instance creation: exercise every component ---------------------------
+function componentNames() {
+  var names = [];
+  for (var k in React.componentRegistry) { names.push(k); }
+  return names;
+}
+
+function buildTree(depth) {
+  var names = componentNames();
+  var root = React.componentRegistry.Panel.create({ title: "root" }, []);
+  var current = root;
+  for (var level = 0; level < depth; level++) {
+    var rowChildren = [];
+    for (var i = 0; i < names.length; i++) {
+      var component = React.componentRegistry[names[i]];
+      var child = component.create(null, []);
+      child.key = names[i] + ":" + level;
+      child.depth = level + 1;
+      rowChildren.push(child);
+    }
+    var row = React.componentRegistry.Grid.create({ rows: 1, cols: rowChildren.length }, rowChildren);
+    row.depth = level;
+    current.children.push(row);
+    current = row;
+  }
+  return root;
+}
+
+// ---- mount pass: reads vnode fields (sites distinct from diff's) ------------
+function mountNode(node, container, depth) {
+  var instance = {};
+  instance.id = nextId();
+  instance.type = node.type;
+  instance.key = node.key;
+  instance.propsSnapshot = node.props;
+  instance.childCount = node.children.length;
+  instance.parent = container;
+  instance.depth = depth;
+  var mounted = [];
+  for (var i = 0; i < node.children.length; i++) {
+    mounted.push(mountNode(node.children[i], instance, depth + 1));
+  }
+  instance.childInstances = mounted;
+  return instance;
+}
+
+// ---- diff pass: a second, distinct family of read sites ----------------------
+function diffNode(a, b) {
+  var patches = 0;
+  if (a.type !== b.type) { patches++; }
+  if (a.key !== b.key) { patches++; }
+  if (a.owner !== b.owner) { patches++; }
+  var aProps = a.props;
+  var bProps = b.props;
+  if (aProps !== null && bProps !== null) {
+    for (var k in aProps) {
+      if (aProps[k] !== bProps[k]) { patches++; }
+    }
+  } else if (aProps !== bProps) {
+    patches++;
+  }
+  var n = Math.min(a.children.length, b.children.length);
+  for (var i = 0; i < n; i++) {
+    patches += diffNode(a.children[i], b.children[i]);
+  }
+  patches += Math.abs(a.children.length - b.children.length);
+  return patches;
+}
+
+// ---- serialize pass: a third family of read sites ------------------------------
+function serializeNode(node) {
+  var out = "<" + node.type;
+  if (node.key !== null) { out += " key=" + node.key; }
+  if (node.owner !== null) { out += " owner=" + node.owner; }
+  var children = node.children;
+  if (children.length === 0) { return out + "/>"; }
+  out += ">";
+  for (var i = 0; i < children.length; i++) {
+    out += serializeNode(children[i]);
+  }
+  return out + "</" + node.type + ">";
+}
+
+function countNodes(node) {
+  var n = 1;
+  for (var i = 0; i < node.children.length; i++) {
+    n += countNodes(node.children[i]);
+  }
+  return n;
+}
+
+function collectStyles() {
+  var weights = [];
+  var names = componentNames();
+  for (var i = 0; i < names.length; i++) {
+    var style = React.componentRegistry[names[i]].style;
+    var weight = 0;
+    for (var k in style) {
+      var v = style[k];
+      if (typeof v === "number") { weight += v; }
+    }
+    weights.push(weight);
+  }
+  return weights;
+}
+
+// ---- validation pass: reads spec fields at fresh sites ---------------------
+function validateRegistry() {
+  var problems = 0;
+  var names = componentNames();
+  for (var i = 0; i < names.length; i++) {
+    var comp = React.componentRegistry[names[i]];
+    if (typeof comp.render !== "function") { problems++; }
+    if (comp.displayName.length === 0) { problems++; }
+    if (comp.defaultProps === undefined) { problems++; }
+    if (comp.mountCount < 0) { problems++; }
+    if (comp.style === undefined) { problems++; }
+  }
+  return problems;
+}
+
+// ---- audit pass: a fourth family of vnode read sites --------------------------
+function auditNode(node, report) {
+  if (node.type.length === 0) { report.untyped++; }
+  if (node.props !== null) { report.withProps++; }
+  if (node.key !== null) { report.keyed++; }
+  if (node.ref !== null) { report.withRef++; }
+  if (node.owner !== null) { report.owned++; }
+  if (node.depth >= 0) { report.total++; }
+  for (var i = 0; i < node.children.length; i++) { auditNode(node.children[i], report); }
+  return report;
+}
+
+// ---- snapshot pass: reads mounted-instance fields at fresh sites ---------------
+function snapshotInstance(instance, acc) {
+  acc.push(instance.type + "#" + instance.id + "@" + instance.depth + ":" + instance.childCount);
+  if (instance.key !== null) { acc.push("key:" + instance.key); }
+  for (var i = 0; i < instance.childInstances.length; i++) {
+    snapshotInstance(instance.childInstances[i], acc);
+  }
+  return acc;
+}
+
+// ---- run the initialization --------------------------------------------------
+var treeA = buildTree(2);
+var treeB = buildTree(2);
+var rootInstance = mountNode(treeA, null, 0);
+React.roots.push(rootInstance);
+var patches = diffNode(treeA, treeB);
+var markup = serializeNode(treeA);
+var totalNodes = countNodes(treeA);
+var styleWeights = collectStyles();
+var styleTotal = 0;
+for (var sw = 0; sw < styleWeights.length; sw++) { styleTotal += styleWeights[sw]; }
+var problems = validateRegistry();
+var validatorScore = 0;
+var themeTags = [];
+var vnames = componentNames();
+for (var vi = 0; vi < vnames.length; vi++) {
+  var vname = vnames[vi];
+  var comp2 = React.componentRegistry[vname];
+  validatorScore += React.validators[vname](comp2);
+  themeTags.push(React.themers[vname](comp2));
+}
+var audit = auditNode(treeA, { untyped: 0, withProps: 0, keyed: 0, withRef: 0, owned: 0, total: 0 });
+var snapshot = snapshotInstance(rootInstance, []);
+console.log(
+  "react-like ready:",
+  totalNodes > 30 && patches === 0 && markup.length > 200 && styleTotal > 0 &&
+  problems === 0 && audit.total === totalNodes && snapshot.length >= totalNodes &&
+  validatorScore > 0 && themeTags.length === 35
+);
+return React;
+})();
+"""
+)

@@ -1,0 +1,102 @@
+"""Parameterized synthetic workload generator.
+
+The paper's Table 1 identifies *misses per hidden class* — how many distinct
+object access sites encounter each hidden class — as the quantity RIC's
+linking exploits (each dependent site is an avertable miss).  This module
+generates libraries with that quantity as an explicit knob, enabling the
+sensitivity analysis in ``experiments.sensitivity_sweep``:
+
+* ``shapes`` — number of distinct constructors (hidden-class families);
+* ``fields_per_shape`` — transition-chain length per family;
+* ``sites_per_shape`` — distinct read passes over every family (the lever);
+* ``instances`` — objects built per family (volume, not misses).
+
+All generated programs are deterministic and self-checking.
+"""
+
+from __future__ import annotations
+
+
+def generate_library(
+    shapes: int = 10,
+    fields_per_shape: int = 4,
+    sites_per_shape: int = 3,
+    instances: int = 3,
+) -> str:
+    """Generate a jsl library with the requested IC structure."""
+    if min(shapes, fields_per_shape, sites_per_shape, instances) < 1:
+        raise ValueError("all generator parameters must be >= 1")
+
+    lines: list[str] = [
+        "// generated synthetic library",
+        "var synth = (function () {",
+        "var exports = {};",
+        "var objects = [];",
+    ]
+
+    for shape in range(shapes):
+        fields = [f"f{shape}_{i}" for i in range(fields_per_shape)]
+        params = ", ".join(f"v{i}" for i in range(fields_per_shape))
+        body = " ".join(
+            f"this.{field} = v{i};" for i, field in enumerate(fields)
+        )
+        lines.append(f"function Shape{shape}({params}) {{ {body} }}")
+
+        # One read function per (shape, pass): a distinct set of access
+        # sites over the same hidden class.
+        for site_pass in range(sites_per_shape):
+            reads = " + ".join(f"o.{field}" for field in fields)
+            lines.append(
+                f"function read{shape}_{site_pass}(o) {{ return {reads}; }}"
+            )
+
+    lines.append("var checks = 0;")
+    for shape in range(shapes):
+        args = ", ".join(str(shape + i + 1) for i in range(fields_per_shape))
+        expected = sum(shape + i + 1 for i in range(fields_per_shape))
+        lines.append(f"var batch{shape} = [];")
+        lines.append(
+            f"for (var i{shape} = 0; i{shape} < {instances}; i{shape}++) "
+            f"{{ batch{shape}.push(new Shape{shape}({args})); }}"
+        )
+        for site_pass in range(sites_per_shape):
+            lines.append(
+                f"for (var j{shape}_{site_pass} = 0; "
+                f"j{shape}_{site_pass} < batch{shape}.length; "
+                f"j{shape}_{site_pass}++) {{ "
+                f"if (read{shape}_{site_pass}(batch{shape}[j{shape}_{site_pass}]) === {expected}) "
+                f"{{ checks++; }} }}"
+            )
+        lines.append(f"objects.push(batch{shape});")
+
+    expected_checks = shapes * sites_per_shape * instances
+    lines.extend(
+        [
+            f'console.log("synthetic ready:", checks === {expected_checks});',
+            "exports.objects = objects;",
+            "exports.checks = checks;",
+            "return exports;",
+            "})();",
+        ]
+    )
+    return "\n".join(lines)
+
+
+def generated_scripts(
+    shapes: int = 10,
+    fields_per_shape: int = 4,
+    sites_per_shape: int = 3,
+    instances: int = 3,
+) -> list[tuple[str, str]]:
+    """The (filename, source) form the Engine consumes; the filename encodes
+    the parameters so code/record caches key correctly per configuration."""
+    name = (
+        f"synthetic_s{shapes}_f{fields_per_shape}"
+        f"_p{sites_per_shape}_i{instances}.jsl"
+    )
+    return [
+        (
+            name,
+            generate_library(shapes, fields_per_shape, sites_per_shape, instances),
+        )
+    ]

@@ -1,0 +1,381 @@
+'''Underscore-like workload: a functional utility belt.
+
+Initialization pattern mimicked: one export object (``_``) receiving ~50
+function properties — a long chain of transitioning stores on a single
+object — followed by a light self-check.  The paper's Underscore row has
+the *lowest* fraction of context-independent handlers (38.1%): most of its
+IC activity is the transition chain itself, which RIC cannot reuse.
+'''
+
+NAME = "underscorelike"
+DESCRIPTION = "Functional utility library: one export object, many function properties"
+
+SOURCE = r"""
+// underscore-like utility belt initialization (IIFE module pattern)
+var _ = (function () {
+var _ = {};
+
+_.identity = function (v) { return v; };
+_.constant = function (v) { return function () { return v; }; };
+_.noop = function () {};
+
+_.each = function (list, fn) {
+  if (list instanceof Array) {
+    for (var i = 0; i < list.length; i++) { fn(list[i], i, list); }
+  } else {
+    for (var k in list) { fn(list[k], k, list); }
+  }
+  return list;
+};
+
+_.map = function (list, fn) {
+  var out = [];
+  _.each(list, function (v, k) { out.push(fn(v, k, list)); });
+  return out;
+};
+
+_.filter = function (list, pred) {
+  var out = [];
+  _.each(list, function (v, k) { if (pred(v, k, list)) { out.push(v); } });
+  return out;
+};
+
+_.reject = function (list, pred) {
+  return _.filter(list, function (v, k) { return !pred(v, k, list); });
+};
+
+_.reduce = function (list, fn, memo) {
+  _.each(list, function (v, k) { memo = fn(memo, v, k, list); });
+  return memo;
+};
+
+_.find = function (list, pred) {
+  var result;
+  var found = false;
+  _.each(list, function (v, k) {
+    if (!found && pred(v, k, list)) { result = v; found = true; }
+  });
+  return result;
+};
+
+_.every = function (list, pred) {
+  var ok = true;
+  _.each(list, function (v, k) { if (!pred(v, k, list)) { ok = false; } });
+  return ok;
+};
+
+_.some = function (list, pred) {
+  var any = false;
+  _.each(list, function (v, k) { if (pred(v, k, list)) { any = true; } });
+  return any;
+};
+
+_.contains = function (list, item) {
+  return _.some(list, function (v) { return v === item; });
+};
+
+_.pluck = function (list, key) {
+  return _.map(list, function (v) { return v[key]; });
+};
+
+_.max = function (list) {
+  return _.reduce(list, function (m, v) { return v > m ? v : m; }, -Infinity);
+};
+
+_.min = function (list) {
+  return _.reduce(list, function (m, v) { return v < m ? v : m; }, Infinity);
+};
+
+_.size = function (list) {
+  if (list instanceof Array) { return list.length; }
+  var n = 0;
+  for (var k in list) { n++; }
+  return n;
+};
+
+_.first = function (list) { return list[0]; };
+_.last = function (list) { return list[list.length - 1]; };
+_.rest = function (list) { return list.slice(1); };
+_.initial = function (list) { return list.slice(0, list.length - 1); };
+
+_.compact = function (list) {
+  return _.filter(list, function (v) { return !!v; });
+};
+
+_.flatten = function (list) {
+  var out = [];
+  _.each(list, function (v) {
+    if (v instanceof Array) {
+      _.each(_.flatten(v), function (x) { out.push(x); });
+    } else {
+      out.push(v);
+    }
+  });
+  return out;
+};
+
+_.uniq = function (list) {
+  var out = [];
+  _.each(list, function (v) { if (!_.contains(out, v)) { out.push(v); } });
+  return out;
+};
+
+_.union = function (a, b) { return _.uniq(a.concat(b)); };
+
+_.intersection = function (a, b) {
+  return _.filter(_.uniq(a), function (v) { return _.contains(b, v); });
+};
+
+_.difference = function (a, b) {
+  return _.filter(a, function (v) { return !_.contains(b, v); });
+};
+
+_.zip = function (a, b) {
+  var out = [];
+  for (var i = 0; i < a.length; i++) { out.push([a[i], b[i]]); }
+  return out;
+};
+
+_.range = function (start, stop, step) {
+  if (stop === undefined) { stop = start; start = 0; }
+  if (step === undefined) { step = 1; }
+  var out = [];
+  for (var v = start; v < stop; v += step) { out.push(v); }
+  return out;
+};
+
+_.keys = function (obj) {
+  var out = [];
+  for (var k in obj) { out.push(k); }
+  return out;
+};
+
+_.values = function (obj) {
+  var out = [];
+  for (var k in obj) { out.push(obj[k]); }
+  return out;
+};
+
+_.pairs = function (obj) {
+  var out = [];
+  for (var k in obj) { out.push([k, obj[k]]); }
+  return out;
+};
+
+_.invert = function (obj) {
+  var out = {};
+  for (var k in obj) { out[obj[k]] = k; }
+  return out;
+};
+
+_.extend = function (target, source) {
+  for (var k in source) { target[k] = source[k]; }
+  return target;
+};
+
+_.defaults = function (target, source) {
+  for (var k in source) {
+    if (target[k] === undefined) { target[k] = source[k]; }
+  }
+  return target;
+};
+
+_.pick = function (obj, keys) {
+  var out = {};
+  _.each(keys, function (k) { if (k in obj) { out[k] = obj[k]; } });
+  return out;
+};
+
+_.omit = function (obj, keys) {
+  var out = {};
+  for (var k in obj) {
+    if (!_.contains(keys, k)) { out[k] = obj[k]; }
+  }
+  return out;
+};
+
+_.has = function (obj, key) { return obj.hasOwnProperty(key); };
+
+_.isArray = function (v) { return v instanceof Array; };
+_.isFunction = function (v) { return typeof v === "function"; };
+_.isString = function (v) { return typeof v === "string"; };
+_.isNumber = function (v) { return typeof v === "number"; };
+_.isUndefined = function (v) { return v === undefined; };
+_.isNull = function (v) { return v === null; };
+_.isObject = function (v) { return typeof v === "object" && v !== null; };
+_.isEmpty = function (v) { return _.size(v) === 0; };
+
+_.once = function (fn) {
+  var called = false;
+  var result;
+  return function () {
+    if (!called) { called = true; result = fn(); }
+    return result;
+  };
+};
+
+_.memoize = function (fn) {
+  var cache = {};
+  return function (key) {
+    if (!(key in cache)) { cache[key] = fn(key); }
+    return cache[key];
+  };
+};
+
+_.compose = function (f, g) {
+  return function (x) { return f(g(x)); };
+};
+
+_.partial = function (fn, a) {
+  return function (b) { return fn(a, b); };
+};
+
+_.times = function (n, fn) {
+  var out = [];
+  for (var i = 0; i < n; i++) { out.push(fn(i)); }
+  return out;
+};
+
+_.sortedIndex = function (list, value) {
+  var low = 0;
+  var high = list.length;
+  while (low < high) {
+    var mid = Math.floor((low + high) / 2);
+    if (list[mid] < value) { low = mid + 1; } else { high = mid; }
+  }
+  return low;
+};
+
+_.groupBy = function (list, fn) {
+  var out = {};
+  _.each(list, function (v) {
+    var key = fn(v);
+    if (out[key] === undefined) { out[key] = []; }
+    out[key].push(v);
+  });
+  return out;
+};
+
+_.countBy = function (list, fn) {
+  var out = {};
+  _.each(list, function (v) {
+    var key = fn(v);
+    if (out[key] === undefined) { out[key] = 0; }
+    out[key] = out[key] + 1;
+  });
+  return out;
+};
+
+_.sortBy = function (list, fn) {
+  var decorated = _.map(list, function (v) { return { value: v, rank: fn(v) }; });
+  decorated.sort(function (a, b) { return a.rank < b.rank ? -1 : (a.rank > b.rank ? 1 : 0); });
+  return _.map(decorated, function (d) { return d.value; });
+};
+
+_.indexBy = function (list, fn) {
+  var out = {};
+  _.each(list, function (v) { out[fn(v)] = v; });
+  return out;
+};
+
+_.where = function (list, attrs) {
+  return _.filter(list, function (v) {
+    for (var k in attrs) {
+      if (v[k] !== attrs[k]) { return false; }
+    }
+    return true;
+  });
+};
+
+_.findWhere = function (list, attrs) {
+  var matches = _.where(list, attrs);
+  return matches.length > 0 ? matches[0] : undefined;
+};
+
+_.chunk = function (list, size) {
+  var out = [];
+  for (var i = 0; i < list.length; i += size) {
+    out.push(list.slice(i, i + size));
+  }
+  return out;
+};
+
+_.tap = function (value, fn) { fn(value); return value; };
+
+_.result = function (obj, key) {
+  var v = obj[key];
+  return _.isFunction(v) ? v.call(obj) : v;
+};
+
+_.clone = function (obj) {
+  if (_.isArray(obj)) { return obj.slice(0); }
+  if (!_.isObject(obj)) { return obj; }
+  return _.extend({}, obj);
+};
+
+_.defaultsDeep = function (target, source) {
+  for (var k in source) {
+    if (target[k] === undefined) {
+      target[k] = source[k];
+    } else if (_.isObject(target[k]) && _.isObject(source[k]) && !_.isArray(target[k])) {
+      _.defaultsDeep(target[k], source[k]);
+    }
+  }
+  return target;
+};
+
+// ---- the chaining wrapper (underscore's _(list).map(...).value() idiom) ----
+function Chain(value) { this._wrapped = value; }
+
+Chain.prototype.value = function () { return this._wrapped; };
+
+_.chain = function (value) { return new Chain(value); };
+
+_.mixinChain = function (names) {
+  _.each(names, function (name) {
+    Chain.prototype[name] = function (a, b) {
+      this._wrapped = _[name](this._wrapped, a, b);
+      return this;
+    };
+  });
+};
+
+_.mixinChain(["map", "filter", "reject", "sortBy", "first", "last", "uniq",
+              "flatten", "compact", "pluck", "max", "min", "size"]);
+
+// ---- light self-check, as libraries run on load ------------------------
+var sample = _.range(0, 6);
+var doubled = _.map(sample, function (v) { return v * 2; });
+var evens = _.filter(sample, function (v) { return v % 2 === 0; });
+var total = _.reduce(sample, function (m, v) { return m + v; }, 0);
+var grouped = _.groupBy(sample, function (v) { return v % 3; });
+var stats = { max: _.max(sample), min: _.min(sample), size: _.size(sample) };
+var merged = _.extend({ a: 1 }, { b: 2, c: 3 });
+var inverted = _.invert({ x: "u", y: "v" });
+var people = [
+  { name: "carol", dept: "eng", level: 3 },
+  { name: "alice", dept: "ops", level: 2 },
+  { name: "bob", dept: "eng", level: 1 }
+];
+var byName = _.indexBy(people, function (p) { return p.name; });
+var engineers = _.where(people, { dept: "eng" });
+var ranked = _.sortBy(people, function (p) { return p.level; });
+var chained = _.chain(_.range(0, 9))
+  .map(function (v) { return v * 3; })
+  .filter(function (v) { return v % 2 === 0; })
+  .value();
+var cloned = _.clone({ a: 1 });
+cloned.a = 2;
+var deep = _.defaultsDeep({ ui: { theme: "dark" } }, { ui: { theme: "light", size: 12 } });
+var selftest = _.every(
+  [doubled.length === 6, evens.length === 3, total === 15,
+   stats.max === 5, stats.min === 0, merged.c === 3, inverted.u === "x",
+   _.size(grouped) === 3,
+   byName.alice.dept === "ops", engineers.length === 2,
+   ranked[0].name === "bob", chained.join(",") === "0,6,12,18,24",
+   cloned.a === 2, deep.ui.theme === "dark", deep.ui.size === 12],
+  _.identity);
+console.log("underscore-like ready:", selftest);
+return _;
+})();
+"""

@@ -1,0 +1,48 @@
+'''Synthetic "websites" loading the seven libraries in different orders.
+
+The paper (§6) evaluates robustness by generating RIC information on one
+synthetic website and reusing it on another that loads the same libraries
+in a different order — the scenario where per-library IC information is
+shared across sites.  Global-object ICs are order-sensitive, which is why
+RIC keeps them disabled.
+'''
+
+from __future__ import annotations
+
+#: Library load order of the first synthetic website (records are extracted
+#: from this one).
+WEBSITE_A_ORDER = [
+    "angularlike",
+    "camanlike",
+    "handlebarslike",
+    "jquerylike",
+    "jsfeatlike",
+    "reactlike",
+    "underscorelike",
+]
+
+#: Load order of the second website (reuses website A's record).
+WEBSITE_B_ORDER = [
+    "underscorelike",
+    "reactlike",
+    "jquerylike",
+    "handlebarslike",
+    "jsfeatlike",
+    "camanlike",
+    "angularlike",
+]
+
+
+def website_scripts(order: list[str]) -> list[tuple[str, str]]:
+    """Build the (filename, source) script list for a website."""
+    from repro.workloads import WORKLOADS
+
+    return [(f"{name}.jsl", WORKLOADS[name].source) for name in order]
+
+
+def website_a() -> list[tuple[str, str]]:
+    return website_scripts(WEBSITE_A_ORDER)
+
+
+def website_b() -> list[tuple[str, str]]:
+    return website_scripts(WEBSITE_B_ORDER)

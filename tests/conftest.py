@@ -1,0 +1,19 @@
+"""Shared pytest fixtures."""
+
+import pytest
+
+from repro.core.engine import Engine
+from repro.runtime.builtins import install_builtins
+from repro.runtime.context import Runtime
+
+
+@pytest.fixture
+def engine() -> Engine:
+    return Engine(seed=123)
+
+
+@pytest.fixture
+def fresh_runtime() -> Runtime:
+    runtime = Runtime(seed=7)
+    install_builtins(runtime)
+    return runtime

@@ -1,0 +1,73 @@
+"""Reusable execution helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bytecode.compiler import compile_source
+from repro.core.engine import Engine
+from repro.ic.icvector import FeedbackState
+from repro.ic.miss import ICRuntime
+from repro.interpreter.vm import VM
+from repro.runtime.builtins import install_builtins
+from repro.runtime.context import Runtime
+from repro.stats.counters import Counters
+
+
+class ExecutionResult:
+    """Everything a test usually wants from running a jsl snippet."""
+
+    def __init__(self, runtime, counters, feedback, vm, value):
+        self.runtime = runtime
+        self.counters = counters
+        self.feedback = feedback
+        self.vm = vm
+        self.value = value
+
+    @property
+    def console(self) -> list[str]:
+        return self.runtime.console_output
+
+
+def run_jsl(source: str, seed: int = 42, filename: str = "test.jsl") -> ExecutionResult:
+    """Compile and execute a snippet in a fresh runtime; return the state."""
+    code = compile_source(source, filename)
+    runtime = Runtime(seed=seed)
+    counters = Counters()
+
+    def on_created(hc):
+        counters.hidden_classes_created += 1
+
+    runtime.hidden_classes.on_created = on_created
+    install_builtins(runtime)
+    feedback = FeedbackState()
+    feedback.register_script(code)
+    ic_runtime = ICRuntime(runtime, counters)
+    vm = VM(runtime, counters, ic_runtime, feedback)
+    value = vm.run_code(code)
+    return ExecutionResult(runtime, counters, feedback, vm, value)
+
+
+def eval_jsl(expression: str, seed: int = 42) -> object:
+    """Evaluate a single jsl expression and return its guest value."""
+    result = run_jsl(f"var __result = ({expression});", seed=seed)
+    found, value = result.runtime.global_object.get_own("__result")
+    assert found, "expression did not produce a result"
+    return value
+
+
+def console_of(source: str, seed: int = 42) -> list[str]:
+    """Run a snippet and return its console output lines."""
+    return run_jsl(source, seed=seed).console
+
+
+@pytest.fixture
+def engine() -> Engine:
+    return Engine(seed=123)
+
+
+@pytest.fixture
+def fresh_runtime() -> Runtime:
+    runtime = Runtime(seed=7)
+    install_builtins(runtime)
+    return runtime

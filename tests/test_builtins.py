@@ -1,0 +1,209 @@
+"""Tests for the built-in objects, exercised through guest code."""
+
+from tests.helpers import console_of, eval_jsl, run_jsl
+
+
+class TestObjectBuiltins:
+    def test_object_keys(self):
+        assert console_of(
+            "console.log(Object.keys({a: 1, b: 2}).join(','));"
+        ) == ["a,b"]
+
+    def test_object_keys_includes_elements_first(self):
+        src = """
+        var o = {name: "n"};
+        o[0] = "zero";
+        console.log(Object.keys(o).join(","));
+        """
+        assert console_of(src) == ["0,name"]
+
+    def test_object_assign(self):
+        src = """
+        var target = {a: 1};
+        var result = Object.assign(target, {b: 2}, {c: 3, a: 9});
+        console.log(result === target, target.a, target.b, target.c);
+        """
+        assert console_of(src) == ["true 9 2 3"]
+
+    def test_object_constructor(self):
+        assert console_of(
+            "var o = new Object(); o.x = 5; console.log(o.x);"
+        ) == ["5"]
+
+    def test_to_string(self):
+        assert console_of("console.log(({}).toString());") == ["[object Object]"]
+
+    def test_is_prototype_of(self):
+        src = """
+        function C() {}
+        var o = new C();
+        console.log(C.prototype.isPrototypeOf(o), Object.keys({}).length);
+        """
+        assert console_of(src) == ["true 0"]
+
+
+class TestArrayBuiltins:
+    def test_push_pop(self):
+        src = """
+        var a = [];
+        a.push(1); a.push(2, 3);
+        var popped = a.pop();
+        console.log(a.join(","), popped, a.length);
+        """
+        assert console_of(src) == ["1,2 3 2"]
+
+    def test_shift_unshift(self):
+        src = """
+        var a = [2, 3];
+        a.unshift(1);
+        var first = a.shift();
+        console.log(first, a.join(","));
+        """
+        assert console_of(src) == ["1 2,3"]
+
+    def test_join_default_separator(self):
+        assert console_of("console.log([1,2,3].join());") == ["1,2,3"]
+
+    def test_index_of(self):
+        assert console_of("console.log([5,6,7].indexOf(6), [5].indexOf(9));") == ["1 -1"]
+
+    def test_slice_with_negatives(self):
+        src = "var a = [0,1,2,3,4]; console.log(a.slice(1,3).join(','), a.slice(-2).join(','));"
+        assert console_of(src) == ["1,2 3,4"]
+
+    def test_concat(self):
+        assert console_of("console.log([1].concat([2,3], 4).join(','));") == ["1,2,3,4"]
+
+    def test_for_each_with_index(self):
+        src = """
+        var seen = [];
+        ["a","b"].forEach(function (v, i) { seen.push(i + ":" + v); });
+        console.log(seen.join(","));
+        """
+        assert console_of(src) == ["0:a,1:b"]
+
+    def test_map_filter_reduce(self):
+        src = """
+        var doubled = [1,2,3].map(function (v) { return v * 2; });
+        var evens = [1,2,3,4].filter(function (v) { return v % 2 === 0; });
+        var total = [1,2,3,4].reduce(function (m, v) { return m + v; }, 0);
+        var noInit = [5,6].reduce(function (m, v) { return m + v; });
+        console.log(doubled.join(","), evens.join(","), total, noInit);
+        """
+        assert console_of(src) == ["2,4,6 2,4 10 11"]
+
+    def test_reverse_in_place(self):
+        assert console_of("var a = [1,2,3]; a.reverse(); console.log(a.join(','));") == ["3,2,1"]
+
+    def test_array_constructor_with_length(self):
+        assert console_of("console.log(new Array(3).length, Array.isArray([]));") == ["3 true"]
+
+    def test_reduce_empty_without_initial_throws(self):
+        src = """
+        var msg = "";
+        try { [].reduce(function (a, b) { return a; }); } catch (e) { msg = e.name; }
+        console.log(msg);
+        """
+        assert console_of(src) == ["TypeError"]
+
+
+class TestMathBuiltins:
+    def test_rounding_family(self):
+        assert console_of(
+            "console.log(Math.floor(2.7), Math.ceil(2.1), Math.round(2.5), Math.abs(-3));"
+        ) == ["2 3 3 3"]
+
+    def test_sqrt_pow(self):
+        assert console_of("console.log(Math.sqrt(16), Math.pow(2, 10));") == ["4 1024"]
+
+    def test_min_max_varargs(self):
+        assert console_of("console.log(Math.min(3,1,2), Math.max(3,1,2));") == ["1 3"]
+
+    def test_constants(self):
+        assert eval_jsl("Math.PI > 3.14 && Math.PI < 3.15") is True
+        assert eval_jsl("Math.E > 2.71 && Math.E < 2.72") is True
+
+    def test_random_in_range_and_seeded(self):
+        result = run_jsl("var r = Math.random();", seed=5)
+        value = result.runtime.global_object.get_own("r")[1]
+        assert 0.0 <= value < 1.0
+        again = run_jsl("var r = Math.random();", seed=5)
+        assert again.runtime.global_object.get_own("r")[1] == value
+
+
+class TestJSONBuiltins:
+    def test_stringify_nested(self):
+        src = """
+        console.log(JSON.stringify({a: 1, s: "x", arr: [1, null, true], o: {b: 2}}));
+        """
+        assert console_of(src) == ['{"a":1,"s":"x","arr":[1,null,true],"o":{"b":2}}']
+
+    def test_stringify_skips_functions_and_undefined(self):
+        src = "console.log(JSON.stringify({f: function () {}, u: undefined, k: 1}));"
+        assert console_of(src) == ['{"k":1}']
+
+    def test_stringify_nan_is_null(self):
+        assert console_of("console.log(JSON.stringify([NaN, Infinity]));") == ["[null,null]"]
+
+    def test_parse_round_trip(self):
+        src = """
+        var o = JSON.parse('{"a": [1, "two", false], "n": null}');
+        console.log(o.a[1], o.a[2], o.n === null, JSON.stringify(o));
+        """
+        assert console_of(src) == ['two false true {"a":[1,"two",false],"n":null}']
+
+    def test_parse_error_is_catchable(self):
+        src = """
+        var msg = "";
+        try { JSON.parse("{oops"); } catch (e) { msg = "bad"; }
+        console.log(msg);
+        """
+        assert console_of(src) == ["bad"]
+
+
+class TestConsoleAndErrors:
+    def test_console_levels(self):
+        result = run_jsl("console.log('a'); console.warn('b'); console.error('c');")
+        assert result.console == ["a", "[warn] b", "[error] c"]
+
+    def test_error_hierarchy_names(self):
+        src = """
+        var e1 = new Error("m1");
+        var e2 = new TypeError("m2");
+        var e3 = new RangeError("m3");
+        console.log(e1.message, e2.name, e3.name);
+        """
+        assert console_of(src) == ["m1 TypeError RangeError"]
+
+    def test_string_builtins(self):
+        assert console_of("console.log(String(42), String.fromCharCode(72, 105));") == [
+            "42 Hi"
+        ]
+
+    def test_number_builtin(self):
+        assert console_of("console.log(Number('3.5') + 1, Number(true));") == ["4.5 1"]
+
+    def test_global_this(self):
+        assert console_of("globalThis.viaGlobal = 7; console.log(viaGlobal);") == ["7"]
+
+
+class TestDate:
+    def test_date_now_uses_time_source(self):
+        from repro.core.engine import Engine
+
+        engine = Engine(seed=1)
+        profile = engine.run(
+            "console.log(Date.now());", name="d", time_source=lambda: 12.0
+        )
+        assert profile.console_output == ["12000"]
+
+    def test_new_date_records_time(self):
+        from repro.core.engine import Engine
+
+        engine = Engine(seed=1)
+        profile = engine.run(
+            "var d = new Date(); console.log(d.time);",
+            name="d",
+            time_source=lambda: 2.5,
+        )
+        assert profile.console_output == ["2500"]

@@ -1,0 +1,221 @@
+"""Tests for the extended builtin surface (sort/some/every/find, string
+padding, Math extras, Object.create, Number.isInteger)."""
+
+from tests.helpers import console_of, eval_jsl
+
+
+class TestArrayExtensions:
+    def test_sort_default_string_order(self):
+        assert console_of(
+            "var a = [10, 9, 2, 1]; a.sort(); console.log(a.join(','));"
+        ) == ["1,10,2,9"]  # JS default sort is lexicographic!
+
+    def test_sort_with_comparator(self):
+        assert console_of(
+            """
+            var a = [10, 9, 2, 1];
+            a.sort(function (x, y) { return x - y; });
+            console.log(a.join(","));
+            """
+        ) == ["1,2,9,10"]
+
+    def test_sort_returns_the_array(self):
+        assert console_of(
+            "var a = [3,1]; console.log(a.sort() === a);"
+        ) == ["true"]
+
+    def test_sort_undefined_last(self):
+        assert console_of(
+            "var a = [undefined, 'b', 'a']; a.sort(); console.log(a.join('|'));"
+        ) == ["a|b|"]
+
+    def test_some_every(self):
+        src = """
+        var nums = [1, 2, 3, 4];
+        console.log(
+          nums.some(function (n) { return n > 3; }),
+          nums.some(function (n) { return n > 9; }),
+          nums.every(function (n) { return n > 0; }),
+          nums.every(function (n) { return n > 1; })
+        );
+        """
+        assert console_of(src) == ["true false true false"]
+
+    def test_some_short_circuits(self):
+        src = """
+        var calls = 0;
+        [1, 2, 3].some(function (n) { calls++; return n === 1; });
+        console.log(calls);
+        """
+        assert console_of(src) == ["1"]
+
+    def test_find(self):
+        src = """
+        var users = [{id: 1, name: "a"}, {id: 2, name: "b"}];
+        var found = users.find(function (u) { return u.id === 2; });
+        var missing = users.find(function (u) { return u.id === 9; });
+        console.log(found.name, missing);
+        """
+        assert console_of(src) == ["b undefined"]
+
+    def test_last_index_of(self):
+        assert console_of(
+            "console.log([1, 2, 1, 3].lastIndexOf(1), [1].lastIndexOf(9));"
+        ) == ["2 -1"]
+
+
+class TestStringExtensions:
+    def test_starts_ends_includes(self):
+        src = """
+        var s = "hello world";
+        console.log(s.startsWith("hello"), s.endsWith("world"),
+                    s.includes("lo wo"), s.includes("xyz"));
+        """
+        assert console_of(src) == ["true true true false"]
+
+    def test_repeat(self):
+        assert console_of("console.log('ab'.repeat(3), 'x'.repeat(0) === '');") == [
+            "ababab true"
+        ]
+
+    def test_pad_start_end(self):
+        src = """
+        console.log("5".padStart(3, "0"), "5".padEnd(3, "-"), "abc".padStart(2));
+        """
+        assert console_of(src) == ["005 5-- abc"]
+
+
+class TestMathExtensions:
+    def test_log_exp(self):
+        assert eval_jsl("Math.round(Math.exp(Math.log(42)))") == 42.0
+
+    def test_log_edge_cases(self):
+        assert eval_jsl("Math.log(0)") == float("-inf")
+        assert eval_jsl("isNaN(Math.log(-1))") is True
+
+    def test_trig(self):
+        assert eval_jsl("Math.sin(0)") == 0.0
+        assert eval_jsl("Math.cos(0)") == 1.0
+        assert eval_jsl("Math.round(Math.atan2(1, 1) * 4 * 1000) / 1000") == round(
+            3.141592653589793, 3
+        )
+
+    def test_trunc_and_sign(self):
+        src = "console.log(Math.trunc(2.9), Math.trunc(-2.9), Math.sign(-5), Math.sign(3), Math.sign(0));"
+        assert console_of(src) == ["2 -2 -1 1 0"]
+
+
+class TestObjectExtensions:
+    def test_get_prototype_of(self):
+        src = """
+        function C() {}
+        var o = new C();
+        console.log(Object.getPrototypeOf(o) === C.prototype);
+        """
+        assert console_of(src) == ["true"]
+
+    def test_object_create_inherits(self):
+        src = """
+        var base = {greet: function () { return "hi " + this.name; }};
+        var child = Object.create(base);
+        child.name = "ada";
+        console.log(child.greet(), Object.getPrototypeOf(child) === base);
+        """
+        assert console_of(src) == ["hi ada true"]
+
+    def test_object_create_null_prototype(self):
+        src = """
+        var bare = Object.create(null);
+        bare.k = 1;
+        console.log(bare.k, Object.getPrototypeOf(bare) === null, bare.toString);
+        """
+        assert console_of(src) == ["1 true undefined"]
+
+    def test_object_create_invalid_proto_throws(self):
+        src = """
+        var msg = "";
+        try { Object.create(42); } catch (e) { msg = e.name; }
+        console.log(msg);
+        """
+        assert console_of(src) == ["TypeError"]
+
+    def test_number_is_integer(self):
+        src = "console.log(Number.isInteger(4), Number.isInteger(4.5), Number.isInteger('4'), Number.isInteger(NaN));"
+        assert console_of(src) == ["true false false false"]
+
+
+class TestExtensionsUnderRIC:
+    def test_object_create_roots_validate_across_runs(self):
+        from repro.core.engine import Engine
+
+        source = """
+        var proto = {describe: function () { return "proto"; }};
+        function make(i) {
+          var o = Object.create(proto);
+          o.index = i;
+          return o;
+        }
+        var items = [make(0), make(1), make(2)];
+        var total = 0;
+        for (var i = 0; i < items.length; i++) { total += items[i].index; }
+        console.log(total, items[0].describe());
+        """
+        engine = Engine(seed=8)
+        initial = engine.run(source, name="oc")
+        record = engine.extract_icrecord()
+        ric = engine.run(source, name="oc", icrecord=record)
+        assert ric.console_output == initial.console_output == ["3 proto"]
+        assert ric.counters.ric_validations > 0
+
+    def test_sorted_workload_stable_across_ric(self):
+        from repro.core.engine import Engine
+
+        source = """
+        var people = [
+          {name: "carol", age: 35}, {name: "alice", age: 28}, {name: "bob", age: 42}
+        ];
+        people.sort(function (a, b) { return a.age - b.age; });
+        var names = people.map(function (p) { return p.name; });
+        console.log(names.join(","));
+        """
+        engine = Engine(seed=8)
+        initial = engine.run(source, name="s")
+        record = engine.extract_icrecord()
+        ric = engine.run(source, name="s", icrecord=record)
+        assert initial.console_output == ric.console_output == ["alice,carol,bob"]
+
+
+class TestFunctionBind:
+    def test_bind_fixes_this(self):
+        src = """
+        function who() { return this.name; }
+        var bound = who.bind({name: "ada"});
+        console.log(bound(), bound.call({name: "other"}));
+        """
+        # bind wins even over an explicit .call receiver.
+        assert console_of(src) == ["ada ada"]
+
+    def test_bind_partial_application(self):
+        src = """
+        function add3(a, b, c) { return a + b + c; }
+        var add1and2 = add3.bind(null, 1, 2);
+        console.log(add1and2(3), add1and2(10));
+        """
+        assert console_of(src) == ["6 13"]
+
+    def test_bound_method_survives_detachment(self):
+        src = """
+        var counter = {n: 0, inc: function () { this.n++; return this.n; }};
+        var inc = counter.inc.bind(counter);
+        inc(); inc();
+        console.log(counter.n);
+        """
+        assert console_of(src) == ["2"]
+
+    def test_bind_of_non_function_throws(self):
+        src = """
+        var msg = "";
+        try { Function.prototype.bind.call(42); } catch (e) { msg = e.name; }
+        console.log(msg);
+        """
+        assert console_of(src) == ["TypeError"]

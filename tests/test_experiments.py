@@ -1,0 +1,175 @@
+"""Tests for the experiment harness: every table/figure regenerates with the
+paper's qualitative shape."""
+
+import pytest
+
+from repro.harness import experiments
+from repro.harness.reporting import (
+    render_bars,
+    render_series,
+    render_stacked_fraction,
+    render_table,
+)
+from repro.workloads import WORKLOAD_NAMES
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    return experiments.measure_all_workloads(seed=7)
+
+
+class TestFigure1:
+    def test_series_shapes(self):
+        trends = experiments.figure1_trends()
+        load_times = trends["expected_page_load_time_s"]
+        requests = trends["js_requests_top1000"]
+        # Expectations fall monotonically; JS requests rise monotonically.
+        assert all(a[1] > b[1] for a, b in zip(load_times, load_times[1:]))
+        assert all(a[1] < b[1] for a, b in zip(requests, requests[1:]))
+        assert requests[0] == (2010, 12) and requests[-1] == (2015, 28)
+
+
+class TestFigure5:
+    def test_rows_cover_libraries_plus_average(self, measurements):
+        rows = experiments.figure5_instruction_breakdown(measurements)
+        assert [row["library"] for row in rows] == WORKLOAD_NAMES + ["Average"]
+
+    def test_fractions_partition(self, measurements):
+        for row in experiments.figure5_instruction_breakdown(measurements):
+            assert 0.0 <= row["ic_miss_handling"] <= 1.0
+            assert abs(row["ic_miss_handling"] + row["rest_of_work"] - 1.0) < 1e-9
+
+    def test_average_fraction_substantial(self, measurements):
+        rows = experiments.figure5_instruction_breakdown(measurements)
+        average = rows[-1]["ic_miss_handling"]
+        # Paper: 36%.  The claim to preserve: a substantial fraction.
+        assert 0.15 <= average <= 0.60
+
+
+class TestTable1:
+    def test_columns_present(self, measurements):
+        rows = experiments.table1_ic_statistics(measurements)
+        for row in rows:
+            assert set(row) == {
+                "library",
+                "hidden_classes",
+                "ic_misses",
+                "misses_per_hc",
+                "ci_handler_pct",
+            }
+
+    def test_misses_exceed_hidden_classes(self, measurements):
+        """The paper's core observation: each hidden class misses at several
+        sites, so misses_per_hc > 1 everywhere."""
+        for row in experiments.table1_ic_statistics(measurements)[:-1]:
+            assert row["misses_per_hc"] > 1.0, row["library"]
+
+    def test_ci_fraction_substantial_everywhere(self, measurements):
+        for row in experiments.table1_ic_statistics(measurements)[:-1]:
+            assert row["ci_handler_pct"] > 20.0, row["library"]
+
+    def test_react_has_most_hidden_classes(self, measurements):
+        rows = experiments.table1_ic_statistics(measurements)[:-1]
+        most = max(rows, key=lambda r: r["hidden_classes"])
+        assert most["library"] == "reactlike"
+
+
+class TestTable4:
+    def test_reuse_below_initial_everywhere(self, measurements):
+        for row in experiments.table4_miss_rates(measurements)[:-1]:
+            assert row["reuse_miss_pct"] < row["initial_miss_pct"], row["library"]
+
+    def test_breakdown_sums_to_reuse_rate(self, measurements):
+        for row in experiments.table4_miss_rates(measurements)[:-1]:
+            total = row["handler_pct"] + row["global_pct"] + row["other_pct"]
+            assert abs(total - row["reuse_miss_pct"]) < 1e-6, row["library"]
+
+    def test_other_is_dominant_component_on_average(self, measurements):
+        average = experiments.table4_miss_rates(measurements)[-1]
+        assert average["other_pct"] > average["handler_pct"]
+        assert average["other_pct"] > average["global_pct"]
+
+
+class TestFigure8:
+    def test_ric_below_conventional_everywhere(self, measurements):
+        for row in experiments.figure8_instruction_counts(measurements)[:-1]:
+            assert row["ric"] < row["conventional"], row["library"]
+
+    def test_average_saving_in_band(self, measurements):
+        average = experiments.figure8_instruction_counts(measurements)[-1]
+        assert 0.75 <= average["ric"] <= 0.95  # paper: 0.85
+
+
+class TestFigure9:
+    def test_ric_modeled_time_wins_everywhere(self, measurements):
+        rows = experiments.figure9_execution_times(measurements)
+        for row in rows[:-1]:
+            assert row["ric_ms"] < row["conventional_ms"], row["library"]
+
+    def test_time_saving_slightly_exceeds_instruction_saving(self, measurements):
+        """Paper §7.2: eliminated instructions involve cache misses, so the
+        time reduction is a bit larger than the instruction reduction."""
+        time_rows = experiments.figure9_execution_times(measurements)
+        instr_rows = experiments.figure8_instruction_counts(measurements)
+        assert time_rows[-1]["normalized"] < instr_rows[-1]["ric"]
+
+    def test_absolute_times_positive(self, measurements):
+        rows = experiments.figure9_execution_times(measurements)
+        for row in rows[:-1]:
+            assert row["conventional_ms"] > 0 and row["ric_ms"] > 0
+            assert row["wall_conventional_ms"] > 0
+
+
+class TestSection73:
+    def test_extraction_cheap_and_record_small(self, measurements):
+        rows = experiments.section73_overheads(measurements)
+        for row in rows[:-1]:
+            assert row["extraction_ms"] < 1000.0
+            # Paper: ICRecord is ~1% of heap; assert well under 5%.
+            assert row["overhead_pct"] < 5.0, row["library"]
+
+    def test_record_sizes_in_paper_band(self, measurements):
+        rows = experiments.section73_overheads(measurements)[:-1]
+        for row in rows:
+            assert 1.0 <= row["icrecord_kb"] <= 200.0, row["library"]
+
+
+class TestSection6:
+    def test_cross_website_results(self):
+        result = experiments.section6_websites(seed=7)
+        assert result["outputs_match"]
+        assert result["miss_rate_drop_pp"] > 0
+        assert result["instruction_saving"] > 0
+
+
+class TestReporting:
+    def test_render_table_includes_paper_reference(self, measurements):
+        rows = experiments.table1_ic_statistics(measurements)
+        text = render_table(
+            "T1",
+            [("Library", "library"), ("#HC", "hidden_classes")],
+            rows,
+            paper={"reactlike": (360,)},
+        )
+        assert "reactlike" in text and "(paper)" in text and "360" in text
+
+    def test_render_bars(self):
+        text = render_bars("B", [{"library": "x", "v": 0.5}], value_key="v")
+        assert "|" in text and "0.500" in text
+
+    def test_render_stacked_fraction(self):
+        text = render_stacked_fraction(
+            "F", [{"library": "x", "part": 0.25}], part_key="part"
+        )
+        assert "25.0%" in text
+
+    def test_render_series(self):
+        text = render_series("S", {"a": [(1, 2)]})
+        assert "a:" in text and "1: 2" in text
+
+    def test_cli_smoke(self, capsys):
+        from repro.harness.cli import main
+
+        assert main(["fig1"]) == 0
+        output = capsys.readouterr().out
+        assert "Figure 1" in output

@@ -1,0 +1,176 @@
+"""Randomized program generation: VM robustness and RIC soundness fuzzing.
+
+A hypothesis-driven generator assembles random (but always valid) jsl
+programs out of statement templates — object construction, prototype
+methods, property churn, loops, branches on generated data, deletes,
+keyed access — and checks the two properties that must hold for *any*
+program:
+
+1. the program runs to completion with a balanced VM (no stack residue,
+   no host exceptions), and
+2. the RIC Reuse run prints exactly what the Initial run printed
+   (soundness), while never increasing the miss count.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import Engine
+
+# -- program generator ----------------------------------------------------------
+
+_PROP_NAMES = ["alpha", "beta", "gamma", "delta", "epsilon"]
+
+
+@st.composite
+def jsl_programs(draw) -> str:
+    """Generate a deterministic jsl program that logs a digest at the end."""
+    lines: list[str] = [
+        "var log = [];",
+        "function Thing(seed) { this.seed = seed; this.score = 0; }",
+        "Thing.prototype.bump = function (n) { this.score += n; return this.score; };",
+        "var things = [];",
+    ]
+
+    # A pool of objects with randomized (but statically known) shapes.
+    object_count = draw(st.integers(min_value=1, max_value=5))
+    for index in range(object_count):
+        props = draw(
+            st.lists(
+                st.sampled_from(_PROP_NAMES), min_size=0, max_size=4, unique=True
+            )
+        )
+        literal = ", ".join(
+            f"{name}: {draw(st.integers(min_value=-9, max_value=9))}"
+            for name in props
+        )
+        lines.append(f"var obj{index} = {{{literal}}};")
+
+    # Statement templates, chosen repeatedly.
+    statement_count = draw(st.integers(min_value=3, max_value=15))
+    for _ in range(statement_count):
+        kind = draw(st.integers(min_value=0, max_value=12))
+        target = draw(st.integers(min_value=0, max_value=object_count - 1))
+        prop = draw(st.sampled_from(_PROP_NAMES))
+        value = draw(st.integers(min_value=-99, max_value=99))
+        if kind == 0:
+            lines.append(f"obj{target}.{prop} = {value};")
+        elif kind == 1:
+            lines.append(f"log.push(obj{target}.{prop});")
+        elif kind == 2:
+            lines.append(f'obj{target}["{prop}"] = {value};')
+        elif kind == 3:
+            lines.append(
+                f"if (obj{target}.{prop} !== undefined) "
+                f"{{ log.push('has:{prop}'); }} else {{ log.push('no:{prop}'); }}"
+            )
+        elif kind == 4:
+            lines.append(f"delete obj{target}.{prop};")
+        elif kind == 5:
+            lines.append(f"things.push(new Thing({value}));")
+        elif kind == 6:
+            lines.append(
+                "for (var i = 0; i < things.length; i++) "
+                f"{{ things[i].bump({abs(value) % 7}); }}"
+            )
+        elif kind == 7:
+            lines.append(
+                f"var keys{len(lines)} = [];"
+                f"for (var k in obj{target}) {{ keys{len(lines)}.push(k); }}"
+                f"log.push(keys{len(lines)}.join('+'));"
+            )
+        elif kind == 8:
+            count = abs(value) % 4 + 1
+            lines.append(
+                f"for (var j = 0; j < {count}; j++) "
+                f"{{ obj{target}.{prop} = j; log.push(obj{target}.{prop}); }}"
+            )
+        elif kind == 9:
+            lines.append(
+                f"try {{ if (obj{target}.{prop} === {value}) "
+                f"{{ throw 'match'; }} }} catch (e) {{ log.push('caught'); }}"
+            )
+        elif kind == 10:
+            # prototype mutation mid-run: stresses chain-handler invalidation
+            lines.append(
+                f"Thing.prototype.extra{len(lines)} = {value};"
+                "if (things.length > 0) { "
+                f"log.push(things[0].extra{len(lines) - 1} !== undefined ? 'proto+' : 'proto-'); }}"
+            )
+        elif kind == 11:
+            # Object.create-based derivation
+            lines.append(
+                f"var derived{len(lines)} = Object.create(obj{target});"
+                f"derived{len(lines)}.own = {value};"
+                f"log.push(derived{len(lines)}.own + ':' + (derived{len(lines)}.{prop} === obj{target}.{prop}));"
+            )
+        else:
+            # bound method invocation
+            lines.append(
+                "if (things.length > 0) { "
+                f"var bound{len(lines)} = things[0].bump.bind(things[0], {abs(value) % 5});"
+                f"log.push(bound{len(lines)}()); }}"
+            )
+
+    # Digest: everything observable, deterministically.
+    lines.append("var scores = [];")
+    lines.append(
+        "for (var t = 0; t < things.length; t++) { scores.push(things[t].score); }"
+    )
+    lines.append('console.log(log.join(","));')
+    lines.append('console.log("scores:", scores.join(","));')
+    return "\n".join(lines)
+
+
+# -- properties ------------------------------------------------------------------
+
+
+class TestGeneratedPrograms:
+    @given(jsl_programs())
+    @settings(max_examples=40, deadline=None)
+    def test_programs_run_to_completion(self, source):
+        engine = Engine(seed=4)
+        profile = engine.run(source, name="fuzz")
+        assert len(profile.console_output) == 2
+
+    @given(jsl_programs())
+    @settings(max_examples=40, deadline=None)
+    def test_ric_soundness_on_generated_programs(self, source):
+        """The headline property: for any program, RIC reuse must be
+        observationally identical to a cold run and never increase misses."""
+        engine = Engine(seed=4)
+        initial = engine.run(source, name="fuzz")
+        record = engine.extract_icrecord()
+        conventional = engine.run(source, name="fuzz")
+        ric = engine.run(source, name="fuzz", icrecord=record)
+        assert initial.console_output == conventional.console_output
+        assert ric.console_output == initial.console_output
+        assert ric.counters.ic_misses <= conventional.counters.ic_misses
+
+    @given(jsl_programs(), jsl_programs())
+    @settings(max_examples=15, deadline=None)
+    def test_foreign_records_are_harmless(self, source_a, source_b):
+        """Reusing program A's record while running program B must never
+        change B's behaviour (it may simply not help)."""
+        engine = Engine(seed=4)
+        engine.run(source_a, name="a")
+        record = engine.extract_icrecord()
+        clean = engine.run(source_b, name="b")
+        with_foreign = engine.run(source_b, name="b", icrecord=record)
+        assert clean.console_output == with_foreign.console_output
+
+    @given(jsl_programs())
+    @settings(max_examples=15, deadline=None)
+    def test_record_serialization_stable_for_generated_programs(self, source):
+        import json
+
+        from repro.ric.serialize import record_from_json, record_to_json
+
+        engine = Engine(seed=4)
+        engine.run(source, name="fuzz")
+        record = engine.extract_icrecord()
+        round_tripped = record_from_json(json.loads(json.dumps(record_to_json(record))))
+        ric = engine.run(source, name="fuzz", icrecord=round_tripped)
+        assert ric.console_output == engine.run(source, name="fuzz").console_output

@@ -1,0 +1,124 @@
+"""Tests for the hidden-class transition-graph analysis."""
+
+import networkx as nx
+
+from repro.core.engine import Engine
+from repro.stats.hc_graph import (
+    build_transition_graph,
+    chain_of,
+    to_dot,
+    transition_stats,
+)
+from repro.workloads import WORKLOADS
+
+
+def run_and_runtime(source, seed=5):
+    engine = Engine(seed=seed)
+    engine.run(source, name="g")
+    return engine._last_runtime
+
+
+class TestGraphConstruction:
+    def test_forest_is_acyclic(self):
+        runtime = run_and_runtime("var o = {}; o.a = 1; o.b = 2; var p = {}; p.z = 0;")
+        graph = build_transition_graph(runtime)
+        assert nx.is_directed_acyclic_graph(graph)
+
+    def test_edges_carry_property_labels(self):
+        runtime = run_and_runtime("var o = {}; o.a = 1; o.b = 2;")
+        graph = build_transition_graph(runtime)
+        labels = {data["property"] for _, _, data in graph.edges(data=True)}
+        assert {"a", "b"} <= labels
+
+    def test_shared_chain_single_path(self):
+        runtime = run_and_runtime(
+            """
+            function make() { var o = {}; o.x = 1; o.y = 2; return o; }
+            var a = make();
+            var b = make();
+            """
+        )
+        graph = build_transition_graph(runtime)
+        x_edges = [
+            (s, t) for s, t, d in graph.edges(data=True) if d["property"] == "x"
+        ]
+        assert len(x_edges) == 1  # both objects share one transition chain
+
+    def test_diverging_chains_branch(self):
+        runtime = run_and_runtime(
+            """
+            var a = {}; a.x = 1;
+            var b = {}; b.y = 1;
+            """
+        )
+        stats = transition_stats(runtime)
+        assert stats.max_branching >= 2  # the empty-object class fans out
+
+    def test_node_attributes(self):
+        runtime = run_and_runtime("var o = {}; o.k = 1;")
+        graph = build_transition_graph(runtime)
+        kinds = {data["kind"] for _, data in graph.nodes(data=True)}
+        assert "builtin" in kinds and "site" in kinds
+
+
+class TestStats:
+    def test_counts_match_registry(self):
+        runtime = run_and_runtime("var o = {}; o.a = 1; o.b = 2;")
+        stats = transition_stats(runtime)
+        assert stats.classes == len(runtime.hidden_classes.all_classes)
+        assert stats.transitions == sum(
+            len(hc.transitions) for hc in runtime.hidden_classes.all_classes
+        )
+
+    def test_chain_depth_reflects_property_count(self):
+        source = "var o = {};" + "".join(f"o.p{i} = {i};" for i in range(10))
+        runtime = run_and_runtime(source)
+        stats = transition_stats(runtime)
+        assert stats.max_chain_depth >= 10
+
+    def test_empty_object_family_grows_with_literals(self):
+        small = transition_stats(run_and_runtime("var a = {x: 1};"))
+        large = transition_stats(
+            run_and_runtime("var a = {x: 1}; var b = {y: 1, z: 2}; var c = {w: 1};")
+        )
+        assert large.empty_object_family > small.empty_object_family
+
+    def test_as_dict_keys(self):
+        stats = transition_stats(run_and_runtime("var o = {};"))
+        assert set(stats.as_dict()) == {
+            "classes",
+            "roots",
+            "transitions",
+            "max_chain_depth",
+            "max_branching",
+            "empty_object_family",
+        }
+
+    def test_workload_signature_react_vs_underscore(self):
+        """React-like builds many more shapes than Underscore-like — the
+        Table 1 hidden-class ordering, visible structurally."""
+        engine = Engine(seed=5)
+        engine.run(WORKLOADS["reactlike"].scripts(), name="react")
+        react = transition_stats(engine._last_runtime)
+        engine.run(WORKLOADS["underscorelike"].scripts(), name="underscore")
+        underscore = transition_stats(engine._last_runtime)
+        assert react.classes > underscore.classes
+
+
+class TestChainAndDot:
+    def test_chain_of_walks_to_root(self):
+        runtime = run_and_runtime("var o = {}; o.a = 1; o.b = 2;")
+        final_hc = None
+        for hc in runtime.hidden_classes.all_classes:
+            if hc.transition_property == "b":
+                final_hc = hc
+        assert final_hc is not None
+        chain = chain_of(final_hc)
+        assert [hc.transition_property for hc in chain] == [None, "a", "b"]
+        assert chain[0].creation_key == "builtin:EmptyObject"
+
+    def test_dot_output(self):
+        runtime = run_and_runtime("var o = {}; o.a = 1;")
+        dot = to_dot(runtime)
+        assert dot.startswith("digraph")
+        assert '"a"' in dot and "builtin:EmptyObject" in dot

@@ -1,0 +1,340 @@
+"""Tests for the inline-caching layer: ICVector states, handlers, the miss
+path and the stub cache."""
+
+import pytest
+
+from repro.bytecode.code import FeedbackSlotInfo, SiteKind
+from repro.ic.handlers import (
+    LoadArrayLengthHandler,
+    LoadElementHandler,
+    LoadFieldHandler,
+    LoadGlobalHandler,
+    LoadNotFoundHandler,
+    StoreElementHandler,
+    StoreFieldHandler,
+    StoreGlobalHandler,
+    StoreTransitionHandler,
+    deserialize_handler,
+)
+from repro.ic.icvector import POLY_LIMIT, ICSite, ICState
+from repro.lang.errors import SourcePosition
+
+from tests.helpers import run_jsl
+
+
+def make_site(kind=SiteKind.NAMED_LOAD, name="p", line=1):
+    info = FeedbackSlotInfo(
+        kind=kind, position=SourcePosition("t.jsl", line, 1), name=name
+    )
+    return ICSite(info)
+
+
+class FakeHC:
+    _next = 0
+
+    def __init__(self):
+        FakeHC._next += 1
+        self.address = 0x1000 + FakeHC._next * 16
+
+
+class TestICSiteStates:
+    def test_starts_uninitialized(self):
+        site = make_site()
+        assert site.state is ICState.UNINITIALIZED
+        assert site.lookup(FakeHC()) is None
+
+    def test_monomorphic_after_one_install(self):
+        site = make_site()
+        hc = FakeHC()
+        handler = LoadFieldHandler(0)
+        assert site.install(hc, handler)
+        assert site.state is ICState.MONOMORPHIC
+        assert site.lookup(hc) is handler
+
+    def test_polymorphic_after_two(self):
+        site = make_site()
+        site.install(FakeHC(), LoadFieldHandler(0))
+        site.install(FakeHC(), LoadFieldHandler(1))
+        assert site.state is ICState.POLYMORPHIC
+
+    def test_megamorphic_beyond_poly_limit(self):
+        site = make_site()
+        for _ in range(POLY_LIMIT):
+            assert site.install(FakeHC(), LoadFieldHandler(0))
+        assert not site.install(FakeHC(), LoadFieldHandler(0))
+        assert site.state is ICState.MEGAMORPHIC
+        assert site.slots == []
+
+    def test_megamorphic_rejects_installs(self):
+        site = make_site()
+        for _ in range(POLY_LIMIT + 1):
+            site.install(FakeHC(), LoadFieldHandler(0))
+        assert not site.install(FakeHC(), LoadFieldHandler(0))
+
+    def test_reinstall_replaces_handler(self):
+        site = make_site()
+        hc = FakeHC()
+        site.install(hc, LoadFieldHandler(0))
+        replacement = LoadFieldHandler(3)
+        site.install(hc, replacement)
+        assert site.lookup(hc) is replacement
+        assert len(site.slots) == 1
+
+    def test_preloaded_tracking(self):
+        site = make_site()
+        hc = FakeHC()
+        site.install(hc, LoadFieldHandler(0), preloaded=True)
+        assert site.was_preloaded(hc)
+        other = FakeHC()
+        site.install(other, LoadFieldHandler(0))
+        assert not site.was_preloaded(other)
+
+
+class TestHandlerClassification:
+    """Paper §3.2: which handlers are context-independent."""
+
+    def test_context_independent_kinds(self):
+        assert LoadFieldHandler(1).is_context_independent
+        assert StoreFieldHandler(1).is_context_independent
+        assert LoadArrayLengthHandler().is_context_independent
+        assert LoadElementHandler().is_context_independent
+        assert StoreElementHandler().is_context_independent
+
+    def test_context_dependent_kinds(self):
+        assert not StoreTransitionHandler(0, FakeHC()).is_context_independent
+        assert not LoadGlobalHandler(0).is_context_independent
+        assert not StoreGlobalHandler(0).is_context_independent
+        assert not LoadNotFoundHandler(()).is_context_independent
+
+    def test_ci_handlers_serialize_and_round_trip(self):
+        for handler in (
+            LoadFieldHandler(5),
+            StoreFieldHandler(2),
+            LoadArrayLengthHandler(),
+            LoadElementHandler(),
+            StoreElementHandler(),
+        ):
+            data = handler.serialize()
+            assert data is not None
+            clone = deserialize_handler(data)
+            assert type(clone) is type(handler)
+            assert getattr(clone, "offset", None) == getattr(handler, "offset", None)
+
+    def test_cd_handlers_do_not_serialize(self):
+        assert StoreTransitionHandler(0, FakeHC()).serialize() is None
+        assert LoadGlobalHandler(0).serialize() is None
+
+    def test_deserialize_rejects_cd_kinds(self):
+        with pytest.raises(ValueError):
+            deserialize_handler({"kind": "store_transition", "offset": 0})
+
+
+class TestICBehaviorEndToEnd:
+    def test_monomorphic_site_hits_after_first_miss(self):
+        result = run_jsl(
+            """
+            function get(o) { return o.x; }
+            var a = {x: 1};
+            var total = 0;
+            for (var i = 0; i < 10; i++) { total += get(a); }
+            """
+        )
+        # The load site in get() misses once, then hits 9 times.
+        assert result.counters.ic_hits >= 9
+
+    def test_polymorphic_site_caches_both_shapes(self):
+        result = run_jsl(
+            """
+            function get(o) { return o.v; }
+            var a = {v: 1};
+            var b = {other: 0, v: 2};
+            var total = 0;
+            for (var i = 0; i < 10; i++) { total += get(a) + get(b); }
+            console.log(total);
+            """
+        )
+        assert result.console == ["30"]
+        sites = [
+            s
+            for s in result.feedback.all_sites()
+            if s.info.name == "v" and s.info.kind is SiteKind.NAMED_LOAD
+        ]
+        assert any(s.state is ICState.POLYMORPHIC for s in sites)
+
+    def test_megamorphic_site_keeps_working(self):
+        result = run_jsl(
+            """
+            function get(o) { return o.v; }
+            var shapes = [
+              {v: 1}, {a: 0, v: 2}, {b: 0, v: 3}, {c: 0, v: 4},
+              {d: 0, v: 5}, {e: 0, v: 6}
+            ];
+            var total = 0;
+            for (var r = 0; r < 3; r++) {
+              for (var i = 0; i < shapes.length; i++) { total += get(shapes[i]); }
+            }
+            console.log(total);
+            """
+        )
+        assert result.console == ["63"]
+        sites = [s for s in result.feedback.all_sites() if s.info.name == "v"]
+        assert any(s.state is ICState.MEGAMORPHIC for s in sites)
+
+    def test_transition_handler_fast_path(self):
+        # Second object takes the cached transition without a runtime call.
+        result = run_jsl(
+            """
+            function make(v) { var o = {}; o.x = v; return o; }
+            var a = make(1);
+            var b = make(2);
+            console.log(a.x + b.x);
+            """
+        )
+        assert result.console == ["3"]
+        store_sites = [
+            s for s in result.feedback.all_sites()
+            if s.info.name == "x" and s.info.kind is SiteKind.NAMED_STORE
+        ]
+        assert len(store_sites) == 1
+        assert store_sites[0].state is ICState.MONOMORPHIC
+
+    def test_proto_chain_handler_invalidated_by_proto_mutation(self):
+        # After mutating the prototype, the cached chain handler must fall
+        # back to the runtime and return the new value — correctness over
+        # speed.
+        result = run_jsl(
+            """
+            function C() {}
+            C.prototype.v = "old";
+            var o = new C();
+            var first = o.v;
+            var second = o.v;     // cached proto-chain hit
+            C.prototype.w = 1;    // transitions the prototype's hidden class
+            var third = o.v;      // cached chain is stale -> re-miss
+            console.log(first, second, third);
+            """
+        )
+        assert result.console == ["old old old"]
+
+    def test_proto_value_change_visible(self):
+        result = run_jsl(
+            """
+            function C() {}
+            C.prototype.v = "one";
+            var o = new C();
+            var a = o.v;
+            C.prototype.v = "two";  // same layout, new value at same offset
+            var b = o.v;
+            console.log(a, b);
+            """
+        )
+        assert result.console == ["one two"]
+
+    def test_array_length_handler(self):
+        result = run_jsl(
+            """
+            var a = [1, 2, 3];
+            var n = 0;
+            for (var i = 0; i < 5; i++) { n = a.length; }
+            console.log(n);
+            """
+        )
+        assert result.console == ["3"]
+
+    def test_not_found_handler_returns_undefined_repeatedly(self):
+        result = run_jsl(
+            """
+            var o = {};
+            var count = 0;
+            for (var i = 0; i < 5; i++) { if (o.missing === undefined) count++; }
+            console.log(count);
+            """
+        )
+        assert result.console == ["5"]
+
+    def test_dictionary_mode_uncacheable_but_correct(self):
+        result = run_jsl(
+            """
+            var o = {a: 1, b: 2};
+            delete o.a;
+            o.c = 3;
+            console.log(o.a, o.b, o.c);
+            """
+        )
+        assert result.console == ["undefined 2 3"]
+
+
+class TestStubCache:
+    def test_keyed_string_loads_hit_stub_cache(self):
+        result = run_jsl(
+            """
+            var o = {alpha: 1, beta: 2};
+            var keys = ["alpha", "beta"];
+            var total = 0;
+            for (var r = 0; r < 10; r++) {
+              for (var i = 0; i < keys.length; i++) { total += o[keys[i]]; }
+            }
+            console.log(total);
+            """
+        )
+        assert result.console == ["30"]
+        # 2 keyed-name misses (one per property), the rest stub-cache hits.
+        assert len(result.vm.ic.stub_cache) >= 2
+
+    def test_keyed_string_store_transitions_via_stub(self):
+        result = run_jsl(
+            """
+            function build(name) { var o = {}; o[name] = 1; return o; }
+            var a = build("k");
+            var b = build("k");
+            console.log(a.k + b.k);
+            """
+        )
+        assert result.console == ["2"]
+
+    def test_keyed_integer_access_uses_element_handlers(self):
+        result = run_jsl(
+            """
+            var a = [0, 0, 0];
+            for (var i = 0; i < 3; i++) { a[i] = i * 2; }
+            console.log(a[0] + a[1] + a[2]);
+            """
+        )
+        assert result.console == ["6"]
+
+
+class TestDictionaryModePrototypes:
+    def test_dict_mode_prototype_gaining_property_is_visible(self):
+        """Regression: a NotFound handler must never be cached over a
+        dictionary-mode prototype — dictionary stores don't change the
+        hidden class, so nothing would ever invalidate it."""
+        result = run_jsl(
+            """
+            function C() {}
+            C.prototype.x = 1;
+            delete C.prototype.x;      // prototype drops to dictionary mode
+            var o = new C();
+            var a = o.later;           // absent
+            var b = o.later;           // absent again (uncached runtime walk)
+            C.prototype.later = 42;    // dictionary store: no shape change
+            var c = o.later;           // must observe the new value
+            console.log(a, b, c);
+            """
+        )
+        assert result.console == ["undefined undefined 42"]
+
+    def test_dict_mode_prototype_field_reads_stay_fresh(self):
+        result = run_jsl(
+            """
+            function C() {}
+            C.prototype.v = "first";
+            C.prototype.unused = 0;
+            delete C.prototype.unused; // dictionary mode
+            var o = new C();
+            var a = o.v;
+            C.prototype.v = "second";  // dictionary store
+            var b = o.v;
+            console.log(a, b);
+            """
+        )
+        assert result.console == ["first second"]

@@ -1,0 +1,232 @@
+"""Module-level unit tests for FeedbackState and ReuseSession internals
+(no engine; structures are driven directly)."""
+
+from repro.bytecode.compiler import compile_source
+from repro.core.config import RICConfig
+from repro.ic.handlers import LoadFieldHandler
+from repro.ic.icvector import POLY_LIMIT, FeedbackState, ICState
+from repro.ric.icrecord import DependentEntry, HCVTRow, ICRecord, ToastPair
+from repro.ric.reuse import ReuseSession
+from repro.runtime.heap import Heap
+from repro.runtime.hidden_class import HiddenClassRegistry
+from repro.stats.counters import MISS_HANDLER, MISS_OTHER, Counters
+
+
+def make_feedback(source="var v = o.x; o.x = 1;", filename="u.jsl"):
+    code = compile_source(source, filename)
+    feedback = FeedbackState()
+    feedback.register_script(code)
+    return code, feedback
+
+
+class TestFeedbackState:
+    def test_register_is_idempotent(self):
+        code, feedback = make_feedback()
+        before = len(list(feedback.all_sites()))
+        feedback.register_script(code)
+        assert len(list(feedback.all_sites())) == before
+
+    def test_vector_for_round_trips(self):
+        code, feedback = make_feedback()
+        vector = feedback.vector_for(code)
+        assert len(vector) == len(code.feedback_slots)
+        assert vector[0].info is code.feedback_slots[0]
+
+    def test_site_by_key_finds_every_site(self):
+        code, feedback = make_feedback()
+        for info in code.feedback_slots:
+            assert feedback.site_by_key(info.site_key) is not None
+
+    def test_unknown_key_is_none(self):
+        _, feedback = make_feedback()
+        assert feedback.site_by_key("nope:1:1:named_load") is None
+
+    def test_nested_functions_registered(self):
+        code, feedback = make_feedback("function f(o) { return o.y; } f({y: 1});")
+        keys = {site.info.site_key for site in feedback.all_sites()}
+        assert any(":named_load" in key and "y" or False for key in keys)
+        nested = [c for c in code.iter_code_objects() if c.name == "f"][0]
+        assert feedback.vector_for(nested) is not None
+
+
+def make_record_and_session(dependents=None, cd_sites=None, config=None):
+    """A two-row record: HCID 0 = builtin empty object, HCID 1 = +x."""
+    record = ICRecord()
+    record.handlers = [{"kind": "load_field", "offset": 0}]
+    record.hcvt = [
+        HCVTRow(hcid=0),
+        HCVTRow(
+            hcid=1,
+            dependents=[
+                DependentEntry(site_key, 0) for site_key in (dependents or [])
+            ],
+            cd_dependent_sites=list(cd_sites or []),
+        ),
+    ]
+    record.toast = {
+        "builtin:EmptyObject": [ToastPair(None, None, 0)],
+        "u.jsl:1:16:named_store": [ToastPair(0, "x", 1)],
+    }
+    code, feedback = make_feedback("var v = o.x; o.x = 1;")
+    counters = Counters()
+    session = ReuseSession(record, feedback, counters, config or RICConfig())
+    return record, feedback, counters, session, code
+
+
+def registry():
+    return HiddenClassRegistry(Heap(seed=1))
+
+
+class TestReuseSessionValidation:
+    def test_builtin_key_validates(self):
+        _, _, counters, session, _ = make_record_and_session()
+        reg = registry()
+        root = reg.create_root("builtin", "builtin:EmptyObject", None)
+        session.on_hidden_class_created(root)
+        assert 0 in session.validated
+        assert session.address_by_hcid[0] == root.address
+        assert counters.ric_validations == 1
+
+    def test_unknown_key_is_ignored(self):
+        _, _, counters, session, _ = make_record_and_session()
+        reg = registry()
+        stranger = reg.create_root("builtin", "builtin:NotInRecord", None)
+        session.on_hidden_class_created(stranger)
+        assert not session.validated
+        assert counters.ric_divergences == 0  # unknown != divergent
+
+    def test_transition_validates_when_incoming_matches(self):
+        load_key = None
+        _, feedback, counters, session, code = make_record_and_session()
+        reg = registry()
+        root = reg.create_root("builtin", "builtin:EmptyObject", None)
+        session.on_hidden_class_created(root)
+        outgoing, _ = reg.transition(root, "x", "u.jsl:1:16:named_store")
+        session.on_hidden_class_created(outgoing)
+        assert 1 in session.validated
+        del load_key
+
+    def test_transition_property_mismatch_diverges(self):
+        _, _, counters, session, _ = make_record_and_session()
+        reg = registry()
+        root = reg.create_root("builtin", "builtin:EmptyObject", None)
+        session.on_hidden_class_created(root)
+        wrong_prop, _ = reg.transition(root, "z", "u.jsl:1:16:named_store")
+        session.on_hidden_class_created(wrong_prop)
+        assert 1 not in session.validated
+        assert counters.ric_divergences == 1
+
+    def test_incoming_address_mismatch_diverges(self):
+        _, _, counters, session, _ = make_record_and_session()
+        reg = registry()
+        root = reg.create_root("builtin", "builtin:EmptyObject", None)
+        imposter = reg.create_root("builtin", "builtin:EmptyObject", None)
+        session.on_hidden_class_created(root)  # validates at root's address
+        outgoing, _ = reg.transition(imposter, "x", "u.jsl:1:16:named_store")
+        session.on_hidden_class_created(outgoing)
+        assert 1 not in session.validated
+        assert counters.ric_divergences == 1
+
+    def test_unvalidated_incoming_diverges(self):
+        _, _, counters, session, _ = make_record_and_session()
+        reg = registry()
+        root = reg.create_root("builtin", "builtin:EmptyObject", None)
+        # Root never offered to the session -> HCID 0 not validated.
+        outgoing, _ = reg.transition(root, "x", "u.jsl:1:16:named_store")
+        session.on_hidden_class_created(outgoing)
+        assert 1 not in session.validated
+
+
+class TestReuseSessionPreloading:
+    LOAD_KEY = "u.jsl:1:11:named_load"
+
+    def drive(self, session, feedback):
+        reg = registry()
+        root = reg.create_root("builtin", "builtin:EmptyObject", None)
+        session.on_hidden_class_created(root)
+        outgoing, _ = reg.transition(root, "x", "u.jsl:1:16:named_store")
+        session.on_hidden_class_created(outgoing)
+        return outgoing
+
+    def test_validation_preloads_dependent(self):
+        _, feedback, counters, session, _ = make_record_and_session(
+            dependents=[self.LOAD_KEY]
+        )
+        outgoing = self.drive(session, feedback)
+        site = feedback.site_by_key(self.LOAD_KEY)
+        assert site.lookup(outgoing) is not None
+        assert site.was_preloaded(outgoing)
+        assert counters.ric_preloads == 1
+
+    def test_missing_site_is_skipped(self):
+        _, feedback, counters, session, _ = make_record_and_session(
+            dependents=["other.jsl:9:9:named_load"]
+        )
+        self.drive(session, feedback)
+        assert counters.ric_preloads == 0
+
+    def test_linking_disabled_skips_preloads(self):
+        _, feedback, counters, session, _ = make_record_and_session(
+            dependents=[self.LOAD_KEY], config=RICConfig(enable_linking=False)
+        )
+        self.drive(session, feedback)
+        assert counters.ric_preloads == 0
+
+    def test_full_site_not_overfilled(self):
+        _, feedback, counters, session, _ = make_record_and_session(
+            dependents=[self.LOAD_KEY]
+        )
+        site = feedback.site_by_key(self.LOAD_KEY)
+        reg = registry()
+        for _ in range(POLY_LIMIT):
+            filler = reg.create_root("builtin", "builtin:filler", None)
+            site.install(filler, LoadFieldHandler(0))
+        self.drive(session, feedback)
+        assert counters.ric_preloads == 0
+        assert site.state is not ICState.MEGAMORPHIC  # preload didn't tip it
+
+    def test_existing_slot_not_duplicated(self):
+        _, feedback, counters, session, _ = make_record_and_session(
+            dependents=[self.LOAD_KEY]
+        )
+        reg = registry()
+        root = reg.create_root("builtin", "builtin:EmptyObject", None)
+        session.on_hidden_class_created(root)
+        outgoing, _ = reg.transition(root, "x", "u.jsl:1:16:named_store")
+        site = feedback.site_by_key(self.LOAD_KEY)
+        site.install(outgoing, LoadFieldHandler(0))  # already there
+        session.on_hidden_class_created(outgoing)
+        assert counters.ric_preloads == 0
+        assert len(site.slots) == 1
+
+
+class TestMissClassification:
+    def test_cd_dependent_site_classified_handler(self):
+        load_key = "u.jsl:1:11:named_load"
+        _, feedback, counters, session, _ = make_record_and_session(
+            cd_sites=[load_key]
+        )
+        reg = registry()
+        root = reg.create_root("builtin", "builtin:EmptyObject", None)
+        session.on_hidden_class_created(root)
+        outgoing, _ = reg.transition(root, "x", "u.jsl:1:16:named_store")
+        session.on_hidden_class_created(outgoing)
+        site = feedback.site_by_key(load_key)
+        assert session.classify_miss(site, outgoing) == MISS_HANDLER
+
+    def test_unvalidated_class_classified_other(self):
+        load_key = "u.jsl:1:11:named_load"
+        _, feedback, _, session, _ = make_record_and_session(cd_sites=[load_key])
+        reg = registry()
+        stray = reg.create_root("builtin", "builtin:NotInRecord", None)
+        site = feedback.site_by_key(load_key)
+        assert session.classify_miss(site, stray) == MISS_OTHER
+
+    def test_non_cd_site_classified_other(self):
+        other_key = "u.jsl:1:16:named_store"
+        _, feedback, _, session, _ = make_record_and_session(cd_sites=[])
+        reg = registry()
+        root = reg.create_root("builtin", "builtin:EmptyObject", None)
+        session.on_hidden_class_created(root)
+        site = feedback.site_by_key(other_key)
+        assert session.classify_miss(site, root) == MISS_OTHER

@@ -1,0 +1,606 @@
+"""End-to-end language-semantics tests: compile + run jsl snippets."""
+
+import math
+
+import pytest
+
+from repro.lang.errors import JSLCompileError, JSLReferenceError, JSLRuntimeError
+from repro.runtime.values import NULL, UNDEFINED
+
+from tests.helpers import console_of, eval_jsl, run_jsl
+
+
+class TestArithmetic:
+    def test_basic_math(self):
+        assert eval_jsl("1 + 2 * 3") == 7.0
+
+    def test_division(self):
+        assert eval_jsl("7 / 2") == 3.5
+
+    def test_division_by_zero(self):
+        assert eval_jsl("1 / 0") == float("inf")
+        assert eval_jsl("-1 / 0") == float("-inf")
+        assert math.isnan(eval_jsl("0 / 0"))
+
+    def test_modulo_truncates_like_js(self):
+        assert eval_jsl("7 % 3") == 1.0
+        assert eval_jsl("-7 % 3") == -1.0  # JS remainder keeps dividend sign
+
+    def test_string_concat(self):
+        assert eval_jsl("'a' + 1") == "a1"
+        assert eval_jsl("1 + '2'") == "12"
+
+    def test_unary(self):
+        assert eval_jsl("-(3)") == -3.0
+        assert eval_jsl("+'5'") == 5.0
+        assert eval_jsl("!0") is True
+        assert eval_jsl("~0") == -1.0
+
+    def test_bitwise(self):
+        assert eval_jsl("(5 & 3)") == 1.0
+        assert eval_jsl("(5 | 3)") == 7.0
+        assert eval_jsl("(5 ^ 3)") == 6.0
+        assert eval_jsl("(1 << 4)") == 16.0
+        assert eval_jsl("(-8 >> 1)") == -4.0
+        assert eval_jsl("(-1 >>> 28)") == 15.0
+
+    def test_comparisons(self):
+        assert eval_jsl("1 < 2") is True
+        assert eval_jsl("'b' > 'a'") is True
+        assert eval_jsl("2 <= 2") is True
+        assert eval_jsl("NaN < 1") is False
+        assert eval_jsl("NaN >= 1") is False
+
+    def test_equality(self):
+        assert eval_jsl("1 == '1'") is True
+        assert eval_jsl("1 === '1'") is False
+        assert eval_jsl("null == undefined") is True
+        assert eval_jsl("null === undefined") is False
+
+
+class TestVariablesAndScope:
+    def test_globals_visible_across_statements(self):
+        assert console_of("var a = 1; var b = a + 1; console.log(b);") == ["2"]
+
+    def test_function_locals_shadow_globals(self):
+        out = console_of(
+            """
+            var x = "global";
+            function f() { var x = "local"; return x; }
+            console.log(f(), x);
+            """
+        )
+        assert out == ["local global"]
+
+    def test_var_hoisting(self):
+        out = console_of(
+            """
+            function f() { var seen = typeof y; var y = 1; return seen; }
+            console.log(f());
+            """
+        )
+        assert out == ["undefined"]
+
+    def test_function_hoisting(self):
+        out = console_of(
+            """
+            function f() { return g(); }
+            console.log(f());
+            function g() { return 42; }
+            """
+        )
+        assert out == ["42"]
+
+    def test_undeclared_global_read_throws(self):
+        with pytest.raises(JSLReferenceError):
+            run_jsl("var x = missing + 1;")
+
+    def test_undeclared_assignment_creates_global(self):
+        out = console_of("function f() { leaked = 9; } f(); console.log(leaked);")
+        assert out == ["9"]
+
+    def test_closures_capture_variables(self):
+        out = console_of(
+            """
+            function makeCounter() {
+              var n = 0;
+              return function () { n = n + 1; return n; };
+            }
+            var c1 = makeCounter();
+            var c2 = makeCounter();
+            c1(); c1();
+            console.log(c1(), c2());
+            """
+        )
+        assert out == ["3 1"]
+
+    def test_nested_closure_depth(self):
+        out = console_of(
+            """
+            function a(x) {
+              return function b(y) {
+                return function c(z) { return x + y + z; };
+              };
+            }
+            console.log(a(1)(2)(3));
+            """
+        )
+        assert out == ["6"]
+
+    def test_iife_isolation(self):
+        out = console_of(
+            """
+            var api = (function () {
+              var secret = 41;
+              return { get: function () { return secret + 1; } };
+            })();
+            console.log(api.get(), typeof secret);
+            """
+        )
+        assert out == ["42 undefined"]
+
+
+class TestControlFlow:
+    def test_if_else_chain(self):
+        src = """
+        function grade(n) {
+          if (n > 90) return "A";
+          else if (n > 80) return "B";
+          else return "C";
+        }
+        console.log(grade(95), grade(85), grade(10));
+        """
+        assert console_of(src) == ["A B C"]
+
+    def test_while_and_break(self):
+        out = console_of(
+            """
+            var i = 0;
+            while (true) { i++; if (i >= 5) break; }
+            console.log(i);
+            """
+        )
+        assert out == ["5"]
+
+    def test_continue(self):
+        out = console_of(
+            """
+            var evens = [];
+            for (var i = 0; i < 10; i++) {
+              if (i % 2 === 1) continue;
+              evens.push(i);
+            }
+            console.log(evens.join(","));
+            """
+        )
+        assert out == ["0,2,4,6,8"]
+
+    def test_do_while_runs_once(self):
+        assert console_of("var n = 0; do { n++; } while (false); console.log(n);") == ["1"]
+
+    def test_for_in_over_object(self):
+        out = console_of(
+            """
+            var o = {a: 1, b: 2, c: 3};
+            var keys = [];
+            for (var k in o) keys.push(k);
+            console.log(keys.join(""));
+            """
+        )
+        assert out == ["abc"]
+
+    def test_for_in_over_array_indices(self):
+        out = console_of(
+            """
+            var a = ["x", "y"];
+            var seen = [];
+            for (var i in a) seen.push(i);
+            console.log(seen.join(","));
+            """
+        )
+        assert out == ["0,1"]
+
+    def test_switch_fallthrough_and_default(self):
+        src = """
+        function f(x) {
+          var log = "";
+          switch (x) {
+            case 1: log += "one ";
+            case 2: log += "two "; break;
+            case 3: log += "three "; break;
+            default: log += "other ";
+          }
+          return log;
+        }
+        console.log(f(1) + "|" + f(2) + "|" + f(3) + "|" + f(9));
+        """
+        assert console_of(src) == ["one two |two |three |other "]
+
+    def test_logical_short_circuit(self):
+        out = console_of(
+            """
+            var calls = 0;
+            function bump() { calls++; return true; }
+            var a = false && bump();
+            var b = true || bump();
+            console.log(calls, a, b);
+            """
+        )
+        assert out == ["0 false true"]
+
+    def test_logical_returns_operand_value(self):
+        assert eval_jsl("0 || 'fallback'") == "fallback"
+        assert eval_jsl("'x' && 5") == 5.0
+
+    def test_ternary(self):
+        assert eval_jsl("1 > 0 ? 'y' : 'n'") == "y"
+
+    def test_comma_operator(self):
+        assert eval_jsl("(1, 2, 3)") == 3.0
+
+
+class TestFunctions:
+    def test_missing_args_are_undefined(self):
+        assert console_of(
+            "function f(a, b) { return typeof b; } console.log(f(1));"
+        ) == ["undefined"]
+
+    def test_extra_args_dropped(self):
+        assert console_of(
+            "function f(a) { return a; } console.log(f(1, 2, 3));"
+        ) == ["1"]
+
+    def test_function_returns_undefined_by_default(self):
+        assert console_of("function f() {} console.log(f());") == ["undefined"]
+
+    def test_recursion(self):
+        src = """
+        function fib(n) { return n < 2 ? n : fib(n - 1) + fib(n - 2); }
+        console.log(fib(12));
+        """
+        assert console_of(src) == ["144"]
+
+    def test_mutual_recursion(self):
+        src = """
+        function isEven(n) { return n === 0 ? true : isOdd(n - 1); }
+        function isOdd(n) { return n === 0 ? false : isEven(n - 1); }
+        console.log(isEven(10), isOdd(7));
+        """
+        assert console_of(src) == ["true true"]
+
+    def test_first_class_functions(self):
+        src = """
+        function apply(f, x) { return f(x); }
+        console.log(apply(function (v) { return v * 2; }, 21));
+        """
+        assert console_of(src) == ["42"]
+
+    def test_deep_recursion_raises_guest_range_error(self):
+        src = """
+        function loop(n) { return loop(n + 1); }
+        var msg = "no error";
+        try { loop(0); } catch (e) { msg = "caught"; }
+        console.log(msg);
+        """
+        assert console_of(src) == ["caught"]
+
+    def test_call_and_apply(self):
+        src = """
+        function greet(greeting) { return greeting + " " + this.name; }
+        var alice = {name: "alice"};
+        console.log(greet.call(alice, "hi"), greet.apply(alice, ["yo"]));
+        """
+        assert console_of(src) == ["hi alice yo alice"]
+
+    def test_calling_non_function_throws_catchable(self):
+        src = """
+        var msg = "";
+        try { var x = 5; x(); } catch (e) { msg = e.name; }
+        console.log(msg);
+        """
+        assert console_of(src) == ["TypeError"]
+
+
+class TestObjectsAndPrototypes:
+    def test_constructor_and_this(self):
+        src = """
+        function Point(x, y) { this.x = x; this.y = y; }
+        var p = new Point(3, 4);
+        console.log(p.x + p.y);
+        """
+        assert console_of(src) == ["7"]
+
+    def test_prototype_methods_shared(self):
+        src = """
+        function Dog(name) { this.name = name; }
+        Dog.prototype.speak = function () { return this.name + " woofs"; };
+        var a = new Dog("rex");
+        var b = new Dog("fido");
+        console.log(a.speak(), b.speak(), a.speak === b.speak);
+        """
+        assert console_of(src) == ["rex woofs fido woofs true"]
+
+    def test_prototype_chain_two_levels(self):
+        src = """
+        function Animal() {}
+        Animal.prototype.kind = "animal";
+        function Dog() {}
+        Dog.prototype = new Animal();
+        Dog.prototype.bark = function () { return "woof"; };
+        var d = new Dog();
+        console.log(d.kind, d.bark(), d instanceof Dog, d instanceof Animal);
+        """
+        assert console_of(src) == ["animal woof true true"]
+
+    def test_own_property_shadows_prototype(self):
+        src = """
+        function C() {}
+        C.prototype.v = "proto";
+        var o = new C();
+        o.v = "own";
+        var p = new C();
+        console.log(o.v, p.v);
+        """
+        assert console_of(src) == ["own proto"]
+
+    def test_missing_property_is_undefined(self):
+        assert console_of("var o = {}; console.log(o.nothing);") == ["undefined"]
+
+    def test_method_call_this_binding(self):
+        src = """
+        var counter = {
+          n: 0,
+          inc: function () { this.n++; return this.n; }
+        };
+        counter.inc(); counter.inc();
+        console.log(counter.n);
+        """
+        assert console_of(src) == ["2"]
+
+    def test_keyed_access_equivalent_to_named(self):
+        src = """
+        var o = {alpha: 1};
+        o["beta"] = 2;
+        console.log(o.beta, o["alpha"], o["al" + "pha"]);
+        """
+        assert console_of(src) == ["2 1 1"]
+
+    def test_delete_property(self):
+        src = """
+        var o = {a: 1, b: 2};
+        console.log(delete o.a, o.a, o.b);
+        """
+        assert console_of(src) == ["true undefined 2"]
+
+    def test_in_operator(self):
+        src = """
+        function C() { this.own = 1; }
+        C.prototype.inherited = 2;
+        var o = new C();
+        console.log("own" in o, "inherited" in o, "missing" in o);
+        """
+        assert console_of(src) == ["true true false"]
+
+    def test_constructor_returning_object_overrides_this(self):
+        src = """
+        function F() { this.a = 1; return {b: 2}; }
+        var o = new F();
+        console.log(o.a, o.b);
+        """
+        assert console_of(src) == ["undefined 2"]
+
+    def test_hasOwnProperty(self):
+        src = """
+        function C() { this.own = 1; }
+        C.prototype.inherited = 2;
+        var o = new C();
+        console.log(o.hasOwnProperty("own"), o.hasOwnProperty("inherited"));
+        """
+        assert console_of(src) == ["true false"]
+
+    def test_prototype_reassignment_affects_new_instances_only(self):
+        src = """
+        function C() {}
+        C.prototype.tag = "old";
+        var before = new C();
+        C.prototype = {tag: "new"};
+        var after = new C();
+        console.log(before.tag, after.tag);
+        """
+        assert console_of(src) == ["old new"]
+
+    def test_update_operators_on_members(self):
+        src = """
+        var o = {n: 5};
+        var post = o.n++;
+        var pre = ++o.n;
+        console.log(post, pre, o.n);
+        """
+        assert console_of(src) == ["5 7 7"]
+
+    def test_compound_assignment_on_members(self):
+        src = """
+        var o = {n: 10};
+        o.n += 5;
+        o.n *= 2;
+        console.log(o.n);
+        """
+        assert console_of(src) == ["30"]
+
+    def test_update_on_keyed_element(self):
+        src = """
+        var a = [1, 2, 3];
+        a[1]++;
+        a[0] += 10;
+        console.log(a.join(","));
+        """
+        assert console_of(src) == ["11,3,3"]
+
+
+class TestExceptions:
+    def test_throw_and_catch_value(self):
+        assert console_of(
+            "try { throw 'boom'; } catch (e) { console.log('got', e); }"
+        ) == ["got boom"]
+
+    def test_finally_runs_on_success(self):
+        out = console_of(
+            """
+            var log = [];
+            try { log.push("try"); } catch (e) { log.push("catch"); }
+            finally { log.push("finally"); }
+            console.log(log.join(","));
+            """
+        )
+        assert out == ["try,finally"]
+
+    def test_finally_runs_on_exception(self):
+        out = console_of(
+            """
+            var log = [];
+            try { log.push("try"); throw 1; }
+            catch (e) { log.push("catch"); }
+            finally { log.push("finally"); }
+            console.log(log.join(","));
+            """
+        )
+        assert out == ["try,catch,finally"]
+
+    def test_finally_without_catch_rethrows(self):
+        out = console_of(
+            """
+            var log = [];
+            function f() {
+              try { throw "inner"; } finally { log.push("cleanup"); }
+            }
+            try { f(); } catch (e) { log.push("outer:" + e); }
+            console.log(log.join(","));
+            """
+        )
+        assert out == ["cleanup,outer:inner"]
+
+    def test_nested_try(self):
+        out = console_of(
+            """
+            var log = [];
+            try {
+              try { throw "a"; } catch (e) { log.push("inner:" + e); throw "b"; }
+            } catch (e) { log.push("outer:" + e); }
+            console.log(log.join(","));
+            """
+        )
+        assert out == ["inner:a,outer:b"]
+
+    def test_exception_across_function_calls(self):
+        out = console_of(
+            """
+            function deep() { throw new Error("deep failure"); }
+            function middle() { deep(); }
+            try { middle(); } catch (e) { console.log(e.message); }
+            """
+        )
+        assert out == ["deep failure"]
+
+    def test_uncaught_exception_surfaces_to_host(self):
+        with pytest.raises(JSLRuntimeError):
+            run_jsl("throw 'unhandled';")
+
+    def test_error_toString(self):
+        out = console_of(
+            """
+            try { throw new TypeError("bad type"); }
+            catch (e) { console.log(e.toString()); }
+            """
+        )
+        assert out == ["TypeError: bad type"]
+
+    def test_return_through_finally_rejected_at_compile_time(self):
+        with pytest.raises(JSLCompileError):
+            run_jsl("function f() { try { return 1; } finally { var x = 2; } }")
+
+    def test_break_across_try_rejected(self):
+        with pytest.raises(JSLCompileError):
+            run_jsl("while (true) { try { break; } catch (e) {} }")
+
+
+class TestStringsAndNumbersAtRuntime:
+    def test_string_length_and_methods(self):
+        src = """
+        var s = "Hello World";
+        console.log(s.length, s.charAt(0), s.indexOf("o"), s.indexOf("o", 5));
+        """
+        assert console_of(src) == ["11 H 4 7"]
+
+    def test_string_slice_substring(self):
+        src = """
+        var s = "abcdef";
+        console.log(s.slice(1, 3), s.slice(-2), s.substring(4, 2));
+        """
+        assert console_of(src) == ["bc ef cd"]
+
+    def test_split_join_roundtrip(self):
+        assert console_of(
+            "console.log('a-b-c'.split('-').join('+'));"
+        ) == ["a+b+c"]
+
+    def test_number_methods(self):
+        assert console_of("console.log((3.14159).toFixed(2), (255).toString());") == [
+            "3.14 255"
+        ]
+
+    def test_string_index_access(self):
+        assert console_of("var s = 'xyz'; console.log(s[1]);") == ["y"]
+
+    def test_parse_functions(self):
+        src = """
+        console.log(parseInt("42px"), parseInt("ff", 16), parseFloat("2.5rem"), isNaN(parseInt("x")));
+        """
+        assert console_of(src) == ["42 255 2.5 true"]
+
+
+class TestTopLevelResult:
+    def test_run_code_returns_undefined_by_default(self):
+        assert run_jsl("var x = 1;").value is UNDEFINED
+
+    def test_null_literal_value(self):
+        assert eval_jsl("null") is NULL
+
+
+class TestErrorDiagnostics:
+    def test_uncaught_throw_reports_stack_trace(self):
+        source = """function deep() {
+  throw new Error("exploded");
+}
+function middle() {
+  deep();
+}
+middle();
+"""
+        with pytest.raises(JSLRuntimeError) as exc_info:
+            run_jsl(source, filename="trace.jsl")
+        message = str(exc_info.value)
+        assert "Error: exploded" in message
+        assert "at deep (trace.jsl:2:" in message
+        assert "at middle (trace.jsl:5:" in message
+        assert "at <toplevel> (trace.jsl:7:" in message
+
+    def test_runtime_error_carries_position(self):
+        source = "var a = 1;\nvar b = 2;\nnull.boom;\n"
+        with pytest.raises(JSLRuntimeError) as exc_info:
+            run_jsl(source, filename="pos.jsl")
+        position = exc_info.value.position
+        assert position is not None
+        assert position.filename == "pos.jsl"
+        assert position.line == 3
+
+    def test_thrown_string_summary(self):
+        with pytest.raises(JSLRuntimeError, match="uncaught guest exception: kaput"):
+            run_jsl("throw 'kaput';")
+
+    def test_trace_orders_innermost_first(self):
+        source = "function a() { throw 1; }\nfunction b() { a(); }\nb();\n"
+        with pytest.raises(JSLRuntimeError) as exc_info:
+            run_jsl(source, filename="o.jsl")
+        message = str(exc_info.value)
+        assert message.index("at a ") < message.index("at b ")
+        assert message.index("at b ") < message.index("at <toplevel> ")

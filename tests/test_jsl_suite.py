@@ -1,0 +1,48 @@
+"""Runner for the jsl conformance suite (tests/jsl_suite/*.jsl).
+
+Each program declares its expected console output in `// expect: ` lines.
+Every program is run twice: cold (Initial) and as a RIC Reuse run with the
+record extracted from the cold run — both must match the expectations
+exactly, making every conformance program double as a RIC soundness case.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.engine import Engine
+
+SUITE_DIR = Path(__file__).parent / "jsl_suite"
+PROGRAMS = sorted(SUITE_DIR.glob("*.jsl"))
+
+
+def expectations_of(source: str) -> list[str]:
+    return [
+        line.split("// expect: ", 1)[1]
+        for line in source.splitlines()
+        if line.startswith("// expect: ")
+    ]
+
+
+@pytest.mark.parametrize("path", PROGRAMS, ids=lambda p: p.stem)
+class TestJslSuite:
+    def test_cold_run_matches_expectations(self, path):
+        source = path.read_text()
+        expected = expectations_of(source)
+        assert expected, f"{path.name} declares no expectations"
+        engine = Engine(seed=1)
+        profile = engine.run([(path.name, source)], name=path.stem)
+        assert profile.console_output == expected
+
+    def test_ric_reuse_matches_expectations(self, path):
+        source = path.read_text()
+        expected = expectations_of(source)
+        engine = Engine(seed=1)
+        engine.run([(path.name, source)], name=path.stem)
+        record = engine.extract_icrecord()
+        ric = engine.run([(path.name, source)], name=path.stem, icrecord=record)
+        assert ric.console_output == expected
+
+
+def test_suite_is_not_empty():
+    assert len(PROGRAMS) >= 10

@@ -1,0 +1,154 @@
+"""Tests for the peephole bytecode optimizer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bytecode.compiler import compile_source
+from repro.bytecode.opcodes import Op
+from repro.bytecode.optimizer import optimize_code
+from repro.core.engine import Engine
+
+
+def ops_of(code):
+    return [instruction[0] for instruction in code.instructions]
+
+
+class TestConstantFolding:
+    def test_binary_arithmetic_folds(self):
+        code = compile_source("var x = 2 + 3 * 4;")
+        result = optimize_code(code)
+        assert result.binary_folds >= 2  # 3*4 then 2+12
+        assert Op.BINARY not in ops_of(code)
+
+    def test_unary_folds(self):
+        code = compile_source("var x = -5; var y = !true;")
+        result = optimize_code(code)
+        assert result.unary_folds >= 2
+        assert Op.UNARY not in ops_of(code)
+
+    def test_string_concat_folds(self):
+        code = compile_source("var s = 'a' + 'b' + 'c';")
+        optimize_code(code)
+        assert "abc" in code.constants
+
+    def test_comparison_folds_to_boolean_push(self):
+        code = compile_source("var t = 1 < 2; var f = 3 === 4;")
+        optimize_code(code)
+        ops = ops_of(code)
+        assert Op.LOAD_TRUE in ops and Op.LOAD_FALSE in ops
+        assert Op.BINARY not in ops
+
+    def test_non_constant_operands_untouched(self):
+        code = compile_source("var x = a + 1;")
+        result = optimize_code(code)
+        assert result.binary_folds == 0
+        assert Op.BINARY in ops_of(code)
+
+    def test_folding_respects_jump_targets(self):
+        # The loop-back edge targets the condition; folding must not
+        # collapse across it or break the loop.
+        source = """
+        var n = 0;
+        for (var i = 0; i < 3; i++) { n += 2 * 2; }
+        console.log(n);
+        """
+        engine = Engine(seed=1)
+        assert engine.run(source, name="t").console_output == ["12"]
+
+    def test_nested_functions_optimized(self):
+        code = compile_source("function f() { return 6 * 7; }")
+        result = optimize_code(code)
+        assert result.binary_folds >= 1
+        inner = next(c for c in code.iter_code_objects() if c.name == "f")
+        assert Op.BINARY not in ops_of(inner)
+
+    def test_positions_stay_aligned(self):
+        code = compile_source("var x = 1 + 2;\nvar y = 3;\n")
+        optimize_code(code)
+        assert len(code.positions) == len(code.instructions)
+
+
+class TestJumpThreading:
+    def test_jump_chains_collapse(self):
+        # Nested if/else produces jump-to-jump chains.
+        source = """
+        function f(a, b) {
+          if (a) { if (b) { return 1; } else { return 2; } }
+          else { return 3; }
+        }
+        console.log(f(true, false), f(false, false));
+        """
+        code = compile_source(source)
+        result = optimize_code(code)
+        engine = Engine(seed=1)
+        assert engine.run(source, name="t").console_output == ["2 3"]
+        del result  # threading count depends on codegen details
+
+    def test_threaded_code_runs_all_control_flow(self):
+        source = """
+        var out = [];
+        for (var i = 0; i < 5; i++) {
+          if (i % 2 === 0) { out.push("e" + i); } else { out.push("o" + i); }
+        }
+        switch (out.length) { case 5: out.push("five"); break; default: out.push("?"); }
+        console.log(out.join(","));
+        """
+        engine = Engine(seed=1)
+        assert engine.run(source, name="t").console_output == [
+            "e0,o1,e2,o3,e4,five"
+        ]
+
+
+class TestOptimizedSemantics:
+    """The optimizer must be observationally invisible."""
+
+    PROGRAMS = [
+        "console.log(1 + 2 * 3 - 4 / 2);",
+        "console.log('x' + 1 + 2, 1 + 2 + 'x');",
+        "console.log(0 / 0 === 0 / 0, 1 / 0, -1 / 0);",
+        "console.log(5 % 3, -5 % 3, 5 % -3);",
+        "console.log(1 << 30, -1 >>> 28, ~0, 5 & 3 | 8 ^ 1);",
+        "console.log(!0, !!'', -'' === 0);",
+        "console.log('b' > 'a', 2 >= '2', NaN < NaN);",
+        "var i = 0; while (i < 3) { i += 1 + 1; } console.log(i);",
+        "try { throw 1 + 1; } catch (e) { console.log(e); }",
+    ]
+
+    @pytest.mark.parametrize("source", PROGRAMS)
+    def test_optimized_equals_unoptimized(self, source):
+        plain = Engine(seed=3, optimize=False).run(source, name="p")
+        optimized = Engine(seed=3, optimize=True).run(source, name="o")
+        assert plain.console_output == optimized.console_output
+
+    @pytest.mark.parametrize("source", PROGRAMS)
+    def test_optimizer_reduces_or_preserves_instruction_count(self, source):
+        plain = Engine(seed=3, optimize=False).run(source, name="p")
+        optimized = Engine(seed=3, optimize=True).run(source, name="o")
+        assert optimized.total_instructions <= plain.total_instructions
+
+    @given(
+        st.integers(min_value=-1000, max_value=1000),
+        st.integers(min_value=-1000, max_value=1000),
+        st.sampled_from(["+", "-", "*", "/", "%", "<", ">", "==", "===", "&", "|", "^", "<<", ">>", ">>>"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_folding_matches_vm_for_random_constants(self, a, b, op):
+        source = f"console.log(({a}) {op} ({b}));"
+        plain = Engine(seed=3, optimize=False).run(source, name="p")
+        optimized = Engine(seed=3, optimize=True).run(source, name="o")
+        assert plain.console_output == optimized.console_output
+
+    def test_ric_protocol_unaffected_by_optimizer(self):
+        source = """
+        function C() { this.v = 1 + 1; }
+        var a = new C(); var b = new C();
+        function r(o) { return o.v; }
+        console.log(r(a) + r(b));
+        """
+        engine = Engine(seed=3, optimize=True)
+        initial = engine.run(source, name="t")
+        record = engine.extract_icrecord()
+        ric = engine.run(source, name="t", icrecord=record)
+        assert ric.console_output == initial.console_output == ["4"]
+        assert ric.counters.ic_hits_on_preloaded > 0

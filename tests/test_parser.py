@@ -1,0 +1,285 @@
+"""Unit tests for the jsl parser."""
+
+import pytest
+
+from repro.lang import ast_nodes as ast
+from repro.lang.errors import JSLSyntaxError
+from repro.lang.parser import parse
+
+
+def first_stmt(source):
+    return parse(source).body[0]
+
+
+def expr_of(source):
+    statement = first_stmt(source)
+    assert isinstance(statement, ast.ExpressionStatement)
+    return statement.expression
+
+
+class TestLiterals:
+    def test_number(self):
+        assert isinstance(expr_of("1;"), ast.NumberLiteral)
+
+    def test_string(self):
+        node = expr_of("'s';")
+        assert isinstance(node, ast.StringLiteral)
+        assert node.value == "s"
+
+    def test_booleans_null_undefined(self):
+        assert isinstance(expr_of("true;"), ast.BooleanLiteral)
+        assert isinstance(expr_of("false;"), ast.BooleanLiteral)
+        assert isinstance(expr_of("null;"), ast.NullLiteral)
+        assert isinstance(expr_of("undefined;"), ast.UndefinedLiteral)
+
+    def test_array_literal(self):
+        node = expr_of("[1, 2, 3];")
+        assert isinstance(node, ast.ArrayLiteral)
+        assert len(node.elements) == 3
+
+    def test_array_trailing_comma(self):
+        assert len(expr_of("[1, 2,];").elements) == 2
+
+    def test_object_literal_keys(self):
+        node = expr_of("({a: 1, 'b c': 2, 3: 4, new: 5});")
+        assert [p.key for p in node.properties] == ["a", "b c", "3", "new"]
+
+    def test_object_trailing_comma(self):
+        assert len(expr_of("({a: 1,});").properties) == 1
+
+    def test_nested_object(self):
+        node = expr_of("({a: {b: 1}});")
+        assert isinstance(node.properties[0].value, ast.ObjectLiteral)
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        node = expr_of("1 + 2 * 3;")
+        assert isinstance(node, ast.Binary) and node.op == "+"
+        assert isinstance(node.right, ast.Binary) and node.right.op == "*"
+
+    def test_parentheses_override(self):
+        node = expr_of("(1 + 2) * 3;")
+        assert node.op == "*"
+        assert isinstance(node.left, ast.Binary) and node.left.op == "+"
+
+    def test_left_associativity(self):
+        node = expr_of("1 - 2 - 3;")
+        assert node.op == "-"
+        assert isinstance(node.left, ast.Binary)
+
+    def test_comparison_precedence(self):
+        node = expr_of("a + 1 < b * 2;")
+        assert node.op == "<"
+
+    def test_logical_lower_than_comparison(self):
+        node = expr_of("a < b && c > d;")
+        assert isinstance(node, ast.Logical) and node.op == "&&"
+
+    def test_or_lower_than_and(self):
+        node = expr_of("a && b || c;")
+        assert node.op == "||"
+
+    def test_conditional(self):
+        node = expr_of("a ? b : c;")
+        assert isinstance(node, ast.Conditional)
+
+    def test_nested_conditional(self):
+        node = expr_of("a ? b : c ? d : e;")
+        assert isinstance(node.alternate, ast.Conditional)
+
+    def test_assignment_right_associative(self):
+        node = expr_of("a = b = 1;")
+        assert isinstance(node, ast.Assignment)
+        assert isinstance(node.value, ast.Assignment)
+
+    def test_compound_assignment(self):
+        node = expr_of("a += 2;")
+        assert node.op == "+"
+
+    def test_assignment_to_literal_raises(self):
+        with pytest.raises(JSLSyntaxError):
+            parse("1 = 2;")
+
+    def test_member_access_chain(self):
+        node = expr_of("a.b.c;")
+        assert isinstance(node, ast.MemberAccess) and node.prop == "c"
+        assert isinstance(node.obj, ast.MemberAccess) and node.obj.prop == "b"
+
+    def test_keyword_as_property(self):
+        node = expr_of("a.delete;")
+        assert node.prop == "delete"
+
+    def test_index_access(self):
+        node = expr_of("a[b + 1];")
+        assert isinstance(node, ast.IndexAccess)
+
+    def test_call_with_args(self):
+        node = expr_of("f(1, x, 'y');")
+        assert isinstance(node, ast.Call) and len(node.args) == 3
+
+    def test_method_call(self):
+        node = expr_of("a.b(1);")
+        assert isinstance(node, ast.Call)
+        assert isinstance(node.callee, ast.MemberAccess)
+
+    def test_new_with_args(self):
+        node = expr_of("new Point(1, 2);")
+        assert isinstance(node, ast.New) and len(node.args) == 2
+
+    def test_new_member_callee(self):
+        node = expr_of("new ns.Point(1);")
+        assert isinstance(node.callee, ast.MemberAccess)
+
+    def test_new_result_member_access(self):
+        node = expr_of("new Point(1).x;")
+        assert isinstance(node, ast.MemberAccess)
+        assert isinstance(node.obj, ast.New)
+
+    def test_typeof(self):
+        assert isinstance(expr_of("typeof x;"), ast.TypeOf)
+
+    def test_delete_member(self):
+        assert isinstance(expr_of("delete a.b;"), ast.Delete)
+
+    def test_delete_non_member_raises(self):
+        with pytest.raises(JSLSyntaxError):
+            parse("delete x;")
+
+    def test_prefix_and_postfix_update(self):
+        pre = expr_of("++x;")
+        post = expr_of("x++;")
+        assert pre.prefix and not post.prefix
+
+    def test_update_requires_target(self):
+        with pytest.raises(JSLSyntaxError):
+            parse("++1;")
+
+    def test_unary_chain(self):
+        node = expr_of("!!x;")
+        assert isinstance(node, ast.Unary) and isinstance(node.operand, ast.Unary)
+
+    def test_comma_expression(self):
+        node = expr_of("a, b, c;")
+        assert isinstance(node, ast.Sequence) and len(node.expressions) == 3
+
+    def test_function_expression(self):
+        node = expr_of("(function named(a, b) { return a; });")
+        assert isinstance(node, ast.FunctionExpression)
+        assert node.name == "named" and node.params == ["a", "b"]
+
+    def test_iife(self):
+        node = expr_of("(function () { return 1; })();")
+        assert isinstance(node, ast.Call)
+        assert isinstance(node.callee, ast.FunctionExpression)
+
+    def test_in_operator(self):
+        node = expr_of("('x' in obj);")
+        assert isinstance(node, ast.Binary) and node.op == "in"
+
+    def test_instanceof_operator(self):
+        assert expr_of("a instanceof B;").op == "instanceof"
+
+
+class TestStatements:
+    def test_var_multi_declarators(self):
+        node = first_stmt("var a = 1, b, c = 3;")
+        assert isinstance(node, ast.VariableDeclaration)
+        assert [d.name for d in node.declarators] == ["a", "b", "c"]
+        assert node.declarators[1].init is None
+
+    def test_let_and_const(self):
+        assert first_stmt("let x = 1;").kind == "let"
+        assert first_stmt("const y = 2;").kind == "const"
+
+    def test_function_declaration(self):
+        node = first_stmt("function f(a) { return a; }")
+        assert isinstance(node, ast.FunctionDeclaration) and node.name == "f"
+
+    def test_if_else(self):
+        node = first_stmt("if (a) b; else c;")
+        assert isinstance(node, ast.If) and node.alternate is not None
+
+    def test_dangling_else_binds_inner(self):
+        node = first_stmt("if (a) if (b) c; else d;")
+        assert node.alternate is None
+        assert isinstance(node.consequent, ast.If)
+        assert node.consequent.alternate is not None
+
+    def test_while(self):
+        assert isinstance(first_stmt("while (x) y;"), ast.While)
+
+    def test_do_while(self):
+        assert isinstance(first_stmt("do x; while (y);"), ast.DoWhile)
+
+    def test_classic_for(self):
+        node = first_stmt("for (var i = 0; i < 3; i++) {}")
+        assert isinstance(node, ast.For)
+        assert node.init is not None and node.test is not None
+
+    def test_for_with_empty_clauses(self):
+        node = first_stmt("for (;;) break;")
+        assert node.init is None and node.test is None and node.update is None
+
+    def test_for_in_with_var(self):
+        node = first_stmt("for (var k in o) {}")
+        assert isinstance(node, ast.ForIn) and node.declares
+
+    def test_for_in_without_var(self):
+        node = first_stmt("for (k in o) {}")
+        assert isinstance(node, ast.ForIn) and not node.declares
+
+    def test_return_value_and_bare(self):
+        program = parse("function f() { return 1; } function g() { return; }")
+        f_ret = program.body[0].body.statements[0]
+        g_ret = program.body[1].body.statements[0]
+        assert f_ret.value is not None and g_ret.value is None
+
+    def test_throw(self):
+        assert isinstance(first_stmt("throw 'x';"), ast.Throw)
+
+    def test_try_catch(self):
+        node = first_stmt("try { a; } catch (e) { b; }")
+        assert isinstance(node, ast.Try) and node.catch_param == "e"
+
+    def test_try_finally(self):
+        node = first_stmt("try { a; } finally { b; }")
+        assert node.catch_block is None and node.finally_block is not None
+
+    def test_try_catch_finally(self):
+        node = first_stmt("try { a; } catch (e) { b; } finally { c; }")
+        assert node.catch_block is not None and node.finally_block is not None
+
+    def test_try_alone_raises(self):
+        with pytest.raises(JSLSyntaxError):
+            parse("try { a; }")
+
+    def test_switch(self):
+        node = first_stmt("switch (x) { case 1: a; break; default: b; }")
+        assert isinstance(node, ast.Switch) and len(node.cases) == 2
+        assert node.cases[1].test is None
+
+    def test_duplicate_default_raises(self):
+        with pytest.raises(JSLSyntaxError):
+            parse("switch (x) { default: a; default: b; }")
+
+    def test_empty_statement(self):
+        node = first_stmt(";")
+        assert isinstance(node, ast.Block) and not node.statements
+
+    def test_asi_lite_before_brace(self):
+        # Statement terminator may be omitted before '}' and at EOF.
+        program = parse("function f() { return 1 }")
+        assert isinstance(program.body[0], ast.FunctionDeclaration)
+
+    def test_missing_semicolon_raises(self):
+        with pytest.raises(JSLSyntaxError):
+            parse("var a = 1 var b = 2;")
+
+    def test_unterminated_block_raises(self):
+        with pytest.raises(JSLSyntaxError):
+            parse("function f() { var a = 1;")
+
+    def test_positions_on_member_sites(self):
+        node = expr_of("obj.prop;")
+        assert node.position.column == 5  # the property token's column

@@ -1,0 +1,191 @@
+"""Tests for per-script ICRecords and the RecordStore (paper §9's claim
+that RIC information is per-file and shareable across applications)."""
+
+import pytest
+
+from repro.core.engine import Engine
+from repro.ric.store import (
+    RecordStore,
+    extract_per_script_records,
+    filename_of_creation_key,
+)
+
+LIB_SOURCE = """
+var lib = (function () {
+  function Widget(name) { this.name = name; this.visible = true; }
+  Widget.prototype.describe = function () { return this.name; };
+  var registry = {};
+  function register(name) {
+    var w = new Widget(name);
+    registry[name] = w;
+    return w;
+  }
+  register("alpha");
+  register("beta");
+  var total = 0;
+  for (var k in registry) {
+    var widget = registry[k];
+    if (widget.visible) { total += widget.name.length; }
+  }
+  console.log("lib ready:", total === 9);
+  return { register: register, count: total };
+})();
+"""
+
+APP_A = [("lib.jsl", LIB_SOURCE), ("app_a.jsl", "var a = lib.count; console.log('a', a);")]
+APP_B = [("app_b.jsl", "var b = 1; console.log('b', b);"), ("lib.jsl", LIB_SOURCE)]
+
+
+class TestCreationKeyParsing:
+    def test_site_keys(self):
+        assert filename_of_creation_key("lib.jsl:10:3:named_store") == "lib.jsl"
+
+    def test_ctor_keys(self):
+        assert filename_of_creation_key("ctor:lib.jsl:2:3#Widget:0") == "lib.jsl"
+
+    def test_builtin_and_native_keys(self):
+        assert filename_of_creation_key("builtin:EmptyObject") is None
+        assert filename_of_creation_key("native:Object.assign") is None
+
+
+class TestPerScriptExtraction:
+    def test_one_record_per_script(self, engine):
+        engine.run(APP_A, name="app-a")
+        records = engine.extract_per_script_records()
+        assert set(records) == {"lib.jsl", "app_a.jsl"}
+
+    def test_records_are_self_contained(self, engine):
+        engine.run(APP_A, name="app-a")
+        records = engine.extract_per_script_records()
+        lib = records["lib.jsl"]
+        # Local HCIDs are dense 0..n-1.
+        assert [row.hcid for row in lib.hcvt] == list(range(len(lib.hcvt)))
+        # Every TOAST pair references valid local ids.
+        for pairs in lib.toast.values():
+            for pair in pairs:
+                assert pair.outgoing_hcid < len(lib.hcvt)
+                if pair.incoming_hcid is not None:
+                    assert pair.incoming_hcid < len(lib.hcvt)
+        # Every dependent handler id is valid.
+        for row in lib.hcvt:
+            for dependent in row.dependents:
+                assert dependent.handler_id < len(lib.handlers)
+
+    def test_dependents_stay_within_their_file(self, engine):
+        engine.run(APP_A, name="app-a")
+        records = engine.extract_per_script_records()
+        for filename, record in records.items():
+            for row in record.hcvt:
+                for dependent in row.dependents:
+                    assert dependent.site_key.startswith(filename)
+
+    def test_builtin_entries_present_in_every_record(self, engine):
+        engine.run(APP_A, name="app-a")
+        records = engine.extract_per_script_records()
+        for record in records.values():
+            assert "builtin:EmptyObject" in record.toast
+
+    def test_requires_a_run(self, engine):
+        with pytest.raises(RuntimeError):
+            engine.extract_per_script_records()
+
+
+class TestCrossApplicationReuse:
+    """The §9 scenario: lib.jsl's record, extracted while running app A,
+    accelerates a *different* application that loads the same library."""
+
+    def test_lib_record_transfers_to_other_app(self):
+        engine = Engine(seed=17)
+        engine.run(APP_A, name="app-a")
+        records = engine.extract_per_script_records()
+        lib_record = records["lib.jsl"]
+
+        conventional = engine.run(APP_B, name="app-b")
+        ric = engine.run(APP_B, name="app-b", icrecord=[lib_record])
+        assert ric.console_output == conventional.console_output
+        assert ric.counters.ic_misses < conventional.counters.ic_misses
+        assert ric.counters.ric_preloads > 0
+
+    def test_multiple_records_compose(self):
+        engine = Engine(seed=17)
+        engine.run(APP_A, name="app-a")
+        records = list(engine.extract_per_script_records().values())
+        ric = engine.run(APP_A, name="app-a", icrecord=records)
+        conventional = engine.run(APP_A, name="app-a")
+        assert ric.counters.ic_misses < conventional.counters.ic_misses
+
+    def test_composition_roughly_matches_monolithic_record(self):
+        engine = Engine(seed=17)
+        engine.run(APP_A, name="app-a")
+        monolithic = engine.extract_icrecord()
+        per_script = list(engine.extract_per_script_records().values())
+
+        ric_mono = engine.run(APP_A, name="app-a", icrecord=monolithic)
+        ric_multi = engine.run(APP_A, name="app-a", icrecord=per_script)
+        # Per-script records drop cross-file links, so they avert at most as
+        # many misses — but must still be clearly better than nothing.
+        conventional = engine.run(APP_A, name="app-a")
+        assert ric_mono.counters.ic_misses <= ric_multi.counters.ic_misses
+        assert ric_multi.counters.ic_misses < conventional.counters.ic_misses
+
+
+class TestRecordStore:
+    def test_put_get_round_trip(self, engine):
+        engine.run(APP_A, name="app-a")
+        records = engine.extract_per_script_records()
+        store = RecordStore()
+        store.put("lib.jsl", LIB_SOURCE, records["lib.jsl"])
+        assert store.get("lib.jsl", LIB_SOURCE) is records["lib.jsl"]
+        assert len(store) == 1
+
+    def test_source_change_misses(self, engine):
+        engine.run(APP_A, name="app-a")
+        records = engine.extract_per_script_records()
+        store = RecordStore()
+        store.put("lib.jsl", LIB_SOURCE, records["lib.jsl"])
+        assert store.get("lib.jsl", LIB_SOURCE + "\n// v2") is None
+
+    def test_records_for_scripts(self, engine):
+        engine.run(APP_A, name="app-a")
+        records = engine.extract_per_script_records()
+        store = RecordStore()
+        store.put("lib.jsl", LIB_SOURCE, records["lib.jsl"])
+        assert len(store.records_for(APP_B)) == 1  # only lib.jsl is known
+
+    def test_directory_persistence(self, engine, tmp_path):
+        engine.run(APP_A, name="app-a")
+        records = engine.extract_per_script_records()
+        store = RecordStore(directory=tmp_path)
+        store.put("lib.jsl", LIB_SOURCE, records["lib.jsl"])
+
+        fresh = RecordStore(directory=tmp_path)  # simulate a new process
+        loaded = fresh.get("lib.jsl", LIB_SOURCE)
+        assert loaded is not None
+        assert loaded.stats()["dependent_links"] == records["lib.jsl"].stats()[
+            "dependent_links"
+        ]
+
+    def test_corrupt_directory_entries_ignored(self, tmp_path):
+        (tmp_path / "junk.icrecord.json").write_text("{ nope")
+        store = RecordStore(directory=tmp_path)
+        assert len(store) == 0
+
+    def test_end_to_end_browser_cache_shape(self, tmp_path):
+        """First process: visit app A, persist per-script records.  Second
+        process: visit app B, pick up lib.jsl's record from disk."""
+        first = Engine(seed=23)
+        first.run(APP_A, name="app-a")
+        store = RecordStore(directory=tmp_path)
+        per_script = first.extract_per_script_records()
+        for filename, source in APP_A:
+            if filename in per_script:
+                store.put(filename, source, per_script[filename])
+
+        second = Engine(seed=99)
+        fresh_store = RecordStore(directory=tmp_path)
+        available = fresh_store.records_for(APP_B)
+        assert len(available) == 1
+        conventional = second.run(APP_B, name="app-b")
+        ric = second.run(APP_B, name="app-b", icrecord=available)
+        assert ric.console_output == conventional.console_output
+        assert ric.counters.ic_misses < conventional.counters.ic_misses

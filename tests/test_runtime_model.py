@@ -1,0 +1,275 @@
+"""Unit tests for the heap, hidden classes and object model."""
+
+from repro.runtime.builtins import install_builtins
+from repro.runtime.context import Runtime
+from repro.runtime.heap import Heap
+from repro.runtime.hidden_class import HiddenClassRegistry
+from repro.runtime.values import UNDEFINED
+
+
+class TestHeap:
+    def test_addresses_are_monotonic_and_distinct(self):
+        heap = Heap(seed=1)
+        addresses = [heap.allocate("object") for _ in range(100)]
+        assert addresses == sorted(addresses)
+        assert len(set(addresses)) == 100
+
+    def test_different_seeds_give_different_bases(self):
+        # The paper's premise: addresses differ across executions.
+        a = Heap(seed=1).allocate("object")
+        b = Heap(seed=2).allocate("object")
+        assert a != b
+
+    def test_same_seed_reproduces(self):
+        assert Heap(seed=5).allocate("object") == Heap(seed=5).allocate("object")
+
+    def test_byte_accounting(self):
+        from repro.runtime.heap import BASELINE_ISOLATE_BYTES
+
+        heap = Heap(seed=0)
+        heap.allocate("object")
+        heap.allocate("hidden_class")
+        assert heap.bytes_allocated > BASELINE_ISOLATE_BYTES
+        assert heap.allocation_count == 2
+        assert heap.allocations_by_kind["object"] == 1
+
+    def test_extra_bytes_and_alignment(self):
+        heap = Heap(seed=0)
+        before = heap.bytes_allocated
+        heap.allocate("object", extra_bytes=100)
+        grown = heap.bytes_allocated - before
+        assert grown >= 148 and grown % 16 == 0
+
+    def test_charge_accumulates(self):
+        heap = Heap(seed=0)
+        before = heap.bytes_allocated
+        heap.charge("property_slot", 64)
+        assert heap.bytes_allocated - before == 64
+
+
+class TestHiddenClasses:
+    def setup_method(self):
+        self.heap = Heap(seed=3)
+        self.registry = HiddenClassRegistry(self.heap)
+        self.root = self.registry.create_root("builtin", "builtin:Empty", None)
+
+    def test_root_has_empty_layout(self):
+        assert self.root.layout == {}
+        assert self.root.property_count == 0
+
+    def test_transition_creates_new_class(self):
+        hc, created = self.registry.transition(self.root, "x", "site:1")
+        assert created
+        assert hc.layout == {"x": 0}
+        assert hc.incoming is self.root
+        assert hc.transition_property == "x"
+        assert hc.creation_key == "site:1"
+
+    def test_transition_is_cached(self):
+        first, created1 = self.registry.transition(self.root, "x", "site:1")
+        second, created2 = self.registry.transition(self.root, "x", "site:2")
+        assert created1 and not created2
+        assert first is second
+
+    def test_transition_chain_layouts(self):
+        a, _ = self.registry.transition(self.root, "x", "s")
+        b, _ = self.registry.transition(a, "y", "s")
+        assert b.layout == {"x": 0, "y": 1}
+        assert self.root.transitions["x"] is a
+        assert a.transitions["y"] is b
+
+    def test_diverging_transitions(self):
+        a, _ = self.registry.transition(self.root, "x", "s")
+        b, _ = self.registry.transition(self.root, "y", "s")
+        assert a is not b
+        assert a.layout == {"x": 0} and b.layout == {"y": 0}
+
+    def test_creation_order_indices(self):
+        a, _ = self.registry.transition(self.root, "x", "s")
+        b, _ = self.registry.transition(a, "y", "s")
+        assert [hc.index for hc in self.registry.all_classes] == [0, 1, 2]
+        assert self.registry.count() == 3
+        assert b.index == 2
+
+    def test_on_created_hook_fires(self):
+        seen = []
+        self.registry.on_created = seen.append
+        hc, _ = self.registry.transition(self.root, "z", "s")
+        assert seen == [hc]
+
+    def test_dictionary_class(self):
+        hc = self.registry.create_dictionary(None)
+        assert hc.is_dictionary
+        assert hc.creation_key == "builtin:Dictionary"
+
+    def test_addresses_distinct(self):
+        a, _ = self.registry.transition(self.root, "x", "s")
+        assert a.address != self.root.address
+
+
+class TestObjects:
+    def setup_method(self):
+        self.runtime = Runtime(seed=11)
+        install_builtins(self.runtime)
+
+    def test_new_object_uses_empty_hc(self):
+        obj = self.runtime.new_object()
+        assert obj.hidden_class is self.runtime.empty_object_hc
+        assert obj.slots == []
+
+    def test_define_own_property_transitions(self):
+        obj = self.runtime.new_object()
+        outgoing, created = self.runtime.define_own_property(obj, "x", 1.0, "s")
+        assert created and obj.hidden_class is outgoing
+        assert obj.get_own("x") == (True, 1.0)
+
+    def test_two_objects_share_hidden_class_chain(self):
+        a = self.runtime.new_object()
+        b = self.runtime.new_object()
+        self.runtime.define_own_property(a, "x", 1.0, "s")
+        self.runtime.define_own_property(b, "x", 2.0, "s")
+        assert a.hidden_class is b.hidden_class
+        assert a.slots != b.slots
+
+    def test_update_existing_property_keeps_class(self):
+        obj = self.runtime.new_object()
+        self.runtime.define_own_property(obj, "x", 1.0, "s")
+        hc = obj.hidden_class
+        outgoing, created = self.runtime.define_own_property(obj, "x", 9.0, "s")
+        assert not created and outgoing is None
+        assert obj.hidden_class is hc
+        assert obj.get_own("x") == (True, 9.0)
+
+    def test_delete_demotes_to_dictionary(self):
+        obj = self.runtime.new_object()
+        self.runtime.define_own_property(obj, "x", 1.0, "s")
+        self.runtime.define_own_property(obj, "y", 2.0, "s")
+        assert self.runtime.delete_property(obj, "x")
+        assert obj.in_dictionary_mode
+        assert obj.get_own("x") == (False, UNDEFINED)
+        assert obj.get_own("y") == (True, 2.0)
+
+    def test_delete_missing_property_is_noop(self):
+        obj = self.runtime.new_object()
+        assert self.runtime.delete_property(obj, "nope")
+        assert not obj.in_dictionary_mode
+
+    def test_dictionary_mode_stores(self):
+        obj = self.runtime.new_object()
+        self.runtime.to_dictionary(obj)
+        self.runtime.define_own_property(obj, "k", 5.0, "s")
+        assert obj.get_own("k") == (True, 5.0)
+
+    def test_growth_beyond_threshold_goes_dictionary(self):
+        obj = self.runtime.new_object()
+        for index in range(70):
+            self.runtime.define_own_property(obj, f"p{index}", float(index), "s")
+        assert obj.in_dictionary_mode
+        assert obj.get_own("p69") == (True, 69.0)
+
+    def test_own_property_names_order(self):
+        obj = self.runtime.new_object()
+        self.runtime.define_own_property(obj, "b", 1.0, "s")
+        self.runtime.define_own_property(obj, "a", 2.0, "s")
+        obj.set_element(1, "one")
+        obj.set_element(0, "zero")
+        assert obj.own_property_names() == ["0", "1", "b", "a"]
+
+    def test_elements_sparse_storage(self):
+        obj = self.runtime.new_object()
+        obj.set_element(5, "x")
+        assert obj.get_element(5) == (True, "x")
+        assert obj.get_element(4) == (False, UNDEFINED)
+
+
+class TestArrays:
+    def setup_method(self):
+        self.runtime = Runtime(seed=13)
+        install_builtins(self.runtime)
+
+    def test_length_tracks_elements(self):
+        array = self.runtime.new_array([1.0, 2.0])
+        assert array.length == 2.0
+        array.set_element(2, 3.0)
+        assert array.length == 3.0
+
+    def test_dense_append_and_overwrite(self):
+        array = self.runtime.new_array()
+        array.set_element(0, "a")
+        array.set_element(0, "b")
+        assert array.array_elements == ["b"]
+
+    def test_near_gap_fills_with_undefined(self):
+        array = self.runtime.new_array()
+        array.set_element(3, "x")
+        assert array.length == 4.0
+        assert array.get_element(1) == (True, UNDEFINED)
+
+    def test_far_gap_goes_sparse(self):
+        array = self.runtime.new_array()
+        array.set_element(1000, "far")
+        assert array.get_element(1000) == (True, "far")
+        assert len(array.array_elements) == 0
+
+    def test_set_length_truncates_and_grows(self):
+        array = self.runtime.new_array([1.0, 2.0, 3.0])
+        array.set_length(1)
+        assert array.array_elements == [1.0]
+        array.set_length(3)
+        assert array.length == 3.0
+        assert array.get_element(2) == (True, UNDEFINED)
+
+    def test_js_to_string_joins(self):
+        array = self.runtime.new_array([1.0, "x", UNDEFINED])
+        assert array.js_to_string() == "1,x,"
+
+    def test_prototype_is_array_prototype(self):
+        array = self.runtime.new_array()
+        assert array.hidden_class.prototype is self.runtime.array_prototype
+
+
+class TestFunctions:
+    def setup_method(self):
+        self.runtime = Runtime(seed=17)
+        install_builtins(self.runtime)
+
+    def test_native_function_fields(self):
+        fn = self.runtime.new_native_function("f", lambda vm, t, a: None, arity=2)
+        assert fn.is_callable
+        assert fn.get_own("name") == (True, "f")
+        assert fn.get_own("length") == (True, 2.0)
+
+    def test_constructor_hc_cached_and_invalidated(self):
+        fn = self.runtime.new_native_function(
+            "C", lambda vm, t, a: None, prototype=self.runtime.new_object()
+        )
+        first = self.runtime.constructor_hidden_class(fn)
+        assert self.runtime.constructor_hidden_class(fn) is first
+        fn.invalidate_constructor_hc()
+        second = self.runtime.constructor_hidden_class(fn)
+        assert second is not first
+        assert first.creation_key.endswith(":0")
+        assert second.creation_key.endswith(":1")
+
+    def test_constructor_hc_prototype_pointer(self):
+        prototype = self.runtime.new_object()
+        fn = self.runtime.new_native_function("C", lambda vm, t, a: None, prototype=prototype)
+        hc = self.runtime.constructor_hidden_class(fn)
+        assert hc.prototype is prototype
+
+    def test_lookup_walks_prototype_chain(self):
+        prototype = self.runtime.new_object()
+        self.runtime.define_own_property(prototype, "m", "method", "s")
+        fn = self.runtime.new_native_function("C", lambda vm, t, a: None, prototype=prototype)
+        instance = self.runtime.new_object(self.runtime.constructor_hidden_class(fn))
+        lookup = self.runtime.lookup_property(instance, "m")
+        assert lookup.kind == "proto_field"
+        assert lookup.value == "method"
+        assert lookup.holder is prototype
+        assert lookup.hops == 1
+
+    def test_lookup_absent_reports_chain(self):
+        obj = self.runtime.new_object()
+        lookup = self.runtime.lookup_property(obj, "missing")
+        assert lookup.kind == "absent"
+        assert lookup.chain  # at least Object.prototype was walked

@@ -1,0 +1,71 @@
+"""Tests for the parameterized synthetic workload generator."""
+
+import pytest
+
+from repro.core.engine import Engine
+from repro.workloads.synthetic import generate_library, generated_scripts
+
+
+class TestGenerator:
+    def test_generated_program_self_checks(self):
+        engine = Engine(seed=2)
+        profile = engine.run(generated_scripts(), name="synth")
+        assert profile.console_output == ["synthetic ready: true"]
+
+    @pytest.mark.parametrize("shapes", [1, 5, 20])
+    def test_shape_count_scales_hidden_classes(self, shapes):
+        engine = Engine(seed=2)
+        profile = engine.run(
+            generated_scripts(shapes=shapes, fields_per_shape=3), name="synth"
+        )
+        assert profile.console_output[-1].endswith("true")
+        # Each shape family contributes fields_per_shape transitions plus a
+        # constructor root.
+        created = profile.counters.hidden_classes_created
+        assert created >= shapes * 4
+
+    @pytest.mark.parametrize("fields", [1, 4, 8])
+    def test_fields_scale_chain_depth(self, fields):
+        from repro.stats.hc_graph import transition_stats
+
+        engine = Engine(seed=2)
+        engine.run(
+            generated_scripts(shapes=2, fields_per_shape=fields), name="synth"
+        )
+        stats = transition_stats(engine._last_runtime)
+        assert stats.max_chain_depth >= fields
+
+    def test_sites_per_shape_scales_misses_per_hc(self):
+        def ratio(sites_per_shape):
+            engine = Engine(seed=2)
+            profile = engine.run(
+                generated_scripts(shapes=8, sites_per_shape=sites_per_shape),
+                name="synth",
+            )
+            counters = profile.counters
+            return counters.ic_misses / counters.hidden_classes_created
+
+        assert ratio(6) > ratio(1)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            generate_library(shapes=0)
+        with pytest.raises(ValueError):
+            generate_library(sites_per_shape=0)
+
+    def test_filename_encodes_parameters(self):
+        (name_a, _), = generated_scripts(shapes=3, sites_per_shape=2)
+        (name_b, _), = generated_scripts(shapes=3, sites_per_shape=5)
+        assert name_a != name_b
+
+    def test_generated_programs_are_ric_sound(self):
+        engine = Engine(seed=2)
+        scripts = generated_scripts(shapes=6, sites_per_shape=4)
+        initial = engine.run(scripts, name="synth")
+        record = engine.extract_icrecord()
+        ric = engine.run(scripts, name="synth", icrecord=record)
+        assert ric.console_output == initial.console_output
+        assert ric.counters.ic_misses < initial.counters.ic_misses
+
+    def test_determinism(self):
+        assert generate_library(5, 3, 2, 2) == generate_library(5, 3, 2, 2)

@@ -1,0 +1,167 @@
+"""Tests over the seven library workloads and the synthetic websites."""
+
+import pytest
+
+from repro.core.engine import Engine
+from repro.workloads import (
+    WORKLOAD_NAMES,
+    WORKLOADS,
+    get_workload,
+    website_a,
+    website_b,
+)
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    """Full protocol on every workload, computed once for this module."""
+    results = {}
+    for name in WORKLOAD_NAMES:
+        engine = Engine(seed=5)
+        results[name] = engine.measure_workload(
+            WORKLOADS[name].scripts(), name=name
+        )
+    return results
+
+
+class TestRegistry:
+    def test_seven_workloads(self):
+        assert len(WORKLOADS) == 7
+
+    def test_names_match_paper_libraries(self):
+        assert set(WORKLOAD_NAMES) == {
+            "angularlike",
+            "camanlike",
+            "handlebarslike",
+            "jquerylike",
+            "jsfeatlike",
+            "reactlike",
+            "underscorelike",
+        }
+
+    def test_get_workload_error_lists_names(self):
+        with pytest.raises(KeyError, match="underscorelike"):
+            get_workload("nope")
+
+    def test_sources_are_nontrivial(self):
+        for workload in WORKLOADS.values():
+            assert len(workload.source.splitlines()) > 80, workload.name
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+class TestEachWorkload:
+    def test_self_check_passes(self, name, measurements):
+        output = measurements[name].initial.console_output
+        assert output, f"{name} produced no output"
+        assert output[-1].endswith("true"), f"{name} self-check failed: {output[-1]}"
+
+    def test_outputs_identical_across_all_runs(self, name, measurements):
+        m = measurements[name]
+        assert (
+            m.initial.console_output
+            == m.conventional.console_output
+            == m.ric.console_output
+        )
+
+    def test_ric_reduces_misses(self, name, measurements):
+        m = measurements[name]
+        assert m.ric.counters.ic_misses < m.conventional.counters.ic_misses
+
+    def test_ric_reduces_instructions(self, name, measurements):
+        m = measurements[name]
+        assert m.ric.total_instructions < m.conventional.total_instructions
+
+    def test_ric_preloads_fire_and_hit(self, name, measurements):
+        counters = measurements[name].ric.counters
+        assert counters.ric_preloads > 0
+        assert counters.ic_hits_on_preloaded > 0
+
+    def test_conventional_matches_initial_ic_profile(self, name, measurements):
+        m = measurements[name]
+        assert m.initial.counters.ic_misses == m.conventional.counters.ic_misses
+
+    def test_record_is_compact_relative_to_heap(self, name, measurements):
+        from repro.ric.serialize import record_size_bytes
+
+        m = measurements[name]
+        assert record_size_bytes(m.record) < 0.05 * m.conventional.heap_bytes
+
+
+class TestAggregateShape:
+    """The paper's qualitative claims that must hold in aggregate."""
+
+    def test_react_has_most_misses(self, measurements):
+        misses = {n: m.initial.counters.ic_misses for n, m in measurements.items()}
+        assert max(misses, key=misses.get) == "reactlike"
+
+    def test_react_and_jsfeat_have_lowest_initial_miss_rates(self, measurements):
+        rates = {n: m.initial.ic_miss_rate for n, m in measurements.items()}
+        lowest_three = sorted(rates, key=rates.get)[:3]
+        assert {"reactlike", "jsfeatlike"} <= set(lowest_three)
+
+    def test_underscore_angular_among_highest_miss_rates(self, measurements):
+        rates = {n: m.initial.ic_miss_rate for n, m in measurements.items()}
+        highest_three = sorted(rates, key=rates.get, reverse=True)[:3]
+        assert {"underscorelike", "angularlike"} <= set(highest_three)
+
+    def test_average_instruction_saving_in_band(self, measurements):
+        normalized = [m.normalized_instructions for m in measurements.values()]
+        average = sum(normalized) / len(normalized)
+        # Paper: 0.85.  Accept the band [0.75, 0.95]: RIC must clearly win.
+        assert 0.75 <= average <= 0.95
+
+    def test_average_ci_handler_fraction_in_band(self, measurements):
+        fractions = [
+            m.initial.counters.context_independent_handler_fraction
+            for m in measurements.values()
+        ]
+        average = sum(fractions) / len(fractions)
+        # Paper: 0.596 average across Table 1.
+        assert 0.40 <= average <= 0.80
+
+    def test_miss_rate_strictly_drops_everywhere(self, measurements):
+        for name, m in measurements.items():
+            assert m.ric.ic_miss_rate < m.initial.ic_miss_rate, name
+
+    def test_other_dominates_reuse_breakdown(self, measurements):
+        """Paper Table 4: the 'Other' component is the dominant one."""
+        total_handler = sum(
+            m.ric.miss_breakdown_pct["handler"] for m in measurements.values()
+        )
+        total_global = sum(
+            m.ric.miss_breakdown_pct["global"] for m in measurements.values()
+        )
+        total_other = sum(
+            m.ric.miss_breakdown_pct["other"] for m in measurements.values()
+        )
+        assert total_other > total_handler
+        assert total_other > total_global
+
+
+class TestWebsites:
+    def test_orders_are_permutations(self):
+        from repro.workloads import WEBSITE_A_ORDER, WEBSITE_B_ORDER
+
+        assert sorted(WEBSITE_A_ORDER) == sorted(WEBSITE_B_ORDER)
+        assert WEBSITE_A_ORDER != WEBSITE_B_ORDER
+
+    def test_website_scripts_cover_all_libraries(self):
+        names = [filename for filename, _ in website_a()]
+        assert len(names) == 7
+
+    def test_cross_website_reuse_correct_and_faster(self):
+        engine = Engine(seed=3)
+        engine.run(website_a(), name="site-a")
+        record = engine.extract_icrecord()
+        conventional = engine.run(website_b(), name="site-b")
+        ric = engine.run(website_b(), name="site-b", icrecord=record)
+        assert sorted(conventional.console_output) == sorted(ric.console_output)
+        assert ric.counters.ic_misses < conventional.counters.ic_misses
+        assert ric.total_instructions < conventional.total_instructions
+
+    def test_all_libraries_coexist_in_one_page(self):
+        engine = Engine(seed=4)
+        profile = engine.run(website_a(), name="site-a")
+        ready_lines = [l for l in profile.console_output if "ready" in l]
+        assert len(ready_lines) == 7
+        assert all(line.endswith("true") for line in ready_lines)
