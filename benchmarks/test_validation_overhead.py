@@ -1,0 +1,57 @@
+"""Robustness-hardening cost: record-load integrity overhead.
+
+The hardened load path (checksum verify + structural validation, see
+docs/INTERNALS.md "Failure modes & degradation") must stay cheap enough
+that persisting trust never erodes the §7.3 story: the structural
+validation pass is budgeted at <10% of a full record load.
+"""
+
+import statistics
+import time
+
+from conftest import write_exhibit
+from repro.core.engine import Engine
+from repro.harness.reporting import render_table
+from repro.ric.serialize import load_icrecord, record_size_bytes, save_icrecord
+from repro.ric.validate import validate_record
+from repro.workloads import WORKLOADS
+
+
+def _median_seconds(fn, reps: int = 50) -> float:
+    times = []
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times)
+
+
+def test_validation_overhead_under_10pct_of_load(tmp_path, exhibit_dir):
+    engine = Engine(seed=1)
+    engine.run(WORKLOADS["reactlike"].scripts(), name="reactlike")
+    record = engine.extract_icrecord()
+    path = tmp_path / "reactlike.icrecord.json"
+    save_icrecord(record, path)
+
+    loaded = load_icrecord(path)
+    load_us = _median_seconds(lambda: load_icrecord(path)) * 1e6
+    validate_us = _median_seconds(lambda: validate_record(loaded)) * 1e6
+    ratio = validate_us / load_us
+
+    text = render_table(
+        "Record-load integrity overhead (reactlike)",
+        [
+            ("Metric", "metric"),
+            ("Value", "value"),
+        ],
+        [
+            {"metric": "record size (bytes)", "value": record_size_bytes(record)},
+            {"metric": "full load (us, median)", "value": load_us},
+            {"metric": "validate_record (us, median)", "value": validate_us},
+            {"metric": "validate/load ratio", "value": ratio},
+        ],
+    )
+    write_exhibit(exhibit_dir, "validation_overhead", text)
+
+    assert validate_record(loaded) == []
+    assert ratio < 0.10, f"validation is {100 * ratio:.1f}% of load time"

@@ -22,9 +22,23 @@ class RICConfig:
       under divergence; exists to demonstrate why validation is necessary.
     * ``include_global_ics=True`` — lifts the paper's §6 exclusion of
       global-object ICs (order-sensitive; breaks cross-website reuse).
+
+    Robustness knobs (not ablations — they control how the engine treats
+    persisted records that fail integrity/structural validation):
+
+    * ``strict_validation=True`` — a corrupt or structurally invalid
+      record raises :class:`~repro.ric.errors.RecordFormatError` at
+      ``Engine.run`` instead of silently degrading that record to
+      cold-start.  Default False: degrade, count, keep running.
+    * ``quarantine_corrupt`` — whether a directory-backed
+      :class:`~repro.ric.store.RecordStore` renames entries that fail to
+      load to ``*.corrupt`` (preserving them for post-mortem) instead of
+      leaving them in place to fail again next process.
     """
 
     enable_linking: bool = True
     enable_handler_reuse: bool = True
     validate: bool = True
     include_global_ics: bool = False
+    strict_validation: bool = False
+    quarantine_corrupt: bool = True

@@ -35,9 +35,11 @@ from repro.core.config import RICConfig
 from repro.ic.icvector import FeedbackState
 from repro.ic.miss import ICRuntime
 from repro.interpreter.vm import VM
+from repro.ric.errors import CorruptRecord, RecordFormatError
 from repro.ric.extraction import extract_icrecord
 from repro.ric.icrecord import ICRecord
 from repro.ric.reuse import MultiReuseSession, ReuseSession
+from repro.ric.validate import validate_record
 from repro.runtime.builtins import install_builtins
 from repro.runtime.context import Runtime
 from repro.stats.counters import Counters
@@ -91,7 +93,10 @@ class Engine:
         self,
         scripts: Scripts | str,
         name: str = "workload",
-        icrecord: "ICRecord | typing.Sequence[ICRecord] | None" = None,
+        icrecord: (
+            "ICRecord | CorruptRecord | "
+            "typing.Sequence[ICRecord | CorruptRecord] | None"
+        ) = None,
         seed: int | None = None,
         time_source: typing.Callable[[], float] | None = None,
         tracer=None,
@@ -100,7 +105,12 @@ class Engine:
 
         ``scripts`` is either a single source string or a sequence of
         ``(filename, source)`` pairs executed in order (a "website").
-        Passing ``icrecord`` makes this a RIC Reuse run.
+        Passing ``icrecord`` makes this a RIC Reuse run.  Candidates may
+        include :class:`~repro.ric.errors.CorruptRecord` placeholders
+        (from :func:`~repro.ric.serialize.try_load_icrecord`); those and
+        records failing :func:`~repro.ric.validate.validate_record`
+        degrade to cold-start for that record only, counted in
+        ``counters.ric_records_corrupt`` / ``ric_records_rejected``.
         """
         if isinstance(scripts, str):
             scripts = [("<script>", scripts)]
@@ -150,33 +160,33 @@ class Engine:
         # Sessions are created only now that this run's script keys
         # (filename:source-hash) are known: a record's file-bound state only
         # applies to files whose content matches what it was extracted from.
+        # Every candidate record passes structural validation first; a
+        # corrupt or invalid record degrades to cold-start for that record
+        # only — the remaining records still build sessions and reuse.
         if icrecord is not None:
             trusted = set(script_keys)
-            if isinstance(icrecord, ICRecord):
-                reuse_session = ReuseSession(
-                    icrecord,
+            if isinstance(icrecord, (ICRecord, CorruptRecord)):
+                candidates = [icrecord]
+            else:
+                candidates = list(icrecord)
+            sessions = [
+                ReuseSession(
+                    record,
                     feedback,
                     counters,
                     self.config,
                     tracer=tracer,
                     trusted_script_keys=trusted,
                 )
-            else:
-                # A sequence of per-script records (see repro.ric.store):
-                # one session per record, each in its own HCID namespace.
-                reuse_session = MultiReuseSession(
-                    [
-                        ReuseSession(
-                            record,
-                            feedback,
-                            counters,
-                            self.config,
-                            tracer=tracer,
-                            trusted_script_keys=trusted,
-                        )
-                        for record in icrecord
-                    ]
-                )
+                for candidate in candidates
+                if (record := self._admit_record(candidate, counters)) is not None
+            ]
+            if len(sessions) == 1:
+                reuse_session = sessions[0]
+            elif sessions:
+                # Per-script records (see repro.ric.store): one session per
+                # record, each in its own HCID namespace.
+                reuse_session = MultiReuseSession(sessions)
 
         start = time.perf_counter()
         install_builtins(runtime)
@@ -203,6 +213,41 @@ class Engine:
             code_cache_hits=self.code_cache.hits - cache_hits_before,
             code_cache_misses=self.code_cache.misses - cache_misses_before,
         )
+
+    # -- record admission --------------------------------------------------------------
+
+    def _admit_record(
+        self,
+        candidate: "ICRecord | CorruptRecord",
+        counters: Counters,
+    ) -> "ICRecord | None":
+        """Gate one candidate record before a ReuseSession may be built.
+
+        Returns the record if trustworthy, else None after counting the
+        degradation (or raising, under ``strict_validation``).
+        """
+        if isinstance(candidate, CorruptRecord):
+            if self.config.strict_validation:
+                raise RecordFormatError(
+                    f"corrupt ICRecord from {candidate.source}: {candidate.error}"
+                )
+            counters.ric_records_corrupt += 1
+            return None
+        if not isinstance(candidate, ICRecord):
+            raise TypeError(
+                "icrecord entries must be ICRecord or CorruptRecord, "
+                f"got {type(candidate).__name__}"
+            )
+        problems = validate_record(candidate)
+        if problems:
+            if self.config.strict_validation:
+                raise RecordFormatError(
+                    f"invalid ICRecord ({len(problems)} problems): "
+                    + "; ".join(problems[:5])
+                )
+            counters.ric_records_rejected += 1
+            return None
+        return candidate
 
     # -- extraction --------------------------------------------------------------------
 

@@ -1,0 +1,36 @@
+"""Fault injection for the ICRecord persistence path.
+
+The hardening contract of :mod:`repro.ric` is falsifiable: for *every*
+fault class in :data:`FAULTS`, a Reuse run fed the damaged artifact must
+produce output identical to a cold start, raise nothing, and show the
+degradation in its counters.  ``tests/test_faults.py`` asserts exactly
+that, using these injectors and :class:`FaultyRecordStore`.
+"""
+
+from repro.faults.faulty_store import FaultyRecordStore
+from repro.faults.injectors import (
+    FAULTS,
+    Injector,
+    field_mutation,
+    flip_bits,
+    handler_swap,
+    inject_fault,
+    out_of_range_handler_id,
+    out_of_range_hcid,
+    stale_version,
+    truncate,
+)
+
+__all__ = [
+    "FAULTS",
+    "FaultyRecordStore",
+    "Injector",
+    "field_mutation",
+    "flip_bits",
+    "handler_swap",
+    "inject_fault",
+    "out_of_range_handler_id",
+    "out_of_range_hcid",
+    "stale_version",
+    "truncate",
+]

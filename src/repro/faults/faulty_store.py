@@ -1,0 +1,48 @@
+"""A RecordStore wrapper that damages what it persists.
+
+:class:`FaultyRecordStore` behaves exactly like a directory-backed
+:class:`~repro.ric.store.RecordStore` except that, with configurable
+probability, it corrupts each entry's on-disk bytes *after* the atomic
+write — simulating an environment where the storage layer itself is
+untrustworthy.  Chaos tests point a fresh, honest ``RecordStore`` at the
+same directory and assert the damage is quarantined, counted, and never
+changes program output.
+"""
+
+from __future__ import annotations
+
+import random
+from pathlib import Path
+
+from repro.faults.injectors import FAULTS, Injector
+from repro.ric.icrecord import ICRecord
+from repro.ric.store import RecordStore
+
+
+class FaultyRecordStore(RecordStore):
+    """Injects one fault class into a fraction of persisted entries."""
+
+    def __init__(
+        self,
+        directory: str | Path,
+        fault: "str | Injector",
+        probability: float = 1.0,
+        seed: int = 0,
+        quarantine: bool = True,
+    ):
+        super().__init__(directory=directory, quarantine=quarantine)
+        self._injector = FAULTS[fault] if isinstance(fault, str) else fault
+        self._probability = probability
+        self._rng = random.Random(seed)
+        #: Filenames whose on-disk bytes were damaged, for assertions.
+        self.injected: list[str] = []
+
+    def put(self, filename: str, source: str, record: ICRecord) -> None:
+        super().put(filename, source, record)
+        if self._directory is None:
+            return
+        if self._rng.random() >= self._probability:
+            return
+        path = self._path_for_key(self._key(filename, source))
+        path.write_bytes(self._injector(path.read_bytes(), self._rng))
+        self.injected.append(path.name)

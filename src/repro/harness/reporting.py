@@ -75,6 +75,40 @@ def render_stacked_fraction(
     return "\n".join(lines)
 
 
+def degradation_row(name: str, counters) -> dict:
+    """One reporting row of robustness/degradation counters for a run.
+
+    ``counters`` is a :class:`~repro.stats.counters.Counters`; nonzero
+    corrupt/rejected cells mean persisted records were refused and that
+    script fell back to cold-start IC behavior.
+    """
+    snapshot = counters.as_dict()
+    return {
+        "run": name,
+        "records_corrupt": snapshot["ric_records_corrupt"],
+        "records_rejected": snapshot["ric_records_rejected"],
+        "records_degraded": snapshot["ric_records_degraded"],
+        "divergences": snapshot["ric_divergences"],
+        "preloads": snapshot["ric_preloads"],
+    }
+
+
+def render_degradation(rows: list[dict], title: str = "RIC degradation") -> str:
+    """Render the per-run degradation table (see :func:`degradation_row`)."""
+    return render_table(
+        title,
+        [
+            ("Run", "run"),
+            ("Corrupt", "records_corrupt"),
+            ("Rejected", "records_rejected"),
+            ("Degraded", "records_degraded"),
+            ("Divergences", "divergences"),
+            ("Preloads", "preloads"),
+        ],
+        rows,
+    )
+
+
 def render_series(title: str, series: dict[str, typing.Iterable[tuple]]) -> str:
     """Render (x, y) series as aligned columns (for Figure 1)."""
     lines = [title, "=" * len(title)]

@@ -25,7 +25,8 @@ from repro.bytecode.compiler import compile_source
 from repro.bytecode.disasm import disassemble
 from repro.core.engine import Engine
 from repro.lang.errors import JSLError
-from repro.ric.serialize import load_icrecord, save_icrecord
+from repro.ric.errors import CorruptRecord
+from repro.ric.serialize import save_icrecord, try_load_icrecord
 from repro.stats.tracing import Tracer
 
 
@@ -79,10 +80,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     record = None
     if args.record and Path(args.record).exists():
-        try:
-            record = load_icrecord(args.record)
-        except ValueError as error:
-            print(f"ric-run: ignoring stale record: {error}", file=sys.stderr)
+        # Degrading load: a corrupt/stale record becomes a CorruptRecord
+        # placeholder that the engine counts and cold-starts past.
+        record = try_load_icrecord(args.record)
+        if isinstance(record, CorruptRecord):
+            print(
+                f"ric-run: ignoring corrupt record (cold start): {record.error}",
+                file=sys.stderr,
+            )
 
     tracer = Tracer() if args.trace else None
     try:
@@ -115,6 +120,8 @@ def main(argv: list[str] | None = None) -> int:
             f"RIC: {counters.ric_validations} validations, "
             f"{counters.ric_preloads} preloads, "
             f"{counters.ic_hits_on_preloaded} hits on preloaded slots\n"
+            f"RIC degradation:    {counters.ric_records_corrupt} corrupt, "
+            f"{counters.ric_records_rejected} rejected records\n"
             f"wall time:          {profile.wall_time_ms:.2f} ms",
             file=sys.stderr,
         )

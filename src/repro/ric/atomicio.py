@@ -1,0 +1,78 @@
+"""Crash- and concurrency-safe file primitives for the record store.
+
+Two hazards threaten an on-disk record cache shared by many engine
+processes (the ShareJIT deployment shape):
+
+* a writer dying mid-``write()`` leaves a truncated file that a later
+  reader would have to reject — avoided by writing to a same-directory
+  temp file and publishing it with :func:`os.replace`, which POSIX and
+  Windows both guarantee atomic;
+* two writers racing on one path interleave — bounded by a best-effort
+  advisory lock on a sidecar ``.lock`` file.  Locking is *advisory and
+  optional*: on platforms without :mod:`fcntl` (or filesystems that
+  refuse locks) we fall back to atomic-replace-only, which still never
+  exposes a partial record, just last-writer-wins.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import tempfile
+from pathlib import Path
+
+try:  # pragma: no cover - exercised only where fcntl exists (POSIX)
+    import fcntl
+except ImportError:  # pragma: no cover - Windows fallback
+    fcntl = None  # type: ignore[assignment]
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Write ``text`` to ``path`` so readers see the old or the new
+    content, never a prefix of the new one."""
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_name)
+        raise
+
+
+@contextlib.contextmanager
+def file_lock(lock_path: str | Path, exclusive: bool = True):
+    """Best-effort advisory inter-process lock on ``lock_path``.
+
+    Yields whether the lock was actually acquired; callers must remain
+    correct without it (atomic replace is the real safety net).
+    """
+    if fcntl is None:
+        yield False
+        return
+    try:
+        handle = open(lock_path, "a+")
+    except OSError:
+        yield False
+        return
+    try:
+        try:
+            fcntl.flock(
+                handle.fileno(),
+                fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH,
+            )
+            locked = True
+        except OSError:
+            locked = False
+        yield locked
+    finally:
+        if fcntl is not None:
+            with contextlib.suppress(OSError):
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        handle.close()

@@ -1,0 +1,39 @@
+"""Typed failures of the ICRecord persistence/reuse path.
+
+RIC's trust model is unusual: the engine acts on feedback persisted by a
+*previous* execution, so a truncated, raced, or bit-flipped record must
+never be able to change program results — the worst allowed outcome is
+losing the speedup (cold-start IC behavior).  Everything that can go
+wrong while loading or admitting a record funnels into exactly one
+exception type, :class:`RecordFormatError`, so callers have a single
+thing to catch; loads that should *degrade* instead of raise produce a
+:class:`CorruptRecord` placeholder that the engine counts and discards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class RecordFormatError(ValueError):
+    """A persisted ICRecord is unreadable, version-mismatched, checksum-
+    mismatched, or structurally invalid.
+
+    Subclasses :class:`ValueError` so pre-hardening ``except ValueError``
+    call sites keep working.
+    """
+
+
+@dataclass(frozen=True)
+class CorruptRecord:
+    """Placeholder for a record that failed load or validation.
+
+    Engine.run accepts these wherever an :class:`~repro.ric.icrecord.ICRecord`
+    is accepted: each one degrades that record to cold-start (no reuse
+    session is built for it) and increments the run's
+    ``ric_records_corrupt`` counter, without disturbing reuse of the other
+    records on the page.
+    """
+
+    source: str
+    error: str

@@ -4,21 +4,43 @@ The ICRecord is the artifact RIC persists between executions — unlike the
 snapshot approach the paper compares against (§9), it is per-script, can be
 shared between applications, and contains no heap state, so it stays valid
 under nondeterministic initialization.
+
+Because a *later* execution acts on this artifact, the on-disk form is a
+hardened envelope around the payload::
+
+    {"checksum": "<sha256 of canonical payload JSON>",
+     "record": {"version": 3, "script_keys": [...], ...}}
+
+* the **checksum** rejects truncation, bit-flips, and hand-edits;
+* the **format version** (inside the payload, covered by the checksum)
+  rejects records written by an incompatible engine;
+* :func:`record_from_json` re-raises every structural surprise as one
+  typed :class:`~repro.ric.errors.RecordFormatError`;
+* loaded records additionally pass
+  :func:`~repro.ric.validate.check_record` before being returned.
+
+Writes go through :func:`~repro.ric.atomicio.atomic_write_text`, so a
+crash mid-save leaves the previous record intact rather than a prefix of
+the new one.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 
+from repro.ric.atomicio import atomic_write_text
+from repro.ric.errors import CorruptRecord, RecordFormatError
 from repro.ric.icrecord import DependentEntry, HCVTRow, ICRecord, ToastPair
 
-#: Bump when the on-disk format changes.
-ICRECORD_FORMAT_VERSION = 2
+#: Bump when the on-disk format changes.  v3: integrity envelope
+#: (payload checksum) and structural validation on load.
+ICRECORD_FORMAT_VERSION = 3
 
 
 def record_to_json(record: ICRecord) -> dict:
-    """Serialize an ICRecord to JSON-compatible plain data."""
+    """Serialize an ICRecord to JSON-compatible plain data (the payload)."""
     return {
         "version": ICRECORD_FORMAT_VERSION,
         "script_keys": record.script_keys,
@@ -45,38 +67,97 @@ def record_to_json(record: ICRecord) -> dict:
 
 
 def record_from_json(data: dict) -> ICRecord:
-    """Inverse of :func:`record_to_json`."""
+    """Inverse of :func:`record_to_json`.
+
+    Any structural surprise — wrong version, missing key, wrong type,
+    wrong arity — raises :class:`RecordFormatError`, never a bare
+    ``KeyError``/``TypeError``, so callers have one exception to catch.
+    """
+    if not isinstance(data, dict):
+        raise RecordFormatError(f"ICRecord payload must be a dict, got {type(data).__name__}")
     if data.get("version") != ICRECORD_FORMAT_VERSION:
-        raise ValueError(
+        raise RecordFormatError(
             f"unsupported ICRecord version {data.get('version')!r} "
             f"(expected {ICRECORD_FORMAT_VERSION})"
         )
-    record = ICRecord(script_keys=list(data["script_keys"]))
-    record.hcvt = [
-        HCVTRow(
-            hcid=row["hcid"],
-            dependents=[
-                DependentEntry(site_key=site_key, handler_id=handler_id)
-                for site_key, handler_id in row["dependents"]
-            ],
-            cd_dependent_sites=list(row["cd_dependent_sites"]),
-        )
-        for row in data["hcvt"]
-    ]
-    record.toast = {
-        key: [
-            ToastPair(
-                incoming_hcid=incoming,
-                transition_property=prop,
-                outgoing_hcid=outgoing,
+    try:
+        record = ICRecord(script_keys=list(data["script_keys"]))
+        record.hcvt = [
+            HCVTRow(
+                hcid=row["hcid"],
+                dependents=[
+                    DependentEntry(site_key=site_key, handler_id=handler_id)
+                    for site_key, handler_id in row["dependents"]
+                ],
+                cd_dependent_sites=list(row["cd_dependent_sites"]),
             )
-            for incoming, prop, outgoing in pairs
+            for row in data["hcvt"]
         ]
-        for key, pairs in data["toast"].items()
-    }
-    record.handlers = [dict(handler) for handler in data["handlers"]]
-    record.extraction_time_ms = float(data.get("extraction_time_ms", 0.0))
+        record.toast = {
+            key: [
+                ToastPair(
+                    incoming_hcid=incoming,
+                    transition_property=prop,
+                    outgoing_hcid=outgoing,
+                )
+                for incoming, prop, outgoing in pairs
+            ]
+            for key, pairs in data["toast"].items()
+        }
+        record.handlers = [dict(handler) for handler in data["handlers"]]
+        record.extraction_time_ms = float(data.get("extraction_time_ms", 0.0))
+    except RecordFormatError:
+        raise
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise RecordFormatError(
+            f"malformed ICRecord payload: {type(exc).__name__}: {exc}"
+        ) from exc
     return record
+
+
+def payload_checksum(payload: dict) -> str:
+    """SHA-256 over the canonical JSON form of a record payload."""
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def record_to_envelope(record: ICRecord, extra: dict | None = None) -> dict:
+    """Wrap a record payload in the checksummed on-disk envelope.
+
+    ``extra`` adds sibling fields (e.g. the store's ``"key"``) that live
+    outside the checksum — they are addressing, not trusted content.
+    """
+    payload = record_to_json(record)
+    envelope = dict(extra or {})
+    envelope["checksum"] = payload_checksum(payload)
+    envelope["record"] = payload
+    return envelope
+
+
+def record_from_envelope(data: dict) -> ICRecord:
+    """Verify and unwrap an on-disk envelope: checksum, version, structure.
+
+    Raises :class:`RecordFormatError` on any integrity or format failure.
+    """
+    if not isinstance(data, dict):
+        raise RecordFormatError(
+            f"ICRecord envelope must be a dict, got {type(data).__name__}"
+        )
+    if "record" not in data or "checksum" not in data:
+        raise RecordFormatError("ICRecord envelope missing 'record'/'checksum'")
+    payload = data["record"]
+    if not isinstance(payload, dict):
+        raise RecordFormatError("ICRecord envelope 'record' must be a dict")
+    expected = data["checksum"]
+    actual = payload_checksum(payload)
+    if expected != actual:
+        raise RecordFormatError(
+            f"ICRecord checksum mismatch (stored {str(expected)[:12]!r}..., "
+            f"computed {actual[:12]!r}...)"
+        )
+    from repro.ric.validate import check_record
+
+    return check_record(record_from_json(payload))
 
 
 def record_size_bytes(record: ICRecord) -> int:
@@ -85,10 +166,35 @@ def record_size_bytes(record: ICRecord) -> int:
 
 
 def save_icrecord(record: ICRecord, path: str | Path) -> None:
-    """Persist an ICRecord to disk."""
-    Path(path).write_text(json.dumps(record_to_json(record)))
+    """Persist an ICRecord to disk atomically (tmpfile + ``os.replace``)."""
+    atomic_write_text(path, json.dumps(record_to_envelope(record)))
 
 
 def load_icrecord(path: str | Path) -> ICRecord:
-    """Load a previously saved ICRecord."""
-    return record_from_json(json.loads(Path(path).read_text()))
+    """Load a previously saved ICRecord, verifying integrity and structure.
+
+    Raises :class:`RecordFormatError` for every corruption mode (bad JSON,
+    bad checksum, wrong version, structural damage).  ``OSError`` still
+    propagates for genuinely missing/unreadable files.
+    """
+    raw = Path(path).read_bytes()
+    try:
+        data = json.loads(raw.decode("utf-8"))
+    except UnicodeDecodeError as exc:
+        raise RecordFormatError(f"ICRecord is not valid UTF-8: {exc}") from exc
+    except ValueError as exc:
+        raise RecordFormatError(f"ICRecord is not valid JSON: {exc}") from exc
+    return record_from_envelope(data)
+
+
+def try_load_icrecord(path: str | Path) -> "ICRecord | CorruptRecord":
+    """Degrading load: a corrupt or unreadable record becomes a
+    :class:`CorruptRecord` placeholder instead of raising.
+
+    ``Engine.run`` accepts the placeholder and cold-starts that one
+    record while the rest of the page still reuses.
+    """
+    try:
+        return load_icrecord(path)
+    except (OSError, RecordFormatError) as exc:
+        return CorruptRecord(source=str(path), error=str(exc))

@@ -25,6 +25,8 @@ that a first-class capability:
 from __future__ import annotations
 
 import json
+import logging
+import os
 from pathlib import Path
 
 from repro.bytecode.cache import source_hash
@@ -32,6 +34,8 @@ from repro.bytecode.code import SiteKind
 from repro.core.config import RICConfig
 from repro.ic.handlers import StoreTransitionHandler
 from repro.ic.icvector import FeedbackState
+from repro.ric.atomicio import atomic_write_text, file_lock
+from repro.ric.errors import RecordFormatError
 from repro.ric.extraction import _global_site_keys
 from repro.ric.icrecord import (
     DependentEntry,
@@ -40,7 +44,9 @@ from repro.ric.icrecord import (
     ToastPair,
     filename_of_creation_key,
 )
-from repro.ric.serialize import record_from_json, record_to_json
+from repro.ric.serialize import record_from_envelope, record_to_envelope
+
+logger = logging.getLogger(__name__)
 from repro.runtime.context import Runtime
 from repro.runtime.hidden_class import HiddenClass
 
@@ -198,11 +204,28 @@ class RecordStore:
 
     Mirrors how a browser would persist RIC information next to its code
     cache: one entry per script, shared by every page that loads it.
+
+    The on-disk directory is treated as hostile-until-verified: every
+    entry carries a checksummed envelope (see :mod:`repro.ric.serialize`),
+    writes are atomic and advisory-locked, and entries that fail
+    integrity or structural validation are **quarantined** (renamed to
+    ``*.corrupt``) and surfaced through :attr:`load_errors` rather than
+    silently skipped — a store that quietly sheds entries looks identical
+    to a store that never had them, which is exactly how corruption goes
+    unnoticed in production.
     """
 
-    def __init__(self, directory: str | Path | None = None):
+    def __init__(
+        self,
+        directory: str | Path | None = None,
+        quarantine: bool = True,
+    ):
         self._entries: dict[str, ICRecord] = {}
         self._directory = Path(directory) if directory is not None else None
+        self.quarantine = quarantine
+        #: (filename, error message) for every on-disk entry that failed to
+        #: load — the degradation signal tests and reporting consume.
+        self.load_errors: list[tuple[str, str]] = []
         if self._directory is not None:
             self._directory.mkdir(parents=True, exist_ok=True)
             self._load_directory()
@@ -211,13 +234,21 @@ class RecordStore:
     def _key(filename: str, source: str) -> str:
         return f"{filename}:{source_hash(source)}"
 
+    def _lock_path(self) -> Path:
+        assert self._directory is not None
+        return self._directory / ".store.lock"
+
+    def _path_for_key(self, key: str) -> Path:
+        assert self._directory is not None
+        return self._directory / f"{_safe(key)}.icrecord.json"
+
     def put(self, filename: str, source: str, record: ICRecord) -> None:
         key = self._key(filename, source)
         self._entries[key] = record
         if self._directory is not None:
-            path = self._directory / f"{_safe(key)}.icrecord.json"
-            payload = {"key": key, "record": record_to_json(record)}
-            path.write_text(json.dumps(payload))
+            text = json.dumps(record_to_envelope(record, extra={"key": key}))
+            with file_lock(self._lock_path(), exclusive=True):
+                atomic_write_text(self._path_for_key(key), text)
 
     def get(self, filename: str, source: str) -> ICRecord | None:
         return self._entries.get(self._key(filename, source))
@@ -236,12 +267,34 @@ class RecordStore:
 
     def _load_directory(self) -> None:
         assert self._directory is not None
-        for path in sorted(self._directory.glob("*.icrecord.json")):
+        with file_lock(self._lock_path(), exclusive=False):
+            paths = sorted(self._directory.glob("*.icrecord.json"))
+        for path in paths:
             try:
                 payload = json.loads(path.read_text())
-                self._entries[payload["key"]] = record_from_json(payload["record"])
-            except (OSError, ValueError, KeyError):
-                continue  # corrupt entries are ignored, like a cache
+                if not isinstance(payload, dict) or not isinstance(
+                    payload.get("key"), str
+                ):
+                    raise RecordFormatError("store entry missing string 'key'")
+                self._entries[payload["key"]] = record_from_envelope(payload)
+            except (OSError, ValueError) as exc:
+                self.load_errors.append((path.name, str(exc)))
+                logger.warning("skipping corrupt record %s: %s", path.name, exc)
+                if self.quarantine:
+                    self._quarantine(path)
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a bad entry aside as ``*.corrupt`` so it stops matching the
+        store glob but stays available for post-mortem inspection."""
+        target = path.with_name(path.name + ".corrupt")
+        serial = 0
+        while target.exists():
+            serial += 1
+            target = path.with_name(f"{path.name}.corrupt.{serial}")
+        try:
+            os.replace(path, target)
+        except OSError:  # pragma: no cover - raced by another process
+            pass
 
 
 def _safe(key: str) -> str:

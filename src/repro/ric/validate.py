@@ -1,0 +1,159 @@
+"""Structural validation of ICRecords before they are trusted.
+
+The serializer guarantees a record *parses*; this pass guarantees it is
+*internally consistent* — the property the reuse machinery actually
+relies on when it indexes ``record.hcvt`` and ``record.handlers``
+unchecked on the hot path.  It runs on every load and again in
+``Engine.run`` before any :class:`~repro.ric.reuse.ReuseSession` is
+constructed, so a record that would index out of range, preload a
+context-dependent handler, or reference a nonexistent row is rejected
+*before* it can influence execution.
+
+The checks are deliberately a flat linear scan (no allocation beyond the
+problem list): the <10% load-overhead budget is asserted by
+``benchmarks/test_validation_overhead.py``.
+"""
+
+from __future__ import annotations
+
+from repro.ric.errors import RecordFormatError
+from repro.ric.icrecord import ICRecord
+
+#: Schema of every handler kind that may legally appear in a persisted
+#: handler store: kind -> required extra fields.  Context-dependent kinds
+#: (store_transition, load_proto_chain, the global handlers, ...) are
+#: absent on purpose — a record claiming to persist one is corrupt or
+#: hostile, and preloading it could change program results.
+REUSABLE_HANDLER_SCHEMAS: dict[str, tuple[str, ...]] = {
+    "load_field": ("offset",),
+    "store_field": ("offset",),
+    "load_array_length": (),
+    "load_element": (),
+    "store_element": (),
+}
+
+
+def validate_record(record: ICRecord) -> list[str]:
+    """Return every structural problem found (empty list = trustworthy)."""
+    problems: list[str] = []
+
+    if not isinstance(record.script_keys, list) or not all(
+        isinstance(key, str) for key in record.script_keys
+    ):
+        problems.append("script_keys must be a list of strings")
+
+    num_rows = len(record.hcvt) if isinstance(record.hcvt, list) else 0
+    num_handlers = len(record.handlers) if isinstance(record.handlers, list) else 0
+
+    # -- handler store: every entry schema-checked against known kinds ------
+    if isinstance(record.handlers, list):
+        for handler_id, handler in enumerate(record.handlers):
+            if not isinstance(handler, dict):
+                problems.append(f"handler {handler_id} is not a dict")
+                continue
+            kind = handler.get("kind")
+            required = (
+                REUSABLE_HANDLER_SCHEMAS.get(kind)
+                if isinstance(kind, str)
+                else None
+            )
+            if required is None:
+                problems.append(
+                    f"handler {handler_id} has non-reusable kind {kind!r}"
+                )
+                continue
+            for field_name in required:
+                value = handler.get(field_name)
+                if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                    problems.append(
+                        f"handler {handler_id} ({kind}) field "
+                        f"{field_name!r} must be a non-negative int"
+                    )
+    else:
+        problems.append("handlers must be a list")
+
+    # -- HCVT: dense local hcids, in-range handler ids -----------------------
+    if isinstance(record.hcvt, list):
+        for position, row in enumerate(record.hcvt):
+            if not isinstance(getattr(row, "hcid", None), int) or row.hcid != position:
+                problems.append(
+                    f"hcvt row {position} has non-dense hcid "
+                    f"{getattr(row, 'hcid', None)!r}"
+                )
+            for entry in row.dependents:
+                if not isinstance(entry.site_key, str):
+                    problems.append(
+                        f"hcvt row {position} dependent site_key is not a string"
+                    )
+                handler_id = entry.handler_id
+                if (
+                    not isinstance(handler_id, int)
+                    or isinstance(handler_id, bool)
+                    or not 0 <= handler_id < num_handlers
+                ):
+                    problems.append(
+                        f"hcvt row {position} references handler "
+                        f"{handler_id!r} outside [0, {num_handlers})"
+                    )
+            for site_key in row.cd_dependent_sites:
+                if not isinstance(site_key, str):
+                    problems.append(
+                        f"hcvt row {position} cd_dependent site key is not a string"
+                    )
+    else:
+        problems.append("hcvt must be a list")
+
+    # -- TOAST: every pair references a valid row ---------------------------
+    if isinstance(record.toast, dict):
+        for key, pairs in record.toast.items():
+            if not isinstance(key, str):
+                problems.append(f"toast key {key!r} is not a string")
+                continue
+            for pair in pairs:
+                if (
+                    not isinstance(pair.outgoing_hcid, int)
+                    or isinstance(pair.outgoing_hcid, bool)
+                    or not 0 <= pair.outgoing_hcid < num_rows
+                ):
+                    problems.append(
+                        f"toast {key!r} outgoing hcid {pair.outgoing_hcid!r} "
+                        f"outside [0, {num_rows})"
+                    )
+                incoming = pair.incoming_hcid
+                if incoming is not None and (
+                    not isinstance(incoming, int)
+                    or isinstance(incoming, bool)
+                    or not 0 <= incoming < num_rows
+                ):
+                    problems.append(
+                        f"toast {key!r} incoming hcid {incoming!r} "
+                        f"outside [0, {num_rows})"
+                    )
+                if pair.transition_property is not None and not isinstance(
+                    pair.transition_property, str
+                ):
+                    problems.append(
+                        f"toast {key!r} transition property is not a string"
+                    )
+    else:
+        problems.append("toast must be a dict")
+
+    if (
+        not isinstance(record.extraction_time_ms, (int, float))
+        or isinstance(record.extraction_time_ms, bool)
+        or record.extraction_time_ms < 0
+        or record.extraction_time_ms != record.extraction_time_ms  # NaN
+    ):
+        problems.append("extraction_time_ms must be a non-negative number")
+
+    return problems
+
+
+def check_record(record: ICRecord) -> ICRecord:
+    """Raise :class:`RecordFormatError` unless ``record`` validates."""
+    problems = validate_record(record)
+    if problems:
+        raise RecordFormatError(
+            f"invalid ICRecord ({len(problems)} problems): " + "; ".join(problems[:5])
+        )
+    return record

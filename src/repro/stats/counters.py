@@ -59,6 +59,15 @@ class Counters:
     ric_toast_lookups: int = 0
     ric_divergences: int = 0
 
+    #: Degradation bookkeeping: records offered to a Reuse run that were
+    #: refused before any session was built.  ``corrupt`` = failed at
+    #: load (unreadable, checksum/version mismatch — a
+    #: :class:`~repro.ric.errors.CorruptRecord` placeholder); ``rejected``
+    #: = parsed but failed structural validation.  Either way that record
+    #: cold-starts while the rest of the page still reuses.
+    ric_records_corrupt: int = 0
+    ric_records_rejected: int = 0
+
     # -- charging ------------------------------------------------------------
 
     def charge(self, category: str, amount: int) -> None:
@@ -124,4 +133,12 @@ class Counters:
             "ric_validations": self.ric_validations,
             "ric_preloads": self.ric_preloads,
             "ric_divergences": self.ric_divergences,
+            "ric_records_corrupt": self.ric_records_corrupt,
+            "ric_records_rejected": self.ric_records_rejected,
+            "ric_records_degraded": self.ric_records_degraded,
         }
+
+    @property
+    def ric_records_degraded(self) -> int:
+        """Records that fell back to cold-start (corrupt + rejected)."""
+        return self.ric_records_corrupt + self.ric_records_rejected

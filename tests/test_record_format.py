@@ -1,0 +1,200 @@
+"""Round-trip and corruption-fuzz tests for the ICRecord wire format.
+
+Invariant under fuzz: loading mutated serialized data either succeeds
+(and the result passes structural validation) or raises exactly
+:class:`RecordFormatError` — never ``KeyError``/``TypeError``/
+``IndexError``/anything else.  That single-exception-type contract is
+what lets every caller harden itself with one ``except`` clause.
+"""
+
+import copy
+import json
+import random
+
+import pytest
+
+from repro.core.engine import Engine
+from repro.ric import (
+    CorruptRecord,
+    RecordFormatError,
+    load_icrecord,
+    payload_checksum,
+    record_from_envelope,
+    record_from_json,
+    record_to_envelope,
+    record_to_json,
+    save_icrecord,
+    try_load_icrecord,
+    validate_record,
+)
+
+SOURCE = """
+function Box(v) { this.v = v; this.tag = "box"; }
+var total = 0;
+for (var i = 0; i < 12; i = i + 1) {
+  var b = new Box(i);
+  b.extra = i * 2;
+  total = total + b.v + b.extra;
+}
+console.log(total);
+"""
+
+
+@pytest.fixture(scope="module")
+def record():
+    engine = Engine(seed=41)
+    engine.run([("box.jsl", SOURCE)], name="initial")
+    return engine.extract_icrecord()
+
+
+class TestRoundTrip:
+    def test_json_round_trip_preserves_stats(self, record):
+        clone = record_from_json(record_to_json(record))
+        assert clone.stats() == record.stats()
+        assert validate_record(clone) == []
+
+    def test_envelope_round_trip(self, record):
+        clone = record_from_envelope(record_to_envelope(record))
+        assert clone.stats() == record.stats()
+
+    def test_disk_round_trip(self, record, tmp_path):
+        path = tmp_path / "r.icrecord.json"
+        save_icrecord(record, path)
+        assert load_icrecord(path).stats() == record.stats()
+
+    def test_checksum_is_canonical(self, record):
+        payload = record_to_json(record)
+        shuffled = json.loads(json.dumps(payload))
+        assert payload_checksum(payload) == payload_checksum(shuffled)
+
+    def test_extracted_record_validates(self, record):
+        assert validate_record(record) == []
+
+
+def _mutate(node, rng: random.Random, depth: int = 0):
+    """Apply one random structural mutation somewhere in a JSON tree."""
+    replacements = [None, "x", 12345, -7, [], {}, True, 3.5]
+    if isinstance(node, dict) and node:
+        key = rng.choice(sorted(node, key=str))
+        action = rng.randrange(3)
+        if action == 0:
+            del node[key]
+        elif action == 1:
+            node[key] = rng.choice(replacements)
+        else:
+            _mutate(node[key], rng, depth + 1)
+    elif isinstance(node, list) and node:
+        index = rng.randrange(len(node))
+        if rng.randrange(2):
+            node[index] = rng.choice(replacements)
+        else:
+            _mutate(node[index], rng, depth + 1)
+
+
+class TestCorruptionFuzz:
+    """Mutate serialized records hundreds of ways; the loader must
+    succeed or raise RecordFormatError, nothing else."""
+
+    def test_payload_mutations_raise_only_record_format_error(self, record):
+        pristine = record_to_json(record)
+        for seed in range(300):
+            rng = random.Random(seed)
+            payload = copy.deepcopy(pristine)
+            for _ in range(rng.randrange(1, 4)):
+                _mutate(payload, rng)
+            try:
+                loaded = record_from_json(payload)
+            except RecordFormatError:
+                continue
+            # record_from_json alone does not structurally validate; the
+            # contract here is the exception type.  validate_record must
+            # itself never raise on whatever parsed.
+            validate_record(loaded)
+
+    def test_envelope_mutations_raise_only_record_format_error(self, record):
+        pristine = record_to_envelope(record)
+        for seed in range(300):
+            rng = random.Random(seed)
+            envelope = copy.deepcopy(pristine)
+            for _ in range(rng.randrange(1, 4)):
+                _mutate(envelope, rng)
+            try:
+                loaded = record_from_envelope(envelope)
+            except RecordFormatError:
+                continue
+            # Survivors must be fully trustworthy.
+            assert validate_record(loaded) == []
+
+    def test_rechecksummed_mutations_still_gated(self, record):
+        """Even with a *correct* checksum, structural damage is refused —
+        the validation layer, not the checksum, is the last line."""
+        pristine = record_to_json(record)
+        admitted = 0
+        for seed in range(200):
+            rng = random.Random(10_000 + seed)
+            payload = copy.deepcopy(pristine)
+            _mutate(payload, rng)
+            envelope = {"checksum": payload_checksum(payload), "record": payload}
+            try:
+                loaded = record_from_envelope(envelope)
+            except RecordFormatError:
+                continue
+            admitted += 1
+            assert validate_record(loaded) == []
+        # Most single mutations must be caught, not admitted.
+        assert admitted < 100
+
+    def test_text_level_damage_on_disk(self, record, tmp_path):
+        path = tmp_path / "r.icrecord.json"
+        save_icrecord(record, path)
+        pristine = path.read_bytes()
+        for seed in range(100):
+            rng = random.Random(seed)
+            damaged = bytearray(pristine)
+            for _ in range(rng.randrange(1, 6)):
+                damaged[rng.randrange(len(damaged))] = rng.randrange(256)
+            path.write_bytes(bytes(damaged))
+            try:
+                loaded = load_icrecord(path)
+            except RecordFormatError:
+                continue
+            # A mutation that kept bytes identical can legitimately load.
+            assert validate_record(loaded) == []
+
+    def test_missing_dependents_key_is_typed(self, record):
+        """The satellite repro: an hcvt row missing 'dependents' must be a
+        RecordFormatError, not a KeyError."""
+        payload = record_to_json(record)
+        assert payload["hcvt"], "fixture record should have rows"
+        del payload["hcvt"][0]["dependents"]
+        with pytest.raises(RecordFormatError):
+            record_from_json(payload)
+
+    def test_non_dict_payloads(self):
+        for bogus in (None, [], "record", 7, True):
+            with pytest.raises(RecordFormatError):
+                record_from_json(bogus)
+            with pytest.raises(RecordFormatError):
+                record_from_envelope(bogus)
+
+    def test_try_load_never_raises(self, record, tmp_path):
+        path = tmp_path / "r.icrecord.json"
+        save_icrecord(record, path)
+        pristine = path.read_bytes()
+        outcomes = {"ok": 0, "corrupt": 0}
+        for seed in range(100):
+            rng = random.Random(seed)
+            damaged = bytearray(pristine)
+            for _ in range(rng.randrange(1, 8)):
+                damaged[rng.randrange(len(damaged))] = rng.randrange(256)
+            path.write_bytes(bytes(damaged))
+            result = try_load_icrecord(path)
+            outcomes["corrupt" if isinstance(result, CorruptRecord) else "ok"] += 1
+        assert outcomes["corrupt"] > 0  # fuzz actually bites
+
+    def test_missing_file_is_oserror_not_format_error(self, tmp_path):
+        with pytest.raises(OSError):
+            load_icrecord(tmp_path / "absent.icrecord.json")
+        assert isinstance(
+            try_load_icrecord(tmp_path / "absent.icrecord.json"), CorruptRecord
+        )

@@ -1,6 +1,8 @@
 """Tests for per-script ICRecords and the RecordStore (paper §9's claim
 that RIC information is per-file and shareable across applications)."""
 
+from pathlib import Path
+
 import pytest
 
 from repro.core.engine import Engine
@@ -169,6 +171,134 @@ class TestRecordStore:
         (tmp_path / "junk.icrecord.json").write_text("{ nope")
         store = RecordStore(directory=tmp_path)
         assert len(store) == 0
+
+    def test_corrupt_entries_are_counted_and_quarantined(self, tmp_path):
+        (tmp_path / "junk.icrecord.json").write_text("{ nope")
+        store = RecordStore(directory=tmp_path)
+        assert len(store.load_errors) == 1
+        assert store.load_errors[0][0] == "junk.icrecord.json"
+        # The bad entry is moved aside, not left to fail again.
+        assert not (tmp_path / "junk.icrecord.json").exists()
+        assert (tmp_path / "junk.icrecord.json.corrupt").exists()
+
+    def test_quarantine_can_be_disabled(self, tmp_path):
+        (tmp_path / "junk.icrecord.json").write_text("{ nope")
+        store = RecordStore(directory=tmp_path, quarantine=False)
+        assert len(store.load_errors) == 1
+        assert (tmp_path / "junk.icrecord.json").exists()
+
+    def test_quarantine_names_do_not_collide(self, tmp_path):
+        (tmp_path / "junk.icrecord.json").write_text("{ nope")
+        (tmp_path / "junk.icrecord.json.corrupt").write_text("older casualty")
+        RecordStore(directory=tmp_path)
+        assert (tmp_path / "junk.icrecord.json.corrupt.1").exists()
+
+    def test_stale_format_version_is_quarantined(self, engine, tmp_path):
+        """A valid v2-era file (no envelope) must be refused and moved."""
+        engine.run(APP_A, name="app-a")
+        records = engine.extract_per_script_records()
+        store = RecordStore(directory=tmp_path)
+        store.put("lib.jsl", LIB_SOURCE, records["lib.jsl"])
+
+        import json
+
+        from repro.ric import record_to_json
+
+        legacy = record_to_json(records["lib.jsl"])
+        legacy["version"] = 2
+        (tmp_path / "legacy.icrecord.json").write_text(
+            json.dumps({"key": "lib.jsl:deadbeef", "record": legacy})
+        )
+        fresh = RecordStore(directory=tmp_path)
+        assert len(fresh) == 1  # only the healthy entry
+        assert len(fresh.load_errors) == 1
+        assert (tmp_path / "legacy.icrecord.json.corrupt").exists()
+
+    def test_load_errors_empty_on_healthy_directory(self, engine, tmp_path):
+        engine.run(APP_A, name="app-a")
+        records = engine.extract_per_script_records()
+        store = RecordStore(directory=tmp_path)
+        store.put("lib.jsl", LIB_SOURCE, records["lib.jsl"])
+        assert RecordStore(directory=tmp_path).load_errors == []
+
+    def test_put_leaves_no_temp_droppings(self, engine, tmp_path):
+        engine.run(APP_A, name="app-a")
+        records = engine.extract_per_script_records()
+        store = RecordStore(directory=tmp_path)
+        for _ in range(5):
+            store.put("lib.jsl", LIB_SOURCE, records["lib.jsl"])
+        assert list(tmp_path.glob("*.tmp")) == []
+
+
+class TestConcurrentAccess:
+    """Atomic replace means a reader sees the old record or the new one,
+    never a prefix — hammered here with racing writer/reader threads."""
+
+    def test_writers_and_readers_never_observe_partial_records(
+        self, engine, tmp_path
+    ):
+        import threading
+
+        engine.run(APP_A, name="app-a")
+        record = engine.extract_per_script_records()["lib.jsl"]
+        stop = threading.Event()
+        observed_errors: list = []
+
+        def writer():
+            store = RecordStore(directory=tmp_path)
+            while not stop.is_set():
+                store.put("lib.jsl", LIB_SOURCE, record)
+
+        def reader():
+            while not stop.is_set():
+                fresh = RecordStore(directory=tmp_path, quarantine=False)
+                observed_errors.extend(fresh.load_errors)
+                loaded = fresh.get("lib.jsl", LIB_SOURCE)
+                if loaded is not None:
+                    assert loaded.stats() == record.stats()
+
+        threads = [threading.Thread(target=writer) for _ in range(2)] + [
+            threading.Thread(target=reader) for _ in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        import time
+
+        time.sleep(1.0)
+        stop.set()
+        for thread in threads:
+            thread.join()
+        assert observed_errors == []
+
+    def test_cross_process_round_trip(self, engine, tmp_path):
+        """A second *process* writing the same directory composes with an
+        in-process reader (the multi-engine deployment shape)."""
+        import subprocess
+        import sys
+        import textwrap
+
+        engine.run(APP_A, name="app-a")
+        record = engine.extract_per_script_records()["lib.jsl"]
+        store = RecordStore(directory=tmp_path)
+        store.put("lib.jsl", LIB_SOURCE, record)
+
+        script = textwrap.dedent(
+            """
+            import sys
+            from repro.ric import RecordStore
+            store = RecordStore(directory=sys.argv[1])
+            assert store.load_errors == [], store.load_errors
+            assert len(store) == 1
+            """
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", script, str(tmp_path)],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": "src"},
+            cwd=str(Path(__file__).resolve().parent.parent),
+        )
+        assert result.returncode == 0, result.stderr
 
     def test_end_to_end_browser_cache_shape(self, tmp_path):
         """First process: visit app A, persist per-script records.  Second
