@@ -1,0 +1,29 @@
+"""Entry point for the interpreter perf baseline (BENCH_interp.json).
+
+The measurement harness lives in :mod:`repro.harness.bench` so the
+installed ``ric-run --bench-json`` command can reach it; this module is
+the in-repo face of it::
+
+    PYTHONPATH=src python benchmarks/baseline.py BENCH_interp.json
+    # equivalently:
+    ric-run --bench-json BENCH_interp.json
+
+See ``docs/INTERNALS.md`` §8 for what the numbers mean and when to
+regenerate them.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.harness.bench import (  # noqa: F401  (re-exported API)
+    SCHEMA,
+    bench_workloads,
+    main,
+    measure,
+    validate_bench_json,
+    write_bench_json,
+)
+
+if __name__ == "__main__":
+    sys.exit(main())

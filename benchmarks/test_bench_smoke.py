@@ -1,0 +1,80 @@
+"""Smoke test for the perf baseline harness (run with
+``PYTHONPATH=src python -m pytest benchmarks/``).
+
+Kept tiny — one workload, one iteration — so it can run anywhere without
+distorting anyone's benchmarking; the point is that the harness still
+produces a schema-valid document, not that the numbers are good.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.harness.bench import (
+    SCHEMA,
+    bench_workloads,
+    measure,
+    validate_bench_json,
+    write_bench_json,
+)
+
+
+@pytest.fixture(scope="module")
+def document() -> dict:
+    return measure(workload_names=["synthetic"], iterations=1, seed=1)
+
+
+def test_document_is_schema_valid(document):
+    assert document["schema"] == SCHEMA
+    assert validate_bench_json(document) == []
+
+
+def test_reuse_beats_cold_on_misses(document):
+    blob = document["workloads"]["synthetic"]
+    assert blob["reuse"]["ic_misses"] < blob["cold"]["ic_misses"]
+    assert blob["reuse"]["ric_preloads"] > 0
+
+
+def test_counter_fields_are_integers(document):
+    for mode in ("cold", "reuse"):
+        blob = document["workloads"]["synthetic"][mode]
+        for field in ("dispatches", "ic_accesses", "ic_hits", "ic_misses"):
+            assert isinstance(blob[field], int) and blob[field] >= 0
+        assert blob["dispatches"] > 0
+
+
+def test_write_round_trips(document, tmp_path):
+    path = tmp_path / "bench.json"
+    write_bench_json(str(path), document)
+    assert json.loads(path.read_text()) == document
+
+
+def test_write_refuses_invalid_documents(tmp_path):
+    with pytest.raises(ValueError, match="invalid bench document"):
+        write_bench_json(str(tmp_path / "bad.json"), {"schema": "nope"})
+
+
+def test_validator_reports_missing_modes():
+    broken = {"schema": SCHEMA, "config": {}, "workloads": {"w": {"cold": {}}}}
+    problems = validate_bench_json(broken)
+    assert any("w.reuse" in p for p in problems)
+
+
+def test_bench_workload_registry_has_all_eight():
+    assert len(bench_workloads()) == 8
+    assert "synthetic" in bench_workloads()
+
+
+def test_checked_in_baseline_is_valid():
+    """BENCH_interp.json at the repo root must track the current schema."""
+    from pathlib import Path
+
+    path = Path(__file__).resolve().parent.parent / "BENCH_interp.json"
+    assert path.exists(), "BENCH_interp.json missing from the repo root"
+    doc = json.loads(path.read_text())
+    assert validate_bench_json(doc) == []
+    assert len(doc["workloads"]) == 8
+    for name, entry in doc["workloads"].items():
+        assert entry["reuse"]["ic_misses"] < entry["cold"]["ic_misses"], name

@@ -72,7 +72,7 @@ class SnapshotBaseline:
         runtime = engine._last_runtime
         if runtime is None:
             raise RuntimeError("run the workload before capturing a snapshot")
-        globals_data = _serialize_user_globals(runtime)
+        globals_data = serialize_user_globals(runtime)
         globals_json = json.dumps(globals_data)
         console = list(runtime.console_output)
         return Snapshot(
@@ -89,8 +89,15 @@ class SnapshotBaseline:
         return snapshot.key == SnapshotBaseline.script_key(scripts)
 
 
-def _serialize_user_globals(runtime: Runtime) -> dict:
-    """JSON-ify globals the scripts added (not the builtins)."""
+def serialize_user_globals(runtime: Runtime) -> dict:
+    """JSON-ify globals the scripts added (not the builtins).
+
+    The output is canonical and address-free (functions become name
+    markers, cycles become ``<cycle>`` markers), so two executions of the
+    same program — cold or RIC-reused — must produce byte-identical
+    serializations.  The differential suite uses this as its
+    heap-observable-state oracle.
+    """
     global_object = runtime.global_object
     builtin_names = set(GLOBAL_LAYOUT)
     data: dict = {}

@@ -34,6 +34,15 @@ class RICConfig:
       :class:`~repro.ric.store.RecordStore` renames entries that fail to
       load to ``*.corrupt`` (preserving them for post-mortem) instead of
       leaving them in place to fail again next process.
+
+    Interpreter knobs:
+
+    * ``interp_fastpaths=False`` — disable the VM's inline monomorphic
+      GET_PROP/SET_PROP fast paths and route every property access through
+      the generic :class:`~repro.ic.miss.ICRuntime` path.  The two must be
+      observationally identical (tests/test_dispatch_table.py and the
+      differential suite enforce it); the knob exists for those tests and
+      for isolating fast-path effects in benchmarks.
     """
 
     enable_linking: bool = True
@@ -42,3 +51,4 @@ class RICConfig:
     include_global_ics: bool = False
     strict_validation: bool = False
     quarantine_corrupt: bool = True
+    interp_fastpaths: bool = True

@@ -191,7 +191,14 @@ class Engine:
         start = time.perf_counter()
         install_builtins(runtime)
         ic_runtime = ICRuntime(runtime, counters, reuse_session, tracer=tracer)
-        vm = VM(runtime, counters, ic_runtime, feedback, time_source=time_source)
+        vm = VM(
+            runtime,
+            counters,
+            ic_runtime,
+            feedback,
+            time_source=time_source,
+            fastpaths=self.config.interp_fastpaths,
+        )
         for code in compiled:
             # Uncaught guest exceptions surface from run_code as
             # JSLRuntimeError with a guest stack trace attached.

@@ -12,6 +12,7 @@ Examples::
     ric-run --record /tmp/lib.ric lib.jsl    # persist/reuse the ICRecord
     ric-run --trace lib.jsl                  # print the IC event trace
     ric-run --disassemble lib.jsl            # show bytecode, don't run
+    ric-run --bench-json BENCH_interp.json   # cold-vs-reuse perf baseline
     ric-run                                  # REPL
 """
 
@@ -52,7 +53,22 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="disable the peephole bytecode optimizer",
     )
+    parser.add_argument(
+        "--bench-json",
+        metavar="PATH",
+        help="run the cold-vs-reuse interpreter baseline over every "
+        "workload and write the JSON document to PATH (ignores files)",
+    )
+    parser.add_argument(
+        "--bench-iterations",
+        type=int,
+        default=5,
+        help="wall-time repetitions per workload for --bench-json",
+    )
     args = parser.parse_args(argv)
+
+    if args.bench_json:
+        return _bench(args)
 
     if not args.files:
         return _repl(args)
@@ -126,6 +142,16 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
     return 0
+
+
+def _bench(args: argparse.Namespace) -> int:
+    """--bench-json: regenerate the interpreter perf baseline."""
+    from repro.harness.bench import main as bench_main
+
+    bench_argv = [args.bench_json, "--iterations", str(args.bench_iterations)]
+    if args.seed is not None:
+        bench_argv += ["--seed", str(args.seed)]
+    return bench_main(bench_argv)
 
 
 def _repl(args: argparse.Namespace) -> int:

@@ -67,9 +67,28 @@ class ForInIterator:
 
 
 class Frame:
-    """One activation of a code object."""
+    """One activation of a code object.
 
-    __slots__ = ("code", "env", "this_value", "stack", "pc", "try_stack", "sites")
+    Beyond the activation state proper, a frame caches direct references to
+    the pools the dispatch handlers touch on every instruction — the
+    constant pool, the name pool and the environment's local-slot list —
+    so the hot path pays one attribute load (``frame.slots``) instead of a
+    chain (``frame.env.slots`` / ``frame.code.constants``).
+    """
+
+    __slots__ = (
+        "code",
+        "env",
+        "this_value",
+        "stack",
+        "pc",
+        "try_stack",
+        "sites",
+        "consts",
+        "names",
+        "slots",
+        "return_value",
+    )
 
     def __init__(
         self,
@@ -86,3 +105,9 @@ class Frame:
         #: (handler pc, stack depth) pairs for active try regions.
         self.try_stack: list[tuple[int, int]] = []
         self.sites = sites
+        #: Cached pool references (see class docstring).
+        self.consts = code.constants
+        self.names = code.names
+        self.slots = env.slots
+        #: Set by the RETURN handler just before the dispatch loop exits.
+        self.return_value: object = None

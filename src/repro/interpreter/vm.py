@@ -1,14 +1,33 @@
 """The jsl bytecode virtual machine.
 
-A straightforward stack VM.  The dispatch loop is one long method — the
-idiomatic shape for an interpreter inner loop, where a per-opcode function
-call would dominate runtime.  All object access sites route through
-:class:`~repro.ic.miss.ICRuntime`, which implements the inline-cache fast
-path and the runtime miss path.
+A stack VM with **table dispatch**: instead of one long ``if/elif`` chain,
+the VM precomputes a per-opcode dispatch table (an array of bound handler
+methods indexed by opcode value) at construction time.  Each code object is
+additionally *threaded* once per VM — its ``(op, a, b)`` triples are mapped
+to ``(handler, a, b)`` triples — so the inner loop pays neither the chain
+of opcode comparisons nor even the table index on the hot path.
+
+The table is built by naming convention: opcode ``Op.FOO`` dispatches to
+``VM._op_foo``.  A new opcode without a handler fails loudly at VM
+construction (and in ``tests/test_dispatch_table.py``), never silently at
+runtime.
+
+``GET_PROP`` / ``SET_PROP`` carry an inline **monomorphic fast path**: when
+the access site's :class:`~repro.ic.icvector.ICSite` holds exactly one
+``(hidden class, handler)`` pair and the incoming object's hidden class
+matches, the handler runs directly in the dispatch handler — same IC hit
+accounting, same ``ICVector`` transitions, one less call layer than the
+generic ``ICRuntime`` path.  Any other situation (polymorphic site,
+megamorphic site, shape mismatch, handler bailout) falls back to the
+generic path untouched.  ``fastpaths=False`` disables the inline paths
+entirely (used by differential tests and the ``interp_fastpaths`` config
+knob).
 
 Guest instruction accounting: each dispatched bytecode charges
 ``cost_model.DISPATCH`` (batched per frame for speed); everything heavier
-(allocation, natives, IC misses) is charged where it happens.
+(allocation, natives, IC misses) is charged where it happens.  The raw
+dispatch count is also recorded in ``Counters.dispatches`` for the
+benchmark baseline.
 """
 
 from __future__ import annotations
@@ -18,6 +37,7 @@ import typing
 
 from repro.bytecode.code import CodeObject
 from repro.bytecode.opcodes import BinOp, Op, UnOp
+from repro.ic.handlers import MISS
 from repro.ic.icvector import FeedbackState
 from repro.ic.miss import ICRuntime
 from repro.interpreter import cost_model as cost
@@ -48,6 +68,13 @@ from repro.stats.counters import (
 #: recursion; deep guest recursion raises a guest RangeError).
 MAX_CALL_DEPTH = 900
 
+#: pc sentinel returned by the RETURN handler to stop the dispatch loop.
+_RETURN_PC = -1
+
+#: Combined charge of an IC probe plus a handler execution — what a fast-path
+#: hit costs, identical in total to the generic path's two charges.
+_IC_HIT_COST = cost.IC_PROBE + cost.HANDLER_EXECUTE
+
 # Each guest call consumes several host frames; make sure the guest hits its
 # own MAX_CALL_DEPTH RangeError before Python's recursion limit.
 import sys as _sys
@@ -66,13 +93,57 @@ class VM:
         ic_runtime: ICRuntime,
         feedback: FeedbackState,
         time_source: typing.Callable[[], float] | None = None,
+        fastpaths: bool = True,
     ):
         self.runtime = runtime
         self.counters = counters
         self.ic = ic_runtime
         self.feedback = feedback
+        self.fastpaths = fastpaths
         self._call_depth = 0
         self._time_source = time_source or time.time
+        self._dispatch = self._build_dispatch_table()
+        #: id(code) -> threaded instruction list for this VM.
+        self._threaded_cache: dict[int, list] = {}
+
+    # -- dispatch table construction --------------------------------------------
+
+    def _build_dispatch_table(self) -> list:
+        """Array of bound handler methods, indexed by opcode value.
+
+        Every member of :class:`Op` must have a matching ``_op_<name>``
+        method; a gap raises immediately so an unhandled opcode can never
+        reach the dispatch loop.  Table slots between opcode values hold
+        :meth:`_op_invalid`, preserving the historical "unknown opcode"
+        error for corrupted bytecode.
+        """
+        table = [VM._op_invalid.__get__(self)] * (max(Op) + 1)
+        for op in Op:
+            handler = getattr(self, "_op_" + op.name.lower(), None)
+            if handler is None:
+                raise NotImplementedError(
+                    f"opcode {op.name} has no _op_{op.name.lower()} handler"
+                )
+            table[op] = handler
+        if not self.fastpaths:
+            table[Op.GET_PROP] = self._op_get_prop_generic
+            table[Op.SET_PROP] = self._op_set_prop_generic
+        return table
+
+    def dispatch_handler(self, op: Op):
+        """The handler bound for ``op`` (introspection for tests)."""
+        return self._dispatch[op]
+
+    def _threaded(self, code: CodeObject) -> list:
+        """Thread ``code`` through the dispatch table: ``(op, a, b)`` ->
+        ``(handler, a, b)``, cached per VM so the cost is paid once per
+        code object, not once per call."""
+        threaded = self._threaded_cache.get(id(code))
+        if threaded is None:
+            table = self._dispatch
+            threaded = [(table[op], a, b) for op, a, b in code.instructions]
+            self._threaded_cache[id(code)] = threaded
+        return threaded
 
     # -- public entry points ---------------------------------------------------
 
@@ -232,193 +303,30 @@ class VM:
 
     def _execute(self, frame: Frame) -> object:
         code = frame.code
-        instructions = code.instructions
-        constants = code.constants
-        names = code.names
-        stack = frame.stack
-        env = frame.env
-        sites = frame.sites
-        runtime = self.runtime
+        threaded = self._threaded(code)
         counters = self.counters
-        ic = self.ic
 
         pc = 0
         dispatched = 0  # batched DISPATCH charges
 
         try:
             while True:
-                op, a, b = instructions[pc]
-                pc += 1
+                handler, a, b = threaded[pc]
                 dispatched += 1
                 try:
-                    if op == Op.LOAD_CONST:
-                        stack.append(constants[a])
-                    elif op == Op.LOAD_LOCAL:
-                        stack.append(env.slots[a])
-                    elif op == Op.STORE_LOCAL:
-                        env.slots[a] = stack.pop()
-                    elif op == Op.GET_PROP:
-                        obj = stack.pop()
-                        stack.append(self.get_property(obj, names[a], sites[b]))
-                    elif op == Op.SET_PROP:
-                        value = stack.pop()
-                        obj = stack.pop()
-                        self.set_property(obj, names[a], value, sites[b])
-                        stack.append(value)
-                    elif op == Op.OBJ_LIT_PROP:
-                        value = stack.pop()
-                        obj = stack[-1]
-                        self.set_property(obj, names[a], value, sites[b])
-                    elif op == Op.LOAD_GLOBAL:
-                        stack.append(ic.global_load(sites[b], names[a]))
-                    elif op == Op.LOAD_GLOBAL_SOFT:
-                        stack.append(ic.global_load(sites[b], names[a], soft=True))
-                    elif op == Op.STORE_GLOBAL:
-                        value = stack[-1]
-                        ic.global_store(sites[b], names[a], value)
-                    elif op == Op.DECLARE_GLOBAL:
-                        ic.declare_global(sites[b], names[a])
-                    elif op == Op.GET_INDEX:
-                        key = stack.pop()
-                        obj = stack.pop()
-                        stack.append(self._keyed_get(obj, key, sites[a]))
-                    elif op == Op.SET_INDEX:
-                        value = stack.pop()
-                        key = stack.pop()
-                        obj = stack.pop()
-                        self._keyed_set(obj, key, value, sites[a])
-                        stack.append(value)
-                    elif op == Op.LOAD_UNDEFINED:
-                        stack.append(UNDEFINED)
-                    elif op == Op.LOAD_NULL:
-                        stack.append(NULL)
-                    elif op == Op.LOAD_TRUE:
-                        stack.append(True)
-                    elif op == Op.LOAD_FALSE:
-                        stack.append(False)
-                    elif op == Op.LOAD_THIS:
-                        stack.append(frame.this_value)
-                    elif op == Op.LOAD_ENV:
-                        stack.append(env.ancestor(a).slots[b])
-                    elif op == Op.STORE_ENV:
-                        env.ancestor(a).slots[b] = stack.pop()
-                    elif op == Op.BINARY:
-                        right = stack.pop()
-                        left = stack.pop()
-                        stack.append(self._binary(a, left, right))
-                    elif op == Op.UNARY:
-                        stack.append(self._unary(a, stack.pop()))
-                    elif op == Op.TYPEOF:
-                        stack.append(type_of(stack.pop()))
-                    elif op == Op.JUMP:
-                        pc = a
-                    elif op == Op.JUMP_IF_FALSE:
-                        if not to_boolean(stack.pop()):
-                            pc = a
-                    elif op == Op.JUMP_IF_TRUE:
-                        if to_boolean(stack.pop()):
-                            pc = a
-                    elif op == Op.JUMP_IF_FALSE_KEEP:
-                        if not to_boolean(stack[-1]):
-                            pc = a
-                    elif op == Op.JUMP_IF_TRUE_KEEP:
-                        if to_boolean(stack[-1]):
-                            pc = a
-                    elif op == Op.CALL:
-                        args = stack[len(stack) - a :]
-                        del stack[len(stack) - a :]
-                        callee = stack.pop()
-                        stack.append(self.call_value(callee, UNDEFINED, args))
-                    elif op == Op.CALL_METHOD:
-                        args = stack[len(stack) - a :]
-                        del stack[len(stack) - a :]
-                        callee = stack.pop()
-                        receiver = stack.pop()
-                        stack.append(self.call_value(callee, receiver, args))
-                    elif op == Op.NEW:
-                        args = stack[len(stack) - a :]
-                        del stack[len(stack) - a :]
-                        ctor = stack.pop()
-                        stack.append(self.construct(ctor, args))
-                    elif op == Op.RETURN:
-                        return stack.pop()
-                    elif op == Op.MAKE_FUNCTION:
-                        counters.charge(CATEGORY_RUNTIME_OTHER, cost.ALLOCATE_FUNCTION)
-                        fn_code = constants[a]
-                        assert isinstance(fn_code, CodeObject)
-                        stack.append(runtime.new_function(fn_code, env))
-                    elif op == Op.MAKE_OBJECT:
-                        counters.charge(CATEGORY_RUNTIME_OTHER, cost.ALLOCATE_OBJECT)
-                        stack.append(runtime.new_object())
-                    elif op == Op.MAKE_ARRAY:
-                        counters.charge(
-                            CATEGORY_RUNTIME_OTHER,
-                            cost.ALLOCATE_ARRAY + cost.NATIVE_PER_ELEMENT * a,
-                        )
-                        elements = stack[len(stack) - a :]
-                        del stack[len(stack) - a :]
-                        stack.append(runtime.new_array(elements))
-                    elif op == Op.POP:
-                        stack.pop()
-                    elif op == Op.DUP:
-                        stack.append(stack[-1])
-                    elif op == Op.DUP2:
-                        stack.extend(stack[-2:])
-                    elif op == Op.SWAP:
-                        stack[-1], stack[-2] = stack[-2], stack[-1]
-                    elif op == Op.DELETE_PROP:
-                        obj = stack.pop()
-                        counters.charge(CATEGORY_RUNTIME_OTHER, cost.DICT_ACCESS)
-                        if isinstance(obj, JSObject):
-                            stack.append(runtime.delete_property(obj, names[a]))
-                        else:
-                            stack.append(True)
-                    elif op == Op.DELETE_INDEX:
-                        key = stack.pop()
-                        obj = stack.pop()
-                        counters.charge(CATEGORY_RUNTIME_OTHER, cost.DICT_ACCESS)
-                        if isinstance(obj, JSObject):
-                            stack.append(
-                                runtime.delete_property(obj, to_property_key(key))
-                            )
-                        else:
-                            stack.append(True)
-                    elif op == Op.THROW:
-                        raise GuestThrow(stack.pop())
-                    elif op == Op.SETUP_TRY:
-                        frame.try_stack.append((a, len(stack)))
-                    elif op == Op.POP_TRY:
-                        frame.try_stack.pop()
-                    elif op == Op.FOR_IN_PREP:
-                        obj = stack.pop()
-                        if isinstance(obj, JSObject):
-                            keys = obj.own_property_names()
-                            counters.charge(
-                                CATEGORY_RUNTIME_OTHER,
-                                cost.DICT_ACCESS + cost.NATIVE_PER_ELEMENT * len(keys),
-                            )
-                            stack.append(ForInIterator(keys))
-                        else:
-                            stack.append(ForInIterator([]))
-                    elif op == Op.FOR_IN_NEXT:
-                        iterator = stack[-1]
-                        assert isinstance(iterator, ForInIterator)
-                        key = iterator.next_key()
-                        if key is None:
-                            pc = a
-                        else:
-                            stack.append(key)
-                    else:  # pragma: no cover - all opcodes are handled
-                        raise JSLRuntimeError(f"unknown opcode {op}")
+                    pc = handler(frame, a, b, pc + 1)
+                    if pc < 0:
+                        return frame.return_value
                 except GuestThrow as thrown:
                     if not frame.try_stack:
                         if thrown.position is None:
-                            thrown.position = code.position_at(pc - 1)
+                            thrown.position = code.position_at(pc)
                         thrown.trace.append(
-                            f"at {code.name} ({code.position_at(pc - 1)})"
+                            f"at {code.name} ({code.position_at(pc)})"
                         )
                         raise
                     target, depth = frame.try_stack.pop()
+                    stack = frame.stack
                     del stack[depth:]
                     stack.append(thrown.value)
                     pc = target
@@ -428,14 +336,15 @@ class VM:
                     # TypeError).
                     if not frame.try_stack:
                         if error.position is None:
-                            error.position = code.position_at(pc - 1)
+                            error.position = code.position_at(pc)
                         if not hasattr(error, "guest_trace"):
                             error.guest_trace = []  # type: ignore[attr-defined]
                         error.guest_trace.append(  # type: ignore[attr-defined]
-                            f"at {code.name} ({code.position_at(pc - 1)})"
+                            f"at {code.name} ({code.position_at(pc)})"
                         )
                         raise
                     target, depth = frame.try_stack.pop()
+                    stack = frame.stack
                     del stack[depth:]
                     name = type(error).__name__
                     if name.startswith("JSL"):
@@ -445,7 +354,365 @@ class VM:
                     stack.append(self._make_guest_error(name, error.message))
                     pc = target
         finally:
+            counters.dispatches += dispatched
             counters.charge(CATEGORY_EXECUTE, cost.DISPATCH * dispatched)
+
+    # -- dispatch handlers -------------------------------------------------------
+    #
+    # One method per opcode, found by naming convention (Op.FOO ->
+    # _op_foo).  Signature: (frame, a, b, pc) -> next pc, where ``pc``
+    # arrives already pointing at the following instruction.  Jumps return
+    # their target; RETURN stashes the value on the frame and returns the
+    # _RETURN_PC sentinel.
+
+    def _op_invalid(self, frame: Frame, a: int, b: int, pc: int) -> int:
+        raise JSLRuntimeError("unknown opcode")
+
+    # constants / simple pushes
+
+    def _op_load_const(self, frame: Frame, a: int, b: int, pc: int) -> int:
+        frame.stack.append(frame.consts[a])
+        return pc
+
+    def _op_load_undefined(self, frame: Frame, a: int, b: int, pc: int) -> int:
+        frame.stack.append(UNDEFINED)
+        return pc
+
+    def _op_load_null(self, frame: Frame, a: int, b: int, pc: int) -> int:
+        frame.stack.append(NULL)
+        return pc
+
+    def _op_load_true(self, frame: Frame, a: int, b: int, pc: int) -> int:
+        frame.stack.append(True)
+        return pc
+
+    def _op_load_false(self, frame: Frame, a: int, b: int, pc: int) -> int:
+        frame.stack.append(False)
+        return pc
+
+    def _op_load_this(self, frame: Frame, a: int, b: int, pc: int) -> int:
+        frame.stack.append(frame.this_value)
+        return pc
+
+    # variables
+
+    def _op_load_local(self, frame: Frame, a: int, b: int, pc: int) -> int:
+        frame.stack.append(frame.slots[a])
+        return pc
+
+    def _op_store_local(self, frame: Frame, a: int, b: int, pc: int) -> int:
+        frame.slots[a] = frame.stack.pop()
+        return pc
+
+    def _op_load_env(self, frame: Frame, a: int, b: int, pc: int) -> int:
+        frame.stack.append(frame.env.ancestor(a).slots[b])
+        return pc
+
+    def _op_store_env(self, frame: Frame, a: int, b: int, pc: int) -> int:
+        frame.env.ancestor(a).slots[b] = frame.stack.pop()
+        return pc
+
+    def _op_load_global(self, frame: Frame, a: int, b: int, pc: int) -> int:
+        frame.stack.append(self.ic.global_load(frame.sites[b], frame.names[a]))
+        return pc
+
+    def _op_load_global_soft(self, frame: Frame, a: int, b: int, pc: int) -> int:
+        frame.stack.append(
+            self.ic.global_load(frame.sites[b], frame.names[a], soft=True)
+        )
+        return pc
+
+    def _op_store_global(self, frame: Frame, a: int, b: int, pc: int) -> int:
+        self.ic.global_store(frame.sites[b], frame.names[a], frame.stack[-1])
+        return pc
+
+    def _op_declare_global(self, frame: Frame, a: int, b: int, pc: int) -> int:
+        self.ic.declare_global(frame.sites[b], frame.names[a])
+        return pc
+
+    # object access sites
+
+    def _note_preloaded_hit(self, site, hc) -> None:
+        """Fast-path twin of the generic path's preloaded-hit accounting."""
+        self.counters.ic_hits_on_preloaded += 1
+        tracer = self.ic.tracer
+        if tracer is not None:
+            from repro.stats.tracing import PRELOADED_HIT
+
+            tracer.emit(
+                PRELOADED_HIT, site_key=site.info.site_key, hc_index=hc.index
+            )
+
+    def _op_get_prop(self, frame: Frame, a: int, b: int, pc: int) -> int:
+        """GET_PROP with the monomorphic inline fast path.
+
+        Invariants vs the generic path (checked by test_dispatch_table):
+        identical counter totals on a hit, identical ICVector transitions
+        (the fast path never installs or evicts slots), and fallback to
+        the untouched generic path in every non-hit situation.
+        """
+        stack = frame.stack
+        obj = stack[-1]
+        if isinstance(obj, JSObject):
+            site = frame.sites[b]
+            slots = site.slots
+            if len(slots) == 1:
+                hc = obj.hidden_class
+                entry = slots[0]
+                if entry[0] is hc:
+                    result = entry[1].execute(obj)
+                    if result is not MISS:
+                        counters = self.counters
+                        counters.ic_accesses += 1
+                        counters.ic_hits += 1
+                        counters.instructions[CATEGORY_EXECUTE] += _IC_HIT_COST
+                        if site.preloaded_addresses and site.was_preloaded(hc):
+                            self._note_preloaded_hit(site, hc)
+                        stack[-1] = result
+                        return pc
+            stack[-1] = self.ic.named_load(site, obj, frame.names[a])
+            return pc
+        stack.pop()
+        stack.append(self.get_property(obj, frame.names[a], frame.sites[b]))
+        return pc
+
+    def _op_get_prop_generic(self, frame: Frame, a: int, b: int, pc: int) -> int:
+        stack = frame.stack
+        obj = stack.pop()
+        stack.append(self.get_property(obj, frame.names[a], frame.sites[b]))
+        return pc
+
+    def _op_set_prop(self, frame: Frame, a: int, b: int, pc: int) -> int:
+        """SET_PROP with the monomorphic inline fast path (see _op_get_prop)."""
+        stack = frame.stack
+        obj = stack[-2]
+        if isinstance(obj, JSObject):
+            site = frame.sites[b]
+            slots = site.slots
+            if len(slots) == 1:
+                hc = obj.hidden_class
+                entry = slots[0]
+                if entry[0] is hc:
+                    value = stack[-1]
+                    result = entry[1].execute(obj, value)
+                    if result is not MISS:
+                        counters = self.counters
+                        counters.ic_accesses += 1
+                        counters.ic_hits += 1
+                        counters.instructions[CATEGORY_EXECUTE] += _IC_HIT_COST
+                        if site.preloaded_addresses and site.was_preloaded(hc):
+                            self._note_preloaded_hit(site, hc)
+                        if frame.names[a] == "prototype" and isinstance(
+                            obj, JSFunction
+                        ):
+                            obj.invalidate_constructor_hc()
+                        stack.pop()
+                        stack[-1] = value
+                        return pc
+        return self._op_set_prop_generic(frame, a, b, pc)
+
+    def _op_set_prop_generic(self, frame: Frame, a: int, b: int, pc: int) -> int:
+        stack = frame.stack
+        value = stack.pop()
+        obj = stack.pop()
+        self.set_property(obj, frame.names[a], value, frame.sites[b])
+        stack.append(value)
+        return pc
+
+    def _op_obj_lit_prop(self, frame: Frame, a: int, b: int, pc: int) -> int:
+        stack = frame.stack
+        value = stack.pop()
+        self.set_property(stack[-1], frame.names[a], value, frame.sites[b])
+        return pc
+
+    def _op_get_index(self, frame: Frame, a: int, b: int, pc: int) -> int:
+        stack = frame.stack
+        key = stack.pop()
+        obj = stack.pop()
+        stack.append(self._keyed_get(obj, key, frame.sites[a]))
+        return pc
+
+    def _op_set_index(self, frame: Frame, a: int, b: int, pc: int) -> int:
+        stack = frame.stack
+        value = stack.pop()
+        key = stack.pop()
+        obj = stack.pop()
+        self._keyed_set(obj, key, value, frame.sites[a])
+        stack.append(value)
+        return pc
+
+    def _op_delete_prop(self, frame: Frame, a: int, b: int, pc: int) -> int:
+        stack = frame.stack
+        obj = stack.pop()
+        self.counters.charge(CATEGORY_RUNTIME_OTHER, cost.DICT_ACCESS)
+        if isinstance(obj, JSObject):
+            stack.append(self.runtime.delete_property(obj, frame.names[a]))
+        else:
+            stack.append(True)
+        return pc
+
+    def _op_delete_index(self, frame: Frame, a: int, b: int, pc: int) -> int:
+        stack = frame.stack
+        key = stack.pop()
+        obj = stack.pop()
+        self.counters.charge(CATEGORY_RUNTIME_OTHER, cost.DICT_ACCESS)
+        if isinstance(obj, JSObject):
+            stack.append(self.runtime.delete_property(obj, to_property_key(key)))
+        else:
+            stack.append(True)
+        return pc
+
+    # allocation
+
+    def _op_make_function(self, frame: Frame, a: int, b: int, pc: int) -> int:
+        self.counters.charge(CATEGORY_RUNTIME_OTHER, cost.ALLOCATE_FUNCTION)
+        fn_code = frame.consts[a]
+        assert isinstance(fn_code, CodeObject)
+        frame.stack.append(self.runtime.new_function(fn_code, frame.env))
+        return pc
+
+    def _op_make_object(self, frame: Frame, a: int, b: int, pc: int) -> int:
+        self.counters.charge(CATEGORY_RUNTIME_OTHER, cost.ALLOCATE_OBJECT)
+        frame.stack.append(self.runtime.new_object())
+        return pc
+
+    def _op_make_array(self, frame: Frame, a: int, b: int, pc: int) -> int:
+        self.counters.charge(
+            CATEGORY_RUNTIME_OTHER,
+            cost.ALLOCATE_ARRAY + cost.NATIVE_PER_ELEMENT * a,
+        )
+        stack = frame.stack
+        elements = stack[len(stack) - a :]
+        del stack[len(stack) - a :]
+        stack.append(self.runtime.new_array(elements))
+        return pc
+
+    # calls
+
+    def _op_call(self, frame: Frame, a: int, b: int, pc: int) -> int:
+        stack = frame.stack
+        args = stack[len(stack) - a :]
+        del stack[len(stack) - a :]
+        callee = stack.pop()
+        stack.append(self.call_value(callee, UNDEFINED, args))
+        return pc
+
+    def _op_call_method(self, frame: Frame, a: int, b: int, pc: int) -> int:
+        stack = frame.stack
+        args = stack[len(stack) - a :]
+        del stack[len(stack) - a :]
+        callee = stack.pop()
+        receiver = stack.pop()
+        stack.append(self.call_value(callee, receiver, args))
+        return pc
+
+    def _op_new(self, frame: Frame, a: int, b: int, pc: int) -> int:
+        stack = frame.stack
+        args = stack[len(stack) - a :]
+        del stack[len(stack) - a :]
+        ctor = stack.pop()
+        stack.append(self.construct(ctor, args))
+        return pc
+
+    def _op_return(self, frame: Frame, a: int, b: int, pc: int) -> int:
+        frame.return_value = frame.stack.pop()
+        return _RETURN_PC
+
+    # control flow
+
+    def _op_jump(self, frame: Frame, a: int, b: int, pc: int) -> int:
+        return a
+
+    def _op_jump_if_false(self, frame: Frame, a: int, b: int, pc: int) -> int:
+        if not to_boolean(frame.stack.pop()):
+            return a
+        return pc
+
+    def _op_jump_if_true(self, frame: Frame, a: int, b: int, pc: int) -> int:
+        if to_boolean(frame.stack.pop()):
+            return a
+        return pc
+
+    def _op_jump_if_false_keep(self, frame: Frame, a: int, b: int, pc: int) -> int:
+        if not to_boolean(frame.stack[-1]):
+            return a
+        return pc
+
+    def _op_jump_if_true_keep(self, frame: Frame, a: int, b: int, pc: int) -> int:
+        if to_boolean(frame.stack[-1]):
+            return a
+        return pc
+
+    def _op_throw(self, frame: Frame, a: int, b: int, pc: int) -> int:
+        raise GuestThrow(frame.stack.pop())
+
+    def _op_setup_try(self, frame: Frame, a: int, b: int, pc: int) -> int:
+        frame.try_stack.append((a, len(frame.stack)))
+        return pc
+
+    def _op_pop_try(self, frame: Frame, a: int, b: int, pc: int) -> int:
+        frame.try_stack.pop()
+        return pc
+
+    def _op_for_in_prep(self, frame: Frame, a: int, b: int, pc: int) -> int:
+        stack = frame.stack
+        obj = stack.pop()
+        if isinstance(obj, JSObject):
+            keys = obj.own_property_names()
+            self.counters.charge(
+                CATEGORY_RUNTIME_OTHER,
+                cost.DICT_ACCESS + cost.NATIVE_PER_ELEMENT * len(keys),
+            )
+            stack.append(ForInIterator(keys))
+        else:
+            stack.append(ForInIterator([]))
+        return pc
+
+    def _op_for_in_next(self, frame: Frame, a: int, b: int, pc: int) -> int:
+        iterator = frame.stack[-1]
+        assert isinstance(iterator, ForInIterator)
+        key = iterator.next_key()
+        if key is None:
+            return a
+        frame.stack.append(key)
+        return pc
+
+    # operators
+
+    def _op_binary(self, frame: Frame, a: int, b: int, pc: int) -> int:
+        stack = frame.stack
+        right = stack.pop()
+        stack[-1] = self._binary(a, stack[-1], right)
+        return pc
+
+    def _op_unary(self, frame: Frame, a: int, b: int, pc: int) -> int:
+        stack = frame.stack
+        stack[-1] = self._unary(a, stack[-1])
+        return pc
+
+    def _op_typeof(self, frame: Frame, a: int, b: int, pc: int) -> int:
+        stack = frame.stack
+        stack[-1] = type_of(stack[-1])
+        return pc
+
+    # stack manipulation
+
+    def _op_pop(self, frame: Frame, a: int, b: int, pc: int) -> int:
+        frame.stack.pop()
+        return pc
+
+    def _op_dup(self, frame: Frame, a: int, b: int, pc: int) -> int:
+        frame.stack.append(frame.stack[-1])
+        return pc
+
+    def _op_dup2(self, frame: Frame, a: int, b: int, pc: int) -> int:
+        frame.stack.extend(frame.stack[-2:])
+        return pc
+
+    def _op_swap(self, frame: Frame, a: int, b: int, pc: int) -> int:
+        stack = frame.stack
+        stack[-1], stack[-2] = stack[-2], stack[-1]
+        return pc
 
     # -- keyed access helpers ---------------------------------------------------
 

@@ -38,6 +38,11 @@ class Counters:
         }
     )
 
+    #: Raw count of bytecodes dispatched by the VM (the denominator for
+    #: per-instruction dispatch overhead in BENCH_interp.json; the *cost*
+    #: of those dispatches is charged to ``instructions["execute"]``).
+    dispatches: int = 0
+
     ic_accesses: int = 0
     ic_hits: int = 0
     ic_misses: int = 0
@@ -119,6 +124,7 @@ class Counters:
         return {
             "instructions": dict(self.instructions),
             "total_instructions": self.total_instructions,
+            "dispatches": self.dispatches,
             "ic_accesses": self.ic_accesses,
             "ic_hits": self.ic_hits,
             "ic_misses": self.ic_misses,

@@ -48,6 +48,67 @@ def run_jsl(source: str, seed: int = 42, filename: str = "test.jsl") -> Executio
     return ExecutionResult(runtime, counters, feedback, vm, value)
 
 
+class ColdReuseRuns:
+    """The pair of runs every reuse-oriented test wants, plus their inputs.
+
+    ``cold_state`` / ``reused_state`` are the canonical, address-free
+    serializations of the user-visible global heap after each run
+    (:func:`repro.baselines.snapshot.serialize_user_globals`) — the
+    differential suite's heap-observable-state oracle.
+    """
+
+    def __init__(self, engine, record, cold, reused, cold_state, reused_state):
+        self.engine = engine
+        self.record = record
+        self.cold = cold
+        self.reused = reused
+        self.cold_state = cold_state
+        self.reused_state = reused_state
+
+    @property
+    def outputs_identical(self) -> bool:
+        return self.cold.console_output == self.reused.console_output
+
+
+def run_cold_and_reused(
+    scripts,
+    *,
+    seed: int = 123,
+    name: str = "workload",
+    config=None,
+    icrecord=None,
+    record_from=None,
+) -> ColdReuseRuns:
+    """Run a workload cold and RIC-reused in one engine.
+
+    By default the record comes from an Initial run of ``scripts`` itself
+    (the paper's protocol: Initial -> extract -> cold/Conventional -> RIC).
+    Pass ``record_from`` to extract it from a *different* workload
+    (cross-workload reuse), or ``icrecord`` to supply one directly (e.g. a
+    fault-injected record loaded from disk; the cold run is then the
+    engine's first, truly cold run).
+    """
+    from repro.baselines.snapshot import serialize_user_globals
+
+    engine = Engine(config=config, seed=seed)
+    record = icrecord
+    if record is None:
+        engine.run(record_from if record_from is not None else scripts, name=name)
+        record = engine.extract_icrecord()
+    cold = engine.run(scripts, name=name)
+    cold_state = serialize_user_globals(engine._last_runtime)
+    reused = engine.run(scripts, name=name, icrecord=record)
+    reused_state = serialize_user_globals(engine._last_runtime)
+    return ColdReuseRuns(
+        engine=engine,
+        record=record,
+        cold=cold,
+        reused=reused,
+        cold_state=cold_state,
+        reused_state=reused_state,
+    )
+
+
 def eval_jsl(expression: str, seed: int = 42) -> object:
     """Evaluate a single jsl expression and return its guest value."""
     result = run_jsl(f"var __result = ({expression});", seed=seed)

@@ -1,0 +1,78 @@
+"""Differential cold-vs-reuse wall: RIC must never change what a program does.
+
+For every workload (the seven paper libraries plus the default synthetic
+library) we run the full protocol — Initial run, ICRecord extraction, a
+Conventional ("cold") run and a RIC Reuse run — and require that reuse is
+observationally invisible:
+
+* byte-identical console output,
+* byte-identical final heap-observable state (the canonical, address-free
+  ``serialize_user_globals`` serialization),
+* no degraded-record counters (``ric_records_corrupt`` /
+  ``ric_records_rejected`` stay zero — the record we just extracted must
+  never be refused),
+
+while still actually engaging the mechanism (preloads happen, misses go
+down).  The interpreter fast paths are enabled (the default), so this
+suite also guards the monomorphic GET_PROP/SET_PROP shortcuts against
+semantic drift.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.harness.bench import bench_workloads
+from tests.helpers import ColdReuseRuns, run_cold_and_reused
+
+WORKLOAD_NAMES = (
+    "angularlike",
+    "reactlike",
+    "jquerylike",
+    "underscorelike",
+    "handlebarslike",
+    "camanlike",
+    "jsfeatlike",
+    "synthetic",
+)
+
+
+@pytest.fixture(scope="module")
+def runs_by_workload() -> dict[str, ColdReuseRuns]:
+    scripts_by_name = bench_workloads()
+    assert set(WORKLOAD_NAMES) == set(scripts_by_name), (
+        "differential suite out of sync with the bench workload registry"
+    )
+    return {
+        name: run_cold_and_reused(scripts_by_name[name], seed=11, name=name)
+        for name in WORKLOAD_NAMES
+    }
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+class TestColdVsReuseDifferential:
+    def test_console_output_identical(self, runs_by_workload, name):
+        runs = runs_by_workload[name]
+        assert runs.cold.console_output == runs.reused.console_output
+        # Workloads that print nothing would make this vacuous.
+        assert runs.cold.console_output, f"{name} produced no observable output"
+
+    def test_heap_observable_state_identical(self, runs_by_workload, name):
+        runs = runs_by_workload[name]
+        cold_blob = json.dumps(runs.cold_state, sort_keys=True)
+        reused_blob = json.dumps(runs.reused_state, sort_keys=True)
+        assert cold_blob == reused_blob
+        assert runs.cold_state, f"{name} left no user globals to compare"
+
+    def test_record_never_degrades(self, runs_by_workload, name):
+        counters = runs_by_workload[name].reused.counters
+        assert counters.ric_records_corrupt == 0
+        assert counters.ric_records_rejected == 0
+
+    def test_reuse_engages_the_mechanism(self, runs_by_workload, name):
+        runs = runs_by_workload[name]
+        assert runs.reused.counters.ric_preloads > 0
+        assert runs.reused.counters.ic_hits_on_preloaded > 0
+        assert runs.reused.counters.ic_misses < runs.cold.counters.ic_misses

@@ -1,0 +1,81 @@
+"""Golden-file disassembly tests: the bytecode surface is load-bearing.
+
+Persisted ICRecords and code caches key off site layouts and opcode
+identities, so a silently renumbered, dropped, or re-emitted opcode is a
+compatibility break even when every behavioural test still passes.  Two
+golden walls catch that:
+
+* ``tests/golden/opcodes.txt`` pins the full ``NAME=value`` opcode
+  registry (disassembly shows names, so only this file catches pure
+  renumbering), and
+* ``tests/golden/disasm/*.txt`` pins the recursive disassembly of each
+  program in ``examples/jsl/`` (catches codegen drift: reordered emits,
+  changed operands, dropped instructions).
+
+To bless an *intentional* change, regenerate with::
+
+    RIC_REGOLD=1 PYTHONPATH=src python -m pytest tests/test_disasm_golden.py
+
+and review the golden diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bytecode.compiler import compile_source
+from repro.bytecode.disasm import disassemble
+from repro.bytecode.opcodes import Op
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples" / "jsl"
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+REGOLD = os.environ.get("RIC_REGOLD") == "1"
+
+EXAMPLE_NAMES = sorted(path.stem for path in EXAMPLES_DIR.glob("*.jsl"))
+
+
+def check_golden(golden_path: Path, actual: str) -> None:
+    if REGOLD:
+        golden_path.parent.mkdir(parents=True, exist_ok=True)
+        golden_path.write_text(actual)
+        return
+    assert golden_path.exists(), (
+        f"missing golden {golden_path}; run with RIC_REGOLD=1 to create it"
+    )
+    expected = golden_path.read_text()
+    assert actual == expected, (
+        f"{golden_path.name} drifted from the golden; if intentional, "
+        "regenerate with RIC_REGOLD=1 and review the diff"
+    )
+
+
+def test_examples_exist():
+    assert len(EXAMPLE_NAMES) >= 4, "the examples/jsl corpus shrank"
+
+
+def test_opcode_registry_golden():
+    actual = "".join(f"{op.name}={int(op)}\n" for op in Op)
+    check_golden(GOLDEN_DIR / "opcodes.txt", actual)
+
+
+@pytest.mark.parametrize("name", EXAMPLE_NAMES)
+def test_disassembly_golden(name):
+    source = (EXAMPLES_DIR / f"{name}.jsl").read_text()
+    code = compile_source(source, f"{name}.jsl")
+    actual = disassemble(code, recursive=True)
+    if not actual.endswith("\n"):
+        actual += "\n"
+    check_golden(GOLDEN_DIR / "disasm" / f"{name}.txt", actual)
+
+
+@pytest.mark.parametrize("name", EXAMPLE_NAMES)
+def test_examples_actually_run(name):
+    """The golden corpus must stay executable, not just compilable."""
+    from repro.core.engine import Engine
+
+    source = (EXAMPLES_DIR / f"{name}.jsl").read_text()
+    profile = Engine(seed=5).run(source, name=name)
+    assert profile.console_output, f"{name}.jsl produced no output"

@@ -22,6 +22,7 @@ from repro.ric import (
     save_icrecord,
     try_load_icrecord,
 )
+from tests.helpers import run_cold_and_reused
 
 LIB_SOURCE = """
 function Point(x, y) { this.x = x; this.y = y; }
@@ -68,14 +69,14 @@ def test_fault_degrades_to_cold_start(fault, pristine, tmp_path):
         loaded = try_load_icrecord(path)
         assert not isinstance(loaded, Engine)  # sanity: record or placeholder
 
-        engine = Engine(seed=57)
-        cold = engine.run(WORKLOAD, name="cold")
-        damaged = engine.run(WORKLOAD, name="damaged", icrecord=loaded)
+        # icrecord= skips the helper's Initial run, so ``cold`` is this
+        # engine's first — truly cold — run.
+        runs = run_cold_and_reused(WORKLOAD, seed=57, name="damaged", icrecord=loaded)
 
-        assert damaged.console_output == cold.console_output, (fault, trial)
-        snapshot = damaged.counters.as_dict()
+        assert runs.outputs_identical, (fault, trial)
+        snapshot = runs.reused.counters.as_dict()
         assert snapshot["ric_records_degraded"] > 0, (fault, trial)
-        assert damaged.counters.ric_preloads == 0, (fault, trial)
+        assert runs.reused.counters.ric_preloads == 0, (fault, trial)
 
 
 @pytest.mark.parametrize("fault", sorted(FAULTS))
@@ -85,12 +86,10 @@ def test_healthy_record_still_reuses(fault, pristine, tmp_path):
     path.write_bytes(pristine)
     loaded = try_load_icrecord(path)
     assert not isinstance(loaded, CorruptRecord)
-    engine = Engine(seed=57)
-    cold = engine.run(WORKLOAD, name="cold")
-    ric = engine.run(WORKLOAD, name="ric", icrecord=loaded)
-    assert ric.console_output == cold.console_output
-    assert ric.counters.ric_preloads > 0
-    assert ric.counters.as_dict()["ric_records_degraded"] == 0
+    runs = run_cold_and_reused(WORKLOAD, seed=57, name="ric", icrecord=loaded)
+    assert runs.outputs_identical
+    assert runs.reused.counters.ric_preloads > 0
+    assert runs.reused.counters.as_dict()["ric_records_degraded"] == 0
 
 
 def test_one_bad_record_does_not_poison_the_page(tmp_path):

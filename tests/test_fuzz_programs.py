@@ -14,9 +14,14 @@ program:
 
 from __future__ import annotations
 
+import random
+
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.baselines.snapshot import serialize_user_globals
+from repro.core.config import RICConfig
 from repro.core.engine import Engine
 
 # -- program generator ----------------------------------------------------------
@@ -174,3 +179,137 @@ class TestGeneratedPrograms:
         round_tripped = record_from_json(json.loads(json.dumps(record_to_json(record))))
         ric = engine.run(source, name="fuzz", icrecord=round_tripped)
         assert ric.console_output == engine.run(source, name="fuzz").console_output
+
+
+# -- fast-path cross-check (seeded, deterministic) -------------------------------
+#
+# Unlike the hypothesis pass above, this generator is driven by a plain
+# ``random.Random(seed)`` so every CI run executes the *same* corpus — a
+# reproducible wall in front of the PR-2 GET_PROP/SET_PROP fast paths.
+# Programs are deliberately property-access-heavy: shared accessor
+# functions over object pools of mixed shapes (sites go mono → poly →
+# megamorphic), add-transitions, prototype-method calls, deletes and
+# not-found probes.
+
+
+def property_heavy_program(rng: random.Random) -> str:
+    """One deterministic, always-valid, property-access-heavy jsl program."""
+    props = ["p", "q", "r", "s"]
+    lines = ["var log = [];"]
+
+    pool_size = rng.randint(3, 7)
+    for index in range(pool_size):
+        extra = rng.sample(props, rng.randint(0, len(props)))
+        literal = ", ".join(
+            ["v: %d" % rng.randint(-9, 9)]
+            + [f"{name}: {rng.randint(-9, 9)}" for name in extra]
+        )
+        lines.append(f"var obj{index} = {{{literal}}};")
+    lines.append(
+        "var pool = [%s];" % ", ".join(f"obj{i}" for i in range(pool_size))
+    )
+
+    accessor_count = rng.randint(1, 3)
+    for index in range(accessor_count):
+        lines.append(f"function get{index}(o) {{ return o.v; }}")
+        lines.append(f"function set{index}(o, x) {{ o.v = x; }}")
+
+    lines.append("function Node(tag) { this.tag = tag; this.hits = 0; }")
+    lines.append(
+        "Node.prototype.touch = function () { this.hits += 1; return this.tag; };"
+    )
+    lines.append("var nodes = [];")
+
+    for _ in range(rng.randint(6, 18)):
+        kind = rng.randint(0, 7)
+        accessor = rng.randint(0, accessor_count - 1)
+        count = rng.randint(2, 12)
+        value = rng.randint(-99, 99)
+        prop = rng.choice(props)
+        if kind == 0:
+            lines.append(
+                f"for (var i{len(lines)} = 0; i{len(lines)} < {count}; i{len(lines)}++) "
+                f"{{ log.push(get{accessor}(pool[i{len(lines)} % pool.length])); }}"
+            )
+        elif kind == 1:
+            lines.append(
+                f"for (var i{len(lines)} = 0; i{len(lines)} < {count}; i{len(lines)}++) "
+                f"{{ set{accessor}(pool[i{len(lines)} % pool.length], i{len(lines)} + {value}); }}"
+            )
+        elif kind == 2:
+            target = rng.randint(0, pool_size - 1)
+            lines.append(f"obj{target}.{prop} = {value};")
+            lines.append(f"log.push(obj{target}.{prop});")
+        elif kind == 3:
+            target = rng.randint(0, pool_size - 1)
+            lines.append(f"delete obj{target}.{prop};")
+            lines.append(f"log.push(obj{target}.{prop} === undefined);")
+        elif kind == 4:
+            lines.append(f"nodes.push(new Node({value}));")
+            lines.append(
+                "for (var n%d = 0; n%d < nodes.length; n%d++) "
+                "{ log.push(nodes[n%d].touch()); }"
+                % (len(lines), len(lines), len(lines), len(lines))
+            )
+        elif kind == 5:
+            # fresh object grown property-by-property: add-transitions
+            name = f"grown{len(lines)}"
+            lines.append(f"var {name} = {{}};")
+            for step, grown_prop in enumerate(rng.sample(props, len(props))):
+                lines.append(f"{name}.{grown_prop} = {step};")
+            lines.append(f"log.push({name}.{props[0]} + {name}.{props[-1]});")
+        elif kind == 6:
+            target = rng.randint(0, pool_size - 1)
+            lines.append(
+                f"log.push(obj{target}.absent === undefined ? 'miss' : 'hit');"
+            )
+        else:
+            lines.append(
+                f"for (var m{len(lines)} = 0; m{len(lines)} < {count}; m{len(lines)}++) "
+                f"{{ var o{len(lines)} = pool[m{len(lines)} % pool.length]; "
+                f"set{accessor}(o{len(lines)}, get{accessor}(o{len(lines)}) + 1); }}"
+            )
+
+    lines.append("var tally = 0;")
+    lines.append(
+        "for (var t = 0; t < pool.length; t++) { tally += get0(pool[t]); }"
+    )
+    lines.append('console.log(log.join(","));')
+    lines.append('console.log("tally:", tally, "nodes:", nodes.length);')
+    return "\n".join(lines)
+
+
+class TestFastPathCrossCheck:
+    """The GET_PROP/SET_PROP fast paths must be invisible: identical output,
+    identical heap, identical counters — cold *and* under RIC reuse."""
+
+    def _run_protocol(self, source: str, fastpaths: bool):
+        engine = Engine(config=RICConfig(interp_fastpaths=fastpaths), seed=9)
+        cold = engine.run(source, name="fuzz")
+        cold_state = serialize_user_globals(engine._last_runtime)
+        record = engine.extract_icrecord()
+        reused = engine.run(source, name="fuzz", icrecord=record)
+        reused_state = serialize_user_globals(engine._last_runtime)
+        return {
+            "cold_output": cold.console_output,
+            "cold_counters": cold.counters.as_dict(),
+            "cold_state": cold_state,
+            "reused_output": reused.console_output,
+            "reused_counters": reused.counters.as_dict(),
+            "reused_state": reused_state,
+        }
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_fast_path_matches_generic_path(self, seed):
+        source = property_heavy_program(random.Random(1000 + seed))
+        fast = self._run_protocol(source, fastpaths=True)
+        generic = self._run_protocol(source, fastpaths=False)
+        assert fast == generic
+        # The corpus must actually lean on the IC machinery to mean anything.
+        assert fast["cold_counters"]["ic_accesses"] > 20
+        assert fast["cold_counters"]["ic_hits"] > 0
+
+    def test_generator_is_deterministic(self):
+        assert property_heavy_program(random.Random(7)) == property_heavy_program(
+            random.Random(7)
+        )

@@ -16,6 +16,7 @@ from repro.ric.serialize import (
     record_to_json,
     save_icrecord,
 )
+from tests.helpers import run_cold_and_reused
 
 #: The paper's running example (Figures 4 and 7).  The branch condition
 #: comes from a separate config script so the figure7.jsl *content* is
@@ -196,14 +197,11 @@ class TestReuseRuns:
     console.log(len2(a), len2(b), sum(a, b));
     """
 
-    def test_ric_reduces_misses_and_instructions(self, engine):
-        initial = engine.run(self.WORKLOAD, name="vec")
-        record = engine.extract_icrecord()
-        conventional = engine.run(self.WORKLOAD, name="vec")
-        ric = engine.run(self.WORKLOAD, name="vec", icrecord=record)
-        assert ric.counters.ic_misses < conventional.counters.ic_misses
-        assert ric.total_instructions < conventional.total_instructions
-        assert initial.console_output == conventional.console_output == ric.console_output
+    def test_ric_reduces_misses_and_instructions(self):
+        runs = run_cold_and_reused(self.WORKLOAD, name="vec")
+        assert runs.reused.counters.ic_misses < runs.cold.counters.ic_misses
+        assert runs.reused.total_instructions < runs.cold.total_instructions
+        assert runs.outputs_identical
 
     def test_conventional_reuse_equals_initial_ic_behavior(self, engine):
         initial = engine.run(self.WORKLOAD, name="vec")
@@ -240,13 +238,11 @@ class TestReuseRuns:
         only_first = engine.run([scripts[0]], name="one-file", icrecord=record)
         assert only_first.console_output == ["1"]
 
-    def test_ric_bookkeeping_costs_are_charged(self, engine):
-        engine.run(self.WORKLOAD, name="vec")
-        record = engine.extract_icrecord()
-        ric = engine.run(self.WORKLOAD, name="vec", icrecord=record)
-        assert ric.counters.instructions["ric"] > 0
+    def test_ric_bookkeeping_costs_are_charged(self):
+        runs = run_cold_and_reused(self.WORKLOAD, name="vec")
+        assert runs.reused.counters.instructions["ric"] > 0
 
-    def test_megamorphic_sites_not_overfilled_by_preloads(self, engine):
+    def test_megamorphic_sites_not_overfilled_by_preloads(self):
         source = """
         function read(o) { return o.v; }
         var shapes = [
@@ -257,10 +253,8 @@ class TestReuseRuns:
         for (var i = 0; i < shapes.length; i++) { total += read(shapes[i]); }
         console.log(total);
         """
-        engine.run(source, name="mega")
-        record = engine.extract_icrecord()
-        ric = engine.run(source, name="mega", icrecord=record)
-        assert ric.console_output == ["28"]
+        runs = run_cold_and_reused(source, name="mega")
+        assert runs.reused.console_output == ["28"]
 
 
 class TestSerialization:
@@ -308,18 +302,18 @@ class TestCrossRunSoundness:
     def test_outputs_identical_across_many_seeds(self):
         source = TestReuseRuns.WORKLOAD
         for seed in range(5):
-            engine = Engine(seed=seed)
-            initial = engine.run(source, name="vec")
-            record = engine.extract_icrecord()
-            ric = engine.run(source, name="vec", icrecord=record)
-            assert initial.console_output == ric.console_output
+            runs = run_cold_and_reused(source, seed=seed, name="vec")
+            assert runs.outputs_identical
 
     def test_record_from_different_program_is_harmless(self):
-        engine = Engine(seed=9)
-        engine.run("var o = {}; o.zz = 1;", name="other")
-        record = engine.extract_icrecord()
-        profile = engine.run(TestReuseRuns.WORKLOAD, name="vec", icrecord=record)
-        assert profile.console_output == ["5 25 10"]
+        runs = run_cold_and_reused(
+            TestReuseRuns.WORKLOAD,
+            seed=9,
+            name="vec",
+            record_from="var o = {}; o.zz = 1;",
+        )
+        assert runs.reused.console_output == ["5 25 10"]
+        assert runs.outputs_identical
 
 
 class TestContentIdentityGate:
@@ -340,33 +334,31 @@ console.log(log.join(","));
         # would be preloaded into B's site and read beta's value.
         source_a = self.TEMPLATE.replace("PROP", "beta")
         source_b = self.TEMPLATE.replace("PROP", "alpha")
-        engine = Engine(seed=13)
-        engine.run([("<script>", source_a)], name="a")
-        record = engine.extract_icrecord()
-        clean = engine.run([("<script>", source_b)], name="b")
-        with_record = engine.run([("<script>", source_b)], name="b", icrecord=record)
-        assert clean.console_output == [""]  # alpha is absent
-        assert with_record.console_output == clean.console_output
-        assert with_record.counters.ric_preloads == 0
+        runs = run_cold_and_reused(
+            [("<script>", source_b)],
+            seed=13,
+            name="b",
+            record_from=[("<script>", source_a)],
+        )
+        assert runs.cold.console_output == [""]  # alpha is absent
+        assert runs.outputs_identical
+        assert runs.reused.counters.ric_preloads == 0
 
     def test_matching_source_still_reuses(self):
         source = self.TEMPLATE.replace("PROP", "beta")
-        engine = Engine(seed=13)
-        engine.run([("<script>", source)], name="a")
-        record = engine.extract_icrecord()
-        ric = engine.run([("<script>", source)], name="a", icrecord=record)
-        assert ric.counters.ric_preloads > 0
+        runs = run_cold_and_reused([("<script>", source)], seed=13, name="a")
+        assert runs.reused.counters.ric_preloads > 0
 
     def test_mixed_workload_trusts_only_matching_files(self):
         lib = "function C() { this.v = 1; } var o = new C(); console.log(o.v);"
         app_v1 = "var x = {k: 1}; console.log(x.k);"
         app_v2 = "var x = {z: 9}; console.log(x.z);"  # same positions, new shape
-        engine = Engine(seed=13)
-        engine.run([("lib.jsl", lib), ("app.jsl", app_v1)], name="v1")
-        record = engine.extract_icrecord()
         # app.jsl changed; lib.jsl did not.  Reuse must help lib and ignore app.
-        ric = engine.run(
-            [("lib.jsl", lib), ("app.jsl", app_v2)], name="v2", icrecord=record
+        runs = run_cold_and_reused(
+            [("lib.jsl", lib), ("app.jsl", app_v2)],
+            seed=13,
+            name="v2",
+            record_from=[("lib.jsl", lib), ("app.jsl", app_v1)],
         )
-        assert ric.console_output == ["1", "9"]
-        assert ric.counters.ric_validations > 0  # lib's chain still validates
+        assert runs.reused.console_output == ["1", "9"]
+        assert runs.reused.counters.ric_validations > 0  # lib still validates

@@ -10,6 +10,7 @@ from repro.workloads import (
     website_a,
     website_b,
 )
+from tests.helpers import run_cold_and_reused
 
 
 @pytest.fixture(scope="module")
@@ -150,14 +151,14 @@ class TestWebsites:
         assert len(names) == 7
 
     def test_cross_website_reuse_correct_and_faster(self):
-        engine = Engine(seed=3)
-        engine.run(website_a(), name="site-a")
-        record = engine.extract_icrecord()
-        conventional = engine.run(website_b(), name="site-b")
-        ric = engine.run(website_b(), name="site-b", icrecord=record)
-        assert sorted(conventional.console_output) == sorted(ric.console_output)
-        assert ric.counters.ic_misses < conventional.counters.ic_misses
-        assert ric.total_instructions < conventional.total_instructions
+        runs = run_cold_and_reused(
+            website_b(), seed=3, name="site-b", record_from=website_a()
+        )
+        assert sorted(runs.cold.console_output) == sorted(
+            runs.reused.console_output
+        )
+        assert runs.reused.counters.ic_misses < runs.cold.counters.ic_misses
+        assert runs.reused.total_instructions < runs.cold.total_instructions
 
     def test_all_libraries_coexist_in_one_page(self):
         engine = Engine(seed=4)
