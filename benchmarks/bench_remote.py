@@ -1,0 +1,241 @@
+"""Shared-store vs private-store misses-averted bench (``ric-bench-remote/v1``).
+
+Quantifies what the record-cache daemon buys over per-process stores —
+the §9 cross-process sharing claim as a number.  For every workload, two
+client "processes" (distinct engines + distinct stores, a daemon thread
+standing in for ``ric-serve``) play the same scenario under two store
+topologies:
+
+* **shared** — both clients talk to one ``RecordCacheDaemon``.  Client A
+  runs the workload cold and publishes its records; client B's reuse run
+  fetches them through the daemon and averts misses it never paid for.
+* **private** — each client keeps its own isolated ``RecordStore``.
+  Client A's records are invisible to client B, whose "reuse" run finds
+  nothing and pays the full cold miss bill.
+
+The gap (``misses_averted`` shared vs private, per workload and in
+``totals``) is the sharing win.  Usage::
+
+    PYTHONPATH=src python benchmarks/bench_remote.py BENCH_remote.json
+
+The document is schema-versioned like the other ``ric-bench-*`` families
+and gated by ``benchmarks/test_bench_remote.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import tempfile
+import typing
+from pathlib import Path
+
+from repro.core.engine import Engine
+from repro.server.client import RemoteRecordStore
+from repro.server.daemon import RecordCacheDaemon
+from repro.ric.store import RecordStore
+from repro.stats.profile import RunProfile
+
+SCHEMA = "ric-bench-remote/v1"
+
+#: Fields copied from a cold run's counters.
+_COLD_FIELDS = ("ic_accesses", "ic_hits", "ic_misses")
+
+#: Fields copied from each reuse run's counters.
+_REUSE_FIELDS = (
+    "ic_misses",
+    "ic_hits_on_preloaded",
+    "ric_preloads",
+    "ric_remote_hits",
+    "ric_remote_misses",
+    "ric_remote_fallbacks",
+)
+
+
+def bench_workloads() -> dict[str, list[tuple[str, str]]]:
+    """Same registry as the interp baseline (eight workloads)."""
+    from repro.harness.bench import bench_workloads as _registry
+
+    return _registry()
+
+
+def _reuse_blob(profile: RunProfile) -> dict:
+    blob = {name: getattr(profile.counters, name) for name in _REUSE_FIELDS}
+    blob["misses_averted"] = profile.counters.ic_hits_on_preloaded
+    return blob
+
+
+def _warm_then_reuse(
+    scripts: list, name: str, seed: int, warm_store, reuse_store
+) -> RunProfile:
+    """Client A (``warm_store``) extracts and publishes; a fresh client B
+    (``reuse_store``) reuse-runs the same workload.  Whether B benefits
+    depends entirely on whether the two stores share a backend."""
+    warm_engine = Engine(seed=seed, record_store=warm_store)
+    warm_engine.run(scripts, name=f"{name}-warm", use_store=True)
+    warm_engine.publish_records()
+    reuse_engine = Engine(seed=seed + 1, record_store=reuse_store)
+    return reuse_engine.run(scripts, name=f"{name}-reuse", use_store=True)
+
+
+def measure_remote(
+    workload_names: typing.Sequence[str] | None = None,
+    seed: int = 1,
+    max_records: int = 256,
+    max_bytes: int = 64 * 1024 * 1024,
+) -> dict:
+    """Run the shared-vs-private comparison and return the document."""
+    scripts_by_name = bench_workloads()
+    names = (
+        list(workload_names) if workload_names is not None else list(scripts_by_name)
+    )
+
+    workloads: dict = {}
+    with tempfile.TemporaryDirectory(prefix="ric-bench-remote-") as tmp:
+        socket_path = str(Path(tmp) / "ricd.sock")
+        with RecordCacheDaemon(
+            socket_path, max_records=max_records, max_bytes=max_bytes
+        ) as daemon:
+            for name in names:
+                scripts = scripts_by_name[name]
+                cold_profile = Engine(seed=seed).run(scripts, name=f"{name}-cold")
+
+                shared_warm = RemoteRecordStore(socket_path)
+                shared_reuse = RemoteRecordStore(socket_path)
+                shared = _warm_then_reuse(
+                    scripts, name, seed, shared_warm, shared_reuse
+                )
+                shared_warm.close()
+                shared_reuse.close()
+
+                private = _warm_then_reuse(
+                    scripts, name, seed, RecordStore(), RecordStore()
+                )
+
+                workloads[name] = {
+                    "cold": {
+                        field: getattr(cold_profile.counters, field)
+                        for field in _COLD_FIELDS
+                    },
+                    "shared": _reuse_blob(shared),
+                    "private": _reuse_blob(private),
+                }
+            daemon_stats = daemon.stats()
+
+    totals = {
+        "shared_misses_averted": sum(
+            entry["shared"]["misses_averted"] for entry in workloads.values()
+        ),
+        "private_misses_averted": sum(
+            entry["private"]["misses_averted"] for entry in workloads.values()
+        ),
+        "shared_remote_hits": sum(
+            entry["shared"]["ric_remote_hits"] for entry in workloads.values()
+        ),
+    }
+    return {
+        "schema": SCHEMA,
+        "generated_by": "benchmarks/bench_remote.py",
+        "config": {
+            "seed": seed,
+            "max_records": max_records,
+            "max_bytes": max_bytes,
+        },
+        "host": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "machine": platform.machine(),
+        },
+        "daemon": {
+            "requests": daemon_stats["requests"],
+            "puts_accepted": daemon_stats["puts_accepted"],
+            "puts_rejected": daemon_stats["puts_rejected"],
+        },
+        "workloads": workloads,
+        "totals": totals,
+    }
+
+
+def validate_remote_json(document: object) -> list[str]:
+    """Structural schema gate; returns a list of problems (empty = valid)."""
+    problems: list[str] = []
+    if not isinstance(document, dict):
+        return ["document is not an object"]
+    if document.get("schema") != SCHEMA:
+        problems.append(f"schema is {document.get('schema')!r}, expected {SCHEMA!r}")
+    if not isinstance(document.get("config"), dict):
+        problems.append("missing config object")
+    totals = document.get("totals")
+    if not isinstance(totals, dict) or not {
+        "shared_misses_averted",
+        "private_misses_averted",
+    } <= set(totals):
+        problems.append("totals: needs shared/private misses_averted")
+    workloads = document.get("workloads")
+    if not isinstance(workloads, dict) or not workloads:
+        return problems + ["missing or empty workloads object"]
+    for name, entry in workloads.items():
+        if not isinstance(entry, dict):
+            problems.append(f"{name}: entry is not an object")
+            continue
+        cold = entry.get("cold")
+        if not isinstance(cold, dict):
+            problems.append(f"{name}.cold: missing")
+        else:
+            for field in _COLD_FIELDS:
+                if not isinstance(cold.get(field), int):
+                    problems.append(f"{name}.cold.{field}: missing or non-integer")
+        for mode in ("shared", "private"):
+            blob = entry.get(mode)
+            if not isinstance(blob, dict):
+                problems.append(f"{name}.{mode}: missing")
+                continue
+            for field in (*_REUSE_FIELDS, "misses_averted"):
+                if not isinstance(blob.get(field), int):
+                    problems.append(f"{name}.{mode}.{field}: missing or non-integer")
+    return problems
+
+
+def write_remote_json(path: str, document: dict) -> None:
+    """Persist the document (stable key order, trailing newline)."""
+    problems = validate_remote_json(document)
+    if problems:
+        raise ValueError(
+            f"refusing to write invalid bench document: {'; '.join(problems[:5])}"
+        )
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("output", help="path for BENCH_remote.json")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--workload", action="append", help="limit to named workloads (repeatable)"
+    )
+    args = parser.parse_args(argv)
+    document = measure_remote(workload_names=args.workload, seed=args.seed)
+    write_remote_json(args.output, document)
+    for name, entry in document["workloads"].items():
+        print(
+            f"{name:16s} cold {entry['cold']['ic_misses']:5d} misses | "
+            f"shared averts {entry['shared']['misses_averted']:5d} "
+            f"({entry['shared']['ric_remote_hits']} remote hits) | "
+            f"private averts {entry['private']['misses_averted']:5d}"
+        )
+    totals = document["totals"]
+    print(
+        f"{'TOTAL':16s} shared averts {totals['shared_misses_averted']} "
+        f"vs private {totals['private_misses_averted']}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -1,0 +1,86 @@
+"""Schema gate for the shared-vs-private store bench (bench_remote.py).
+
+Mirrors ``test_bench_smoke.py``: one workload, so it runs everywhere
+fast; the point is that the harness produces a schema-valid document and
+that the shared topology demonstrably averts misses the private one
+cannot, not that the numbers are impressive.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+import pytest
+
+from bench_remote import (
+    SCHEMA,
+    measure_remote,
+    validate_remote_json,
+    write_remote_json,
+)
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(socket, "AF_UNIX"), reason="unix domain sockets unavailable"
+)
+
+
+@pytest.fixture(scope="module")
+def document() -> dict:
+    return measure_remote(workload_names=["synthetic"], seed=1)
+
+
+def test_document_is_schema_valid(document):
+    assert document["schema"] == SCHEMA
+    assert validate_remote_json(document) == []
+
+
+def test_shared_store_averts_misses_private_cannot(document):
+    blob = document["workloads"]["synthetic"]
+    assert blob["shared"]["misses_averted"] > 0
+    assert blob["shared"]["ric_remote_hits"] > 0
+    assert blob["shared"]["ic_misses"] < blob["cold"]["ic_misses"]
+    # Client B's private store never saw client A's records: full bill.
+    assert blob["private"]["misses_averted"] == 0
+    assert blob["private"]["ric_remote_hits"] == 0
+    assert blob["private"]["ic_misses"] == blob["cold"]["ic_misses"]
+
+
+def test_totals_reflect_the_gap(document):
+    totals = document["totals"]
+    assert totals["shared_misses_averted"] > totals["private_misses_averted"]
+    assert totals["shared_remote_hits"] > 0
+
+
+def test_no_transport_degradation_during_bench(document):
+    blob = document["workloads"]["synthetic"]
+    assert blob["shared"]["ric_remote_fallbacks"] == 0
+
+
+def test_daemon_saw_the_traffic(document):
+    assert document["daemon"]["requests"] > 0
+    assert document["daemon"]["puts_accepted"] > 0
+    assert document["daemon"]["puts_rejected"] == 0
+
+
+def test_write_round_trips(document, tmp_path):
+    path = tmp_path / "bench_remote.json"
+    write_remote_json(str(path), document)
+    assert json.loads(path.read_text()) == document
+
+
+def test_write_refuses_invalid_documents(tmp_path):
+    with pytest.raises(ValueError, match="invalid bench document"):
+        write_remote_json(str(tmp_path / "bad.json"), {"schema": "nope"})
+
+
+def test_validator_reports_missing_modes():
+    broken = {
+        "schema": SCHEMA,
+        "config": {},
+        "totals": {"shared_misses_averted": 1, "private_misses_averted": 0},
+        "workloads": {"w": {"cold": {}}},
+    }
+    problems = validate_remote_json(broken)
+    assert any("w.shared" in p for p in problems)
+    assert any("w.private" in p for p in problems)

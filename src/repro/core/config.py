@@ -43,6 +43,20 @@ class RICConfig:
       observationally identical (tests/test_dispatch_table.py and the
       differential suite enforce it); the knob exists for those tests and
       for isolating fast-path effects in benchmarks.
+
+    Remote record-store knobs (the cross-process sharing daemon,
+    :mod:`repro.server`):
+
+    * ``remote_socket`` — unix-socket path of a ``ricd`` daemon
+      (``ric-serve``).  When set, an :class:`Engine` without an explicit
+      ``record_store`` builds a
+      :class:`~repro.server.client.RemoteRecordStore` with a local
+      in-memory fallback; ``None`` (default) keeps the store local.
+    * ``remote_timeout_s`` — per-request socket timeout.  Deliberately
+      small: a slow daemon must cost milliseconds, not stall a run.
+    * ``remote_retry_s`` — circuit-breaker hold-off after a transport
+      failure; until it elapses every request goes straight to the
+      local fallback.
     """
 
     enable_linking: bool = True
@@ -52,3 +66,6 @@ class RICConfig:
     strict_validation: bool = False
     quarantine_corrupt: bool = True
     interp_fastpaths: bool = True
+    remote_socket: str | None = None
+    remote_timeout_s: float = 0.5
+    remote_retry_s: float = 1.0

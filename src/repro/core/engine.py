@@ -58,10 +58,24 @@ class Engine:
         cache_dir: str | None = None,
         seed: int | None = None,
         optimize: bool = True,
+        record_store=None,
     ):
         self.config = config or RICConfig()
         self.optimize = optimize
         self.code_cache = CodeCache(cache_dir=cache_dir)
+        #: Record-store selection (any RecordStoreProtocol): an explicit
+        #: store wins; else ``config.remote_socket`` builds a daemon-backed
+        #: RemoteRecordStore with a local fallback; else no store (records
+        #: are passed explicitly via ``icrecord=``).
+        if record_store is None and self.config.remote_socket is not None:
+            from repro.server.client import make_record_store
+
+            record_store = make_record_store(
+                self.config.remote_socket,
+                timeout_s=self.config.remote_timeout_s,
+                retry_after_s=self.config.remote_retry_s,
+            )
+        self.record_store = record_store
         # Every execution gets a distinct sub-seed, so heap addresses differ
         # across runs even when the engine itself is seeded (which is the
         # whole premise of the paper).  Seeding the engine makes the
@@ -71,6 +85,7 @@ class Engine:
         self._last_runtime: Runtime | None = None
         self._last_feedback: FeedbackState | None = None
         self._last_script_keys: list[str] = []
+        self._last_scripts: list[tuple[str, str]] = []
 
     # -- compilation --------------------------------------------------------------
 
@@ -100,6 +115,7 @@ class Engine:
         seed: int | None = None,
         time_source: typing.Callable[[], float] | None = None,
         tracer=None,
+        use_store: bool = False,
     ) -> RunProfile:
         """Execute a workload in a fresh runtime and measure it.
 
@@ -111,12 +127,22 @@ class Engine:
         records failing :func:`~repro.ric.validate.validate_record`
         degrade to cold-start for that record only, counted in
         ``counters.ric_records_corrupt`` / ``ric_records_rejected``.
+
+        ``use_store=True`` (with no explicit ``icrecord``) fetches this
+        workload's per-script records from :attr:`record_store`; a
+        daemon-backed store's hit/miss/fallback traffic for the fetch
+        lands in the run's ``ric_remote_*`` counters.
         """
         if isinstance(scripts, str):
             scripts = [("<script>", scripts)]
         run_seed = seed if seed is not None else self._seed_stream.getrandbits(48)
 
         counters = Counters()
+        if use_store and icrecord is None and self.record_store is not None:
+            fetched = self._store_roundtrip(
+                counters, lambda: self.record_store.records_for(scripts)
+            )
+            icrecord = fetched or None
         runtime = Runtime(seed=run_seed)
         feedback = FeedbackState()
 
@@ -208,6 +234,10 @@ class Engine:
         self._last_runtime = runtime
         self._last_feedback = feedback
         self._last_script_keys = script_keys
+        self._last_scripts = [(filename, source) for filename, source in scripts]
+
+        counters.bytecode_cache_hits = self.code_cache.hits - cache_hits_before
+        counters.bytecode_cache_misses = self.code_cache.misses - cache_misses_before
 
         return RunProfile(
             name=name,
@@ -220,6 +250,52 @@ class Engine:
             code_cache_hits=self.code_cache.hits - cache_hits_before,
             code_cache_misses=self.code_cache.misses - cache_misses_before,
         )
+
+    # -- record store traffic ----------------------------------------------------------
+
+    def _store_roundtrip(self, counters: Counters, operation):
+        """Run one store operation, folding a remote store's hit/miss/
+        fallback/eviction deltas into this run's counters.  Local stores
+        have no ``stats_snapshot`` and contribute nothing."""
+        snapshot = getattr(self.record_store, "stats_snapshot", None)
+        before = snapshot() if snapshot is not None else None
+        result = operation()
+        if before is not None:
+            after = snapshot()
+            counters.ric_remote_hits += after["hits"] - before["hits"]
+            counters.ric_remote_misses += after["misses"] - before["misses"]
+            counters.ric_remote_fallbacks += (
+                after["fallbacks"] - before["fallbacks"]
+            )
+            counters.ric_remote_evictions += (
+                after["evictions"] - before["evictions"]
+            )
+        return result
+
+    def publish_records(self, counters: Counters | None = None) -> int:
+        """Extract the last run's per-script records and put them into
+        :attr:`record_store` (local or remote), returning how many were
+        published.  With a ``counters``, remote traffic is folded in."""
+        if self.record_store is None:
+            raise RuntimeError("engine has no record_store to publish into")
+        records = self.extract_per_script_records()
+        source_by_filename = {
+            filename: source for filename, source in self._last_scripts
+        }
+
+        def publish() -> int:
+            published = 0
+            for filename, record in records.items():
+                source = source_by_filename.get(filename)
+                if source is None:
+                    continue
+                self.record_store.put(filename, source, record)
+                published += 1
+            return published
+
+        if counters is None:
+            counters = Counters()  # throwaway sink; remote stats still tally
+        return self._store_roundtrip(counters, publish)
 
     # -- record admission --------------------------------------------------------------
 

@@ -8,6 +8,7 @@ that, using these injectors and :class:`FaultyRecordStore`.
 """
 
 from repro.faults.faulty_store import FaultyRecordStore
+from repro.faults.socket_faults import SOCKET_FAULTS, FlakySocketProxy
 from repro.faults.injectors import (
     FAULTS,
     Injector,
@@ -24,7 +25,9 @@ from repro.faults.injectors import (
 __all__ = [
     "FAULTS",
     "FaultyRecordStore",
+    "FlakySocketProxy",
     "Injector",
+    "SOCKET_FAULTS",
     "field_mutation",
     "flip_bits",
     "handler_swap",

@@ -1,0 +1,217 @@
+"""Socket-level fault injection for the record-cache daemon path.
+
+:class:`FlakySocketProxy` sits between a :class:`~repro.server.client.
+RemoteRecordStore` and a real ricd daemon on a second unix socket,
+forwarding traffic while injecting one transport fault class — the three
+ways a network hop actually fails, as opposed to the *content* faults of
+:mod:`repro.faults.injectors`:
+
+* ``disconnect`` — drop the connection after forwarding a few response
+  bytes (a daemon crash / SIGKILL mid-reply: the client sees EOF inside
+  a frame);
+* ``garbage`` — replace the daemon's response with bytes that are not a
+  well-formed frame (a corrupted or hostile server: the length prefix
+  lies, the body is noise);
+* ``slow`` — delay the response past the client's socket timeout (an
+  overloaded daemon: the client must cut its losses, not stall the run).
+
+The chaos suite points a client at the proxy and asserts the PR 1
+degradation contract one layer up: identical program output, no
+exception, ``ric_remote_fallbacks`` visibly bumped.
+
+Faults fire with probability ``probability`` per *response*, driven by a
+seeded ``random.Random`` so runs are replayable.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import threading
+import time
+from pathlib import Path
+
+#: The transport fault classes the chaos suite must prove harmless.
+SOCKET_FAULTS = ("disconnect", "garbage", "slow")
+
+
+class FlakySocketProxy:
+    """A unix-socket proxy that injects transport faults into responses."""
+
+    def __init__(
+        self,
+        listen_path: str | Path,
+        upstream_path: str | Path,
+        fault: str,
+        probability: float = 1.0,
+        seed: int = 0,
+        slow_delay_s: float = 2.0,
+    ):
+        if fault not in SOCKET_FAULTS:
+            raise ValueError(f"unknown socket fault {fault!r}")
+        self.listen_path = Path(listen_path)
+        self.upstream_path = str(upstream_path)
+        self.fault = fault
+        self.probability = probability
+        self.slow_delay_s = slow_delay_s
+        self._rng = random.Random(seed)
+        self._rng_lock = threading.Lock()
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        #: How many responses were tampered with, for assertions.
+        self.injected = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        if self._listener is not None:
+            raise RuntimeError("proxy already started")
+        if self.listen_path.exists():
+            self.listen_path.unlink()
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        listener.bind(str(self.listen_path))
+        listener.listen(16)
+        listener.settimeout(0.2)
+        self._listener = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="flaky-proxy", daemon=True
+        )
+        self._accept_thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+            self._accept_thread = None
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+        if self.listen_path.exists():
+            try:
+                self.listen_path.unlink()
+            except OSError:  # pragma: no cover
+                pass
+
+    def __enter__(self) -> "FlakySocketProxy":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- forwarding ----------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._stop.is_set():
+            try:
+                client, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            threading.Thread(
+                target=self._serve_connection, args=(client,), daemon=True
+            ).start()
+
+    def _serve_connection(self, client: socket.socket) -> None:
+        try:
+            upstream = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            upstream.connect(self.upstream_path)
+        except OSError:
+            client.close()
+            return
+        client.settimeout(0.2)
+        upstream.settimeout(0.2)
+        try:
+            while not self._stop.is_set():
+                request = _pump_one(client, upstream)
+                if request is None:
+                    return
+                response = _read_available(upstream)
+                if response is None:
+                    return
+                if not self._inject(client, response):
+                    return
+        finally:
+            client.close()
+            upstream.close()
+
+    def _inject(self, client: socket.socket, response: bytes) -> bool:
+        """Forward (possibly tampered) response; False = drop connection."""
+        with self._rng_lock:
+            fire = self._rng.random() < self.probability
+        if not fire:
+            try:
+                client.sendall(response)
+            except OSError:
+                return False
+            return True
+        self.injected += 1
+        if self.fault == "disconnect":
+            try:
+                client.sendall(response[: max(1, len(response) // 3)])
+            except OSError:
+                pass
+            return False
+        if self.fault == "garbage":
+            with self._rng_lock:
+                noise = bytes(self._rng.randrange(256) for _ in range(64))
+            try:
+                # A length prefix that promises far more than follows.
+                client.sendall(b"\xff\xff\xff\xf0" + noise)
+            except OSError:
+                pass
+            return False
+        # slow: hold the response past the client's timeout, then give up
+        # the connection (the client has already walked away).
+        time.sleep(self.slow_delay_s)
+        try:
+            client.sendall(response)
+        except OSError:
+            pass
+        return False
+
+
+def _read_whole_frame(sock: socket.socket) -> bytes | None:
+    """Read one complete length-prefixed frame (header + body) as raw
+    bytes; None on EOF, timeout, or a mid-frame surprise."""
+    import struct
+
+    try:
+        header = b""
+        while len(header) < 4:
+            chunk = sock.recv(4 - len(header))
+            if not chunk:
+                return None
+            header += chunk
+        (length,) = struct.unpack(">I", header)
+        if length > 32 * 1024 * 1024:
+            return None
+        body = b""
+        while len(body) < length:
+            chunk = sock.recv(min(length - len(body), 65536))
+            if not chunk:
+                return None
+            body += chunk
+    except (socket.timeout, OSError):
+        return None
+    return header + body
+
+
+def _pump_one(client: socket.socket, upstream: socket.socket) -> bytes | None:
+    """Forward one client→daemon request frame; None on EOF/timeout."""
+    frame = _read_whole_frame(client)
+    if frame is None:
+        return None
+    try:
+        upstream.sendall(frame)
+    except OSError:
+        return None
+    return frame
+
+
+def _read_available(upstream: socket.socket) -> bytes | None:
+    """Read the daemon's one response frame to the forwarded request."""
+    return _read_whole_frame(upstream)

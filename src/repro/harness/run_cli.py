@@ -10,6 +10,9 @@ Examples::
     ric-run lib.jsl app.jsl                  # run scripts in order
     ric-run --stats lib.jsl                  # + IC statistics
     ric-run --record /tmp/lib.ric lib.jsl    # persist/reuse the ICRecord
+    ric-run --store-dir /tmp/ricstore lib.jsl    # per-script RecordStore
+    ric-run --remote-store /tmp/ricd.sock lib.jsl  # share via a ricd daemon
+    ric-run --store-dir /tmp/ricstore --store-status  # store health summary
     ric-run --trace lib.jsl                  # print the IC event trace
     ric-run --disassemble lib.jsl            # show bytecode, don't run
     ric-run --bench-json BENCH_interp.json   # cold-vs-reuse perf baseline
@@ -43,6 +46,23 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--cache-dir", metavar="DIR", help="bytecode code-cache directory"
     )
+    parser.add_argument(
+        "--store-dir",
+        metavar="DIR",
+        help="per-script RecordStore directory: records are fetched before "
+        "the run and published after it",
+    )
+    parser.add_argument(
+        "--remote-store",
+        metavar="SOCKET",
+        help="unix socket of a ric-serve daemon; --store-dir (if given) "
+        "becomes the local fallback store",
+    )
+    parser.add_argument(
+        "--store-status",
+        action="store_true",
+        help="print the selected store's status as JSON and exit",
+    )
     parser.add_argument("--trace", action="store_true", help="print the IC event trace")
     parser.add_argument(
         "--disassemble", action="store_true", help="print bytecode and exit"
@@ -70,6 +90,24 @@ def main(argv: list[str] | None = None) -> int:
     if args.bench_json:
         return _bench(args)
 
+    store = None
+    if args.remote_store or args.store_dir:
+        from repro.server.client import make_record_store
+
+        store = make_record_store(args.remote_store, directory=args.store_dir)
+
+    if args.store_status:
+        if store is None:
+            print(
+                "ric-run: --store-status needs --store-dir and/or --remote-store",
+                file=sys.stderr,
+            )
+            return 2
+        import json
+
+        print(json.dumps(store.status(), indent=2, sort_keys=True))
+        return 0
+
     if not args.files:
         return _repl(args)
 
@@ -92,7 +130,10 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     engine = Engine(
-        seed=args.seed, cache_dir=args.cache_dir, optimize=not args.no_optimize
+        seed=args.seed,
+        cache_dir=args.cache_dir,
+        optimize=not args.no_optimize,
+        record_store=store,
     )
     record = None
     if args.record and Path(args.record).exists():
@@ -107,7 +148,13 @@ def main(argv: list[str] | None = None) -> int:
 
     tracer = Tracer() if args.trace else None
     try:
-        profile = engine.run(scripts, name="cli", icrecord=record, tracer=tracer)
+        profile = engine.run(
+            scripts,
+            name="cli",
+            icrecord=record,
+            tracer=tracer,
+            use_store=store is not None and record is None,
+        )
     except JSLError as error:
         print(f"ric-run: {error}", file=sys.stderr)
         return 1
@@ -117,6 +164,10 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.record:
         save_icrecord(engine.extract_icrecord(), args.record)
+    if store is not None:
+        # Publish this run's per-script records so the next invocation —
+        # or another process sharing the daemon — starts warm.
+        engine.publish_records(counters=profile.counters)
 
     if args.trace and tracer is not None:
         print("\n-- IC event trace " + "-" * 40, file=sys.stderr)
@@ -138,6 +189,12 @@ def main(argv: list[str] | None = None) -> int:
             f"{counters.ic_hits_on_preloaded} hits on preloaded slots\n"
             f"RIC degradation:    {counters.ric_records_corrupt} corrupt, "
             f"{counters.ric_records_rejected} rejected records\n"
+            f"bytecode cache:     {counters.bytecode_cache_hits} hits, "
+            f"{counters.bytecode_cache_misses} misses\n"
+            f"remote store:       {counters.ric_remote_hits} hits, "
+            f"{counters.ric_remote_misses} misses, "
+            f"{counters.ric_remote_fallbacks} fallbacks, "
+            f"{counters.ric_remote_evictions} evictions\n"
             f"wall time:          {profile.wall_time_ms:.2f} ms",
             file=sys.stderr,
         )

@@ -1,0 +1,114 @@
+"""``ric-serve`` — run the record-cache daemon (ricd).
+
+Serves ICRecords to many engine processes over a unix-domain socket
+(:mod:`repro.server`), with an in-memory LRU bounded by record count and
+bytes, write-through persistence to ``--dir``, and per-PUT validation so
+one client can never poison another.
+
+Two-terminal demo::
+
+    # terminal 1
+    ric-serve --socket /tmp/ricd.sock --dir /tmp/ric-records
+
+    # terminal 2: first run is cold and publishes; the second reuses
+    # records through the daemon (watch "remote hits" in --stats)
+    ric-run --remote-store /tmp/ricd.sock --stats lib.jsl
+    ric-run --remote-store /tmp/ricd.sock --stats lib.jsl
+
+Runs in the foreground until SIGINT/SIGTERM; ``--stat-interval`` logs
+cache statistics periodically to stderr.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import signal
+import sys
+import threading
+
+from repro.server.daemon import RecordCacheDaemon
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="ric-serve", description=__doc__)
+    parser.add_argument(
+        "--socket",
+        required=True,
+        metavar="PATH",
+        help="unix-domain socket to listen on",
+    )
+    parser.add_argument(
+        "--dir",
+        metavar="DIR",
+        default=None,
+        help="write-through RecordStore directory (omit for memory-only)",
+    )
+    parser.add_argument(
+        "--max-records",
+        type=int,
+        default=256,
+        help="LRU bound: max records held in memory",
+    )
+    parser.add_argument(
+        "--max-bytes",
+        type=int,
+        default=64 * 1024 * 1024,
+        help="LRU bound: max serialized bytes held in memory",
+    )
+    parser.add_argument(
+        "--stat-interval",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="log cache stats to stderr every SECONDS (0 = off)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.max_records < 1 or args.max_bytes < 1:
+        print("ric-serve: bounds must be >= 1", file=sys.stderr)
+        return 2
+
+    daemon = RecordCacheDaemon(
+        args.socket,
+        directory=args.dir,
+        max_records=args.max_records,
+        max_bytes=args.max_bytes,
+    )
+
+    stop = threading.Event()
+
+    def shutdown(signum, frame) -> None:
+        stop.set()
+        # server.shutdown() blocks until serve_forever() exits; the signal
+        # handler runs *on* the serve_forever thread, so stop elsewhere.
+        threading.Thread(target=daemon.stop, daemon=True).start()
+
+    signal.signal(signal.SIGINT, shutdown)
+    signal.signal(signal.SIGTERM, shutdown)
+
+    if args.stat_interval > 0:
+
+        def report() -> None:
+            while not stop.wait(args.stat_interval):
+                print(
+                    f"ric-serve: {json.dumps(daemon.stats())}", file=sys.stderr
+                )
+
+        threading.Thread(target=report, daemon=True).start()
+
+    print(
+        f"ric-serve: listening on {args.socket}"
+        + (f", persisting to {args.dir}" if args.dir else " (memory-only)"),
+        file=sys.stderr,
+    )
+    try:
+        daemon.serve_forever()
+    except OSError as exc:
+        print(f"ric-serve: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,7 +14,11 @@ from repro.ric.errors import CorruptRecord, RecordFormatError
 from repro.ric.extraction import extract_icrecord
 from repro.ric.icrecord import DependentEntry, HCVTRow, ICRecord, ToastPair
 from repro.ric.reuse import MultiReuseSession, ReuseSession
-from repro.ric.store import RecordStore, extract_per_script_records
+from repro.ric.store import (
+    RecordStore,
+    RecordStoreProtocol,
+    extract_per_script_records,
+)
 from repro.ric.serialize import (
     ICRECORD_FORMAT_VERSION,
     load_icrecord,
@@ -35,6 +39,7 @@ __all__ = [
     "MultiReuseSession",
     "RecordFormatError",
     "RecordStore",
+    "RecordStoreProtocol",
     "extract_per_script_records",
     "HCVTRow",
     "ICRECORD_FORMAT_VERSION",

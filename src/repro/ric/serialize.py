@@ -61,7 +61,10 @@ def record_to_json(record: ICRecord) -> dict:
             ]
             for key, pairs in record.toast.items()
         },
-        "handlers": record.handlers,
+        # Copied, not aliased: callers legitimately mutate payloads (fault
+        # injectors, envelope extras) and must never reach back into the
+        # live record through the serialized form.
+        "handlers": [dict(handler) for handler in record.handlers],
         "extraction_time_ms": record.extraction_time_ms,
     }
 

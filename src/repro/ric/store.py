@@ -27,6 +27,7 @@ from __future__ import annotations
 import json
 import logging
 import os
+import typing
 from pathlib import Path
 
 from repro.bytecode.cache import source_hash
@@ -199,6 +200,27 @@ def _extract_for_file(
     return record
 
 
+@typing.runtime_checkable
+class RecordStoreProtocol(typing.Protocol):
+    """What the engine and CLIs require of a record store.
+
+    Satisfied by the local :class:`RecordStore`, the fault-injecting
+    :class:`~repro.faults.faulty_store.FaultyRecordStore`, and the
+    daemon-backed :class:`~repro.server.client.RemoteRecordStore` — the
+    store a run uses is a deployment decision, not a code path.
+    """
+
+    def put(self, filename: str, source: str, record: ICRecord) -> None: ...
+
+    def get(self, filename: str, source: str) -> ICRecord | None: ...
+
+    def records_for(self, scripts) -> list[ICRecord]: ...
+
+    def status(self) -> dict: ...
+
+    def __len__(self) -> int: ...
+
+
 class RecordStore:
     """Per-script record cache keyed by (filename, source hash).
 
@@ -221,6 +243,8 @@ class RecordStore:
         quarantine: bool = True,
     ):
         self._entries: dict[str, ICRecord] = {}
+        #: Serialized payload bytes per key, for :meth:`status`.
+        self._sizes: dict[str, int] = {}
         self._directory = Path(directory) if directory is not None else None
         self.quarantine = quarantine
         #: (filename, error message) for every on-disk entry that failed to
@@ -243,15 +267,26 @@ class RecordStore:
         return self._directory / f"{_safe(key)}.icrecord.json"
 
     def put(self, filename: str, source: str, record: ICRecord) -> None:
-        key = self._key(filename, source)
+        self.put_by_key(self._key(filename, source), record)
+
+    def put_by_key(self, key: str, record: ICRecord) -> None:
+        """Insert under a precomputed ``filename:source_hash`` key.
+
+        The daemon's write-through path: it only ever sees the hash, not
+        the source text, so the plain :meth:`put` signature cannot apply.
+        """
+        text = json.dumps(record_to_envelope(record, extra={"key": key}))
         self._entries[key] = record
+        self._sizes[key] = len(text.encode("utf-8"))
         if self._directory is not None:
-            text = json.dumps(record_to_envelope(record, extra={"key": key}))
             with file_lock(self._lock_path(), exclusive=True):
                 atomic_write_text(self._path_for_key(key), text)
 
     def get(self, filename: str, source: str) -> ICRecord | None:
         return self._entries.get(self._key(filename, source))
+
+    def get_by_key(self, key: str) -> ICRecord | None:
+        return self._entries.get(key)
 
     def records_for(self, scripts) -> list[ICRecord]:
         """Records available for a (filename, source) script list."""
@@ -265,6 +300,24 @@ class RecordStore:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def status(self) -> dict:
+        """Operational summary: entry count, payload bytes, casualties.
+
+        Consumed by ``ric-run --store-status`` and echoed by the daemon's
+        ``STAT`` verb, so a local directory and a remote daemon answer
+        the same question the same way.
+        """
+        quarantined = 0
+        if self._directory is not None:
+            quarantined = len(list(self._directory.glob("*.corrupt*")))
+        return {
+            "records": len(self._entries),
+            "bytes": sum(self._sizes.values()),
+            "quarantined": quarantined,
+            "load_errors": len(self.load_errors),
+            "directory": str(self._directory) if self._directory else None,
+        }
+
     def _load_directory(self) -> None:
         assert self._directory is not None
         with file_lock(self._lock_path(), exclusive=False):
@@ -277,6 +330,7 @@ class RecordStore:
                 ):
                     raise RecordFormatError("store entry missing string 'key'")
                 self._entries[payload["key"]] = record_from_envelope(payload)
+                self._sizes[payload["key"]] = path.stat().st_size
             except (OSError, ValueError) as exc:
                 self.load_errors.append((path.name, str(exc)))
                 logger.warning("skipping corrupt record %s: %s", path.name, exc)

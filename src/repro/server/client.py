@@ -1,0 +1,258 @@
+"""``RemoteRecordStore`` — a RecordStore backed by a ricd daemon.
+
+Satisfies :class:`~repro.ric.store.RecordStoreProtocol`, so the engine,
+``ric-run`` and the bench harness use it wherever a local
+:class:`~repro.ric.store.RecordStore` fits.  The defining property is
+the **degradation ladder** (extending the PR 1 discipline from corrupt
+*records* to a failing *transport*): a reuse run pointed at a dead,
+slow, or lying daemon must behave exactly like one pointed at its local
+store — never raise, never change program output, only lose some of the
+speedup, visibly:
+
+1. remote answer, client-reverified (checksum + ``validate_record``
+   via :func:`~repro.ric.serialize.record_from_envelope`) → use it,
+   count ``hits``;
+2. remote answers *miss* → count ``misses``, consult the local
+   fallback store;
+3. transport or protocol trouble (connect refused, timeout, garbage
+   frame, version skew, poisoned envelope) → count ``fallbacks``,
+   consult the local fallback store, and open the circuit breaker:
+   for ``retry_after_s`` every request goes straight to the fallback
+   so a dead daemon costs one timeout, not one per record.
+
+Remote records are written through to the fallback store on the way
+past, so anything learned from the daemon survives its death.  The
+``stats`` dict feeds the per-run ``ric_remote_*`` counters
+(:class:`~repro.stats.counters.Counters`) via the engine.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+import typing
+from pathlib import Path
+
+from repro.bytecode.cache import source_hash
+from repro.ric.errors import RecordFormatError
+from repro.ric.icrecord import ICRecord
+from repro.ric.serialize import (
+    ICRECORD_FORMAT_VERSION,
+    record_from_envelope,
+    record_to_envelope,
+)
+from repro.ric.store import RecordStore
+from repro.server import protocol
+from repro.server.protocol import ProtocolError
+
+
+class RemoteStoreError(Exception):
+    """Transport- or protocol-level failure talking to the daemon."""
+
+
+class RemoteRecordStore:
+    """Daemon-first record store with local fallback and a circuit breaker."""
+
+    def __init__(
+        self,
+        socket_path: str | Path,
+        fallback: "RecordStore | None" = None,
+        timeout_s: float = 0.5,
+        retry_after_s: float = 1.0,
+    ):
+        self.socket_path = str(socket_path)
+        self.fallback = fallback if fallback is not None else RecordStore()
+        self.timeout_s = timeout_s
+        self.retry_after_s = retry_after_s
+        #: hits/misses are remote answers; fallbacks are requests that the
+        #: transport failed and the local store absorbed; evictions is the
+        #: daemon-reported eviction total our PUTs triggered.
+        self.stats: dict[str, int] = {
+            "hits": 0,
+            "misses": 0,
+            "fallbacks": 0,
+            "evictions": 0,
+            "puts": 0,
+            "puts_rejected": 0,
+        }
+        self._sock: socket.socket | None = None
+        self._lock = threading.Lock()
+        self._dead_until = 0.0
+
+    # -- transport ----------------------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout_s)
+        sock.connect(self.socket_path)
+        return sock
+
+    def _close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover
+                pass
+            self._sock = None
+
+    def _request(self, message: dict) -> dict:
+        """One request/response exchange; raises :class:`RemoteStoreError`
+        on any transport or protocol failure (and opens the breaker)."""
+        with self._lock:
+            if time.monotonic() < self._dead_until:
+                raise RemoteStoreError("circuit breaker open")
+            try:
+                if self._sock is None:
+                    self._sock = self._connect()
+                protocol.write_frame(self._sock, message)
+                response = protocol.read_frame(self._sock)
+                if response is None:
+                    raise ProtocolError("daemon closed connection mid-request")
+                protocol.check_version(response)
+            except (OSError, socket.timeout, ProtocolError) as exc:
+                self._close()
+                self._dead_until = time.monotonic() + self.retry_after_s
+                raise RemoteStoreError(str(exc)) from exc
+            if response.get("ok") is not True:
+                # A clean error response is a server-side refusal, not
+                # transport trouble: don't trip the breaker, but do drop
+                # the connection (the server closes after errors).
+                self._close()
+                raise RemoteStoreError(str(response.get("error", "unknown error")))
+            return response
+
+    # -- the store interface -------------------------------------------------
+
+    def get(self, filename: str, source: str) -> ICRecord | None:
+        key = [filename, source_hash(source), ICRECORD_FORMAT_VERSION]
+        try:
+            response = self._request(protocol.request("GET", key=key))
+        except RemoteStoreError:
+            self.stats["fallbacks"] += 1
+            return self.fallback.get(filename, source)
+        if not response.get("hit"):
+            self.stats["misses"] += 1
+            return self.fallback.get(filename, source)
+        try:
+            # Never trust the daemon: full checksum + structural
+            # re-verification, exactly as if the envelope came off disk.
+            record = record_from_envelope(response.get("envelope"))
+        except RecordFormatError:
+            self.stats["fallbacks"] += 1
+            return self.fallback.get(filename, source)
+        self.stats["hits"] += 1
+        # Write-back: what the daemon taught us survives its death.
+        self.fallback.put(filename, source, record)
+        return record
+
+    def put(self, filename: str, source: str, record: ICRecord) -> None:
+        self.fallback.put(filename, source, record)
+        key = [filename, source_hash(source), ICRECORD_FORMAT_VERSION]
+        envelope = record_to_envelope(record)
+        try:
+            response = self._request(
+                protocol.request("PUT", key=key, envelope=envelope)
+            )
+        except RemoteStoreError:
+            self.stats["fallbacks"] += 1
+            return
+        if response.get("stored"):
+            self.stats["puts"] += 1
+            evicted = response.get("evicted")
+            if isinstance(evicted, int) and not isinstance(evicted, bool):
+                self.stats["evictions"] += max(evicted, 0)
+        else:
+            self.stats["puts_rejected"] += 1
+
+    def records_for(self, scripts) -> list[ICRecord]:
+        found = []
+        for filename, source in scripts:
+            record = self.get(filename, source)
+            if record is not None:
+                found.append(record)
+        return found
+
+    def __len__(self) -> int:
+        try:
+            response = self._request(protocol.request("STAT"))
+        except RemoteStoreError:
+            return len(self.fallback)
+        cache = response.get("cache")
+        if isinstance(cache, dict) and isinstance(cache.get("records"), int):
+            return cache["records"]
+        return len(self.fallback)
+
+    def status(self) -> dict:
+        """Remote STAT plus the local fallback's status; shape documented
+        in INTERNALS §9.  ``remote: None`` means the daemon is unreachable
+        — itself a useful status."""
+        remote: dict | None = None
+        try:
+            response = self._request(protocol.request("STAT"))
+            remote = {
+                "cache": response.get("cache"),
+                "store": response.get("store"),
+            }
+        except RemoteStoreError:
+            pass
+        return {
+            "socket": self.socket_path,
+            "remote": remote,
+            "client": dict(self.stats),
+            "local": self.fallback.status(),
+        }
+
+    # -- extras --------------------------------------------------------------
+
+    @property
+    def load_errors(self) -> list:
+        return self.fallback.load_errors
+
+    def ping(self) -> bool:
+        """True iff the daemon answers; never raises."""
+        try:
+            return bool(self._request(protocol.request("PING")).get("pong"))
+        except RemoteStoreError:
+            return False
+
+    def evict_all(self) -> int:
+        """Ask the daemon to drop its serving tier (admin/testing)."""
+        try:
+            response = self._request(protocol.request("EVICT", all=True))
+        except RemoteStoreError:
+            return 0
+        evicted = response.get("evicted")
+        return evicted if isinstance(evicted, int) else 0
+
+    def close(self) -> None:
+        with self._lock:
+            self._close()
+
+    def stats_snapshot(self) -> dict[str, int]:
+        return dict(self.stats)
+
+
+def make_record_store(
+    socket_path: "str | Path | None",
+    directory: "str | Path | None" = None,
+    timeout_s: float = 0.5,
+    retry_after_s: float = 1.0,
+) -> "RemoteRecordStore | RecordStore":
+    """Store selection in one place: remote-with-fallback when a socket
+    is configured, plain local store otherwise."""
+    local = RecordStore(directory=directory)
+    if socket_path is None:
+        return local
+    return RemoteRecordStore(
+        socket_path,
+        fallback=local,
+        timeout_s=timeout_s,
+        retry_after_s=retry_after_s,
+    )
+
+
+if typing.TYPE_CHECKING:  # the protocol conformance is a type-level claim
+    from repro.ric.store import RecordStoreProtocol
+
+    _store: "RecordStoreProtocol" = typing.cast(RemoteRecordStore, None)

@@ -1,0 +1,270 @@
+"""``ricd`` — the record-cache daemon behind ``ric-serve``.
+
+One daemon process serves ICRecords (and thereby the warm-start they
+buy) to many engine processes over a unix-domain socket.  Layering, top
+to bottom:
+
+1. **Socket tier** — a threaded unix-stream server speaking the
+   length-prefixed JSON protocol of :mod:`repro.server.protocol`.  Each
+   connection is one client engine; requests on a connection are handled
+   sequentially, connections concurrently.  A malformed frame gets an
+   error response and the connection is dropped — one confused client
+   must not occupy a thread forever.
+2. **Serving tier** — an in-memory :class:`~repro.server.lru.LRUCache`
+   of *envelopes* (the checksummed on-disk form), bounded by record
+   count and bytes.  Serving envelopes rather than records means zero
+   re-serialization on the hot path and means the daemon never vouches
+   for content: the client re-verifies everything.
+3. **Admission gate** — a ``PUT`` is deserialized through
+   :func:`~repro.ric.serialize.record_from_envelope` (checksum +
+   structure) and then :func:`~repro.ric.validate.validate_record`.
+   A record failing either is refused and counted
+   (``puts_rejected``) — one client can never poison another through
+   the daemon.
+4. **Backing tier** — optional write-through to a directory-backed
+   :class:`~repro.ric.store.RecordStore`: admitted records survive
+   daemon restarts and LRU eviction; on an LRU miss the store is
+   consulted before answering ``hit: false``.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import socket
+import socketserver
+import threading
+from pathlib import Path
+
+from repro.ric.errors import RecordFormatError
+from repro.ric.serialize import record_from_envelope, record_to_envelope
+from repro.ric.store import RecordStore
+from repro.ric.validate import validate_record
+from repro.server import protocol
+from repro.server.lru import LRUCache
+from repro.server.protocol import ProtocolError
+
+logger = logging.getLogger(__name__)
+
+
+class _Server(socketserver.ThreadingMixIn, socketserver.UnixStreamServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    #: Set by RecordCacheDaemon after construction.
+    ricd: "RecordCacheDaemon"
+
+
+class _Handler(socketserver.BaseRequestHandler):
+    def handle(self) -> None:
+        daemon = self.server.ricd  # type: ignore[attr-defined]
+        sock: socket.socket = self.request
+        sock.settimeout(daemon.connection_timeout_s)
+        while True:
+            try:
+                message = protocol.read_frame(sock)
+            except (ProtocolError, socket.timeout, OSError) as exc:
+                self._try_send(sock, protocol.error_response(str(exc)))
+                return
+            if message is None:  # client closed cleanly
+                return
+            try:
+                response = daemon.handle_request(message)
+            except ProtocolError as exc:
+                self._try_send(sock, protocol.error_response(str(exc)))
+                return
+            except Exception as exc:  # never let one request kill the thread
+                logger.exception("ricd: internal error")
+                self._try_send(
+                    sock, protocol.error_response(f"internal error: {exc}")
+                )
+                return
+            try:
+                protocol.write_frame(sock, response)
+            except OSError:
+                return
+
+    @staticmethod
+    def _try_send(sock: socket.socket, message: dict) -> None:
+        try:
+            protocol.write_frame(sock, message)
+        except OSError:
+            pass
+
+
+class RecordCacheDaemon:
+    """The shared record cache: LRU serving tier over a write-through store."""
+
+    def __init__(
+        self,
+        socket_path: str | Path,
+        directory: str | Path | None = None,
+        max_records: int = 256,
+        max_bytes: int = 64 * 1024 * 1024,
+        connection_timeout_s: float = 30.0,
+    ):
+        self.socket_path = Path(socket_path)
+        self.connection_timeout_s = connection_timeout_s
+        self.cache = LRUCache(max_records=max_records, max_bytes=max_bytes)
+        self.store = RecordStore(directory=directory) if directory else None
+        #: Request-level counters (the cache keeps its own hit/miss/eviction
+        #: tallies; these count what crossed the wire).
+        self.requests = 0
+        self.puts_accepted = 0
+        self.puts_rejected = 0
+        self.store_fallback_hits = 0
+        self._server: _Server | None = None
+        self._thread: threading.Thread | None = None
+        self._lock = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Bind the socket and serve on a background thread."""
+        if self._server is not None:
+            raise RuntimeError("daemon already started")
+        if self.socket_path.exists():
+            self.socket_path.unlink()
+        self.socket_path.parent.mkdir(parents=True, exist_ok=True)
+        self._server = _Server(str(self.socket_path), _Handler)
+        self._server.ricd = self
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="ricd", daemon=True
+        )
+        self._thread.start()
+
+    def serve_forever(self) -> None:
+        """Foreground variant for the ``ric-serve`` CLI."""
+        if self._server is None:
+            if self.socket_path.exists():
+                self.socket_path.unlink()
+            self.socket_path.parent.mkdir(parents=True, exist_ok=True)
+            self._server = _Server(str(self.socket_path), _Handler)
+            self._server.ricd = self
+        self._server.serve_forever()
+
+    def stop(self) -> None:
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        if self.socket_path.exists():
+            try:
+                self.socket_path.unlink()
+            except OSError:  # pragma: no cover - raced removal
+                pass
+
+    def __enter__(self) -> "RecordCacheDaemon":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- request dispatch ----------------------------------------------------
+
+    def handle_request(self, message: dict) -> dict:
+        protocol.check_version(message)
+        op = message.get("op")
+        with self._lock:
+            self.requests += 1
+        if op == "GET":
+            return self._handle_get(message)
+        if op == "PUT":
+            return self._handle_put(message)
+        if op == "STAT":
+            return self._handle_stat()
+        if op == "EVICT":
+            return self._handle_evict(message)
+        if op == "PING":
+            return protocol.ok_response(pong=True)
+        raise ProtocolError(f"unknown op {op!r}")
+
+    def _handle_get(self, message: dict) -> dict:
+        filename, src_hash, version = protocol.key_fields(message)
+        key = protocol.cache_key(filename, src_hash, version)
+        envelope = self.cache.get(key)
+        if envelope is None and self.store is not None:
+            # LRU miss: the backing store may still have it (written by a
+            # previous daemon incarnation or evicted under pressure).
+            record = self.store.get_by_key(f"{filename}:{src_hash}")
+            if record is not None:
+                envelope = record_to_envelope(record)
+                with self._lock:
+                    self.store_fallback_hits += 1
+                self.cache.put(key, envelope, _envelope_bytes(envelope))
+        if envelope is None:
+            return protocol.ok_response(hit=False)
+        return protocol.ok_response(hit=True, envelope=envelope)
+
+    def _handle_put(self, message: dict) -> dict:
+        filename, src_hash, version = protocol.key_fields(message)
+        envelope = message.get("envelope")
+        if not isinstance(envelope, dict):
+            raise ProtocolError("PUT without an object 'envelope'")
+        # Admission gate: checksum + structural deserialization, then the
+        # same validate_record pass the engine runs before trusting a
+        # record.  A failure refuses the PUT — and only the PUT: the
+        # connection stays usable, the cache untouched.
+        try:
+            record = record_from_envelope(envelope)
+        except RecordFormatError as exc:
+            with self._lock:
+                self.puts_rejected += 1
+            return protocol.ok_response(stored=False, error=str(exc))
+        problems = validate_record(record)
+        if problems:
+            with self._lock:
+                self.puts_rejected += 1
+            return protocol.ok_response(
+                stored=False,
+                error=f"invalid record ({len(problems)} problems): "
+                + "; ".join(problems[:3]),
+            )
+        key = protocol.cache_key(filename, src_hash, version)
+        evicted = self.cache.put(key, envelope, _envelope_bytes(envelope))
+        if evicted < 0:
+            with self._lock:
+                self.puts_rejected += 1
+            return protocol.ok_response(
+                stored=False, error="record larger than cache byte budget"
+            )
+        if self.store is not None:
+            self.store.put_by_key(f"{filename}:{src_hash}", record)
+        with self._lock:
+            self.puts_accepted += 1
+        return protocol.ok_response(stored=True, evicted=evicted)
+
+    def _handle_stat(self) -> dict:
+        return protocol.ok_response(cache=self.stats(), store=self.store_status())
+
+    def _handle_evict(self, message: dict) -> dict:
+        if message.get("all"):
+            return protocol.ok_response(evicted=self.cache.clear())
+        filename, src_hash, version = protocol.key_fields(message)
+        key = protocol.cache_key(filename, src_hash, version)
+        return protocol.ok_response(evicted=int(self.cache.evict(key)))
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> dict:
+        blob = self.cache.stats()
+        with self._lock:
+            blob.update(
+                requests=self.requests,
+                puts_accepted=self.puts_accepted,
+                puts_rejected=self.puts_rejected,
+                store_fallback_hits=self.store_fallback_hits,
+                pid=os.getpid(),
+            )
+        return blob
+
+    def store_status(self) -> dict | None:
+        return self.store.status() if self.store is not None else None
+
+
+def _envelope_bytes(envelope: dict) -> int:
+    return len(json.dumps(envelope, separators=(",", ":")).encode("utf-8"))

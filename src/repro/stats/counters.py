@@ -73,6 +73,23 @@ class Counters:
     ric_records_corrupt: int = 0
     ric_records_rejected: int = 0
 
+    #: Bytecode code-cache traffic for this run (hit = frontend skipped).
+    #: Mirrors ``RunProfile.code_cache_hits/misses`` so cache efficacy is
+    #: visible wherever counters are reported.
+    bytecode_cache_hits: int = 0
+    bytecode_cache_misses: int = 0
+
+    #: Remote record-store traffic for this run (daemon-backed stores
+    #: only; all zero otherwise).  ``hits``/``misses`` are daemon
+    #: answers, ``fallbacks`` are requests the transport failed and the
+    #: local store absorbed — the degradation ladder's visible rung —
+    #: and ``evictions`` is the daemon-reported eviction total this
+    #: run's PUTs triggered.
+    ric_remote_hits: int = 0
+    ric_remote_misses: int = 0
+    ric_remote_fallbacks: int = 0
+    ric_remote_evictions: int = 0
+
     # -- charging ------------------------------------------------------------
 
     def charge(self, category: str, amount: int) -> None:
@@ -142,6 +159,12 @@ class Counters:
             "ric_records_corrupt": self.ric_records_corrupt,
             "ric_records_rejected": self.ric_records_rejected,
             "ric_records_degraded": self.ric_records_degraded,
+            "bytecode_cache_hits": self.bytecode_cache_hits,
+            "bytecode_cache_misses": self.bytecode_cache_misses,
+            "ric_remote_hits": self.ric_remote_hits,
+            "ric_remote_misses": self.ric_remote_misses,
+            "ric_remote_fallbacks": self.ric_remote_fallbacks,
+            "ric_remote_evictions": self.ric_remote_evictions,
         }
 
     @property

@@ -1,0 +1,127 @@
+"""Subprocess worker for the daemon chaos suite (tests/test_server_chaos.py).
+
+Not a test module — the parent test spawns this with::
+
+    python tests/_chaos_client.py <mode> <socket> <index> <seed>
+
+modes:
+
+* ``warm``  — run workload ``index`` cold against the daemon and publish
+  its per-script records.
+* ``reuse`` — run workload ``index`` cold (no store, the reference), then
+  again through the daemon-backed store; print both runs' evidence.
+* ``kill``  — warm + reuse, print ``READY``, wait for the parent on
+  stdin (it SIGKILLs the daemon meanwhile), then reuse again and report
+  the degraded run.  Any uncaught exception fails the parent's assert on
+  our exit code — "never an exception" is the contract under test.
+
+The last stdout line is always a JSON object for the parent to parse.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.core.engine import Engine
+from repro.server.client import RemoteRecordStore
+
+
+def workload(index: int) -> list:
+    """Deterministic per-index workload; shapes are disjoint across
+    indices (distinct property names), so records never overlap."""
+    lib = f"""
+function Thing{index}(seed) {{
+  this.alpha{index} = seed;
+  this.beta{index} = seed * 2;
+}}
+Thing{index}.prototype.total = function () {{
+  return this.alpha{index} + this.beta{index};
+}};
+var acc{index} = 0;
+for (var i = 0; i < 30; i = i + 1) {{
+  var t = new Thing{index}(i);
+  acc{index} = acc{index} + t.total();
+}}
+console.log("lib{index}:", acc{index});
+"""
+    app = f"""
+var cfg{index} = {{ depth: {index + 2}, label: "w{index}" }};
+var sum{index} = 0;
+for (var j = 0; j < 15; j = j + 1) {{
+  sum{index} = sum{index} + cfg{index}.depth;
+}}
+console.log("app{index}:", cfg{index}.label, sum{index});
+"""
+    return [(f"lib_{index}.jsl", lib), (f"app_{index}.jsl", app)]
+
+
+def _evidence(profile, cold_profile=None) -> dict:
+    counters = profile.counters.as_dict()
+    blob = {
+        "mode": profile.mode,
+        "output": profile.console_output,
+        "ic_misses": counters["ic_misses"],
+        "misses_averted": counters["ic_hits_on_preloaded"],
+        "ric_remote_hits": counters["ric_remote_hits"],
+        "ric_remote_misses": counters["ric_remote_misses"],
+        "ric_remote_fallbacks": counters["ric_remote_fallbacks"],
+    }
+    if cold_profile is not None:
+        blob["cold_output"] = cold_profile.console_output
+        blob["cold_ic_misses"] = cold_profile.counters.ic_misses
+    return blob
+
+
+def main(argv: list) -> int:
+    mode, socket_path, index, seed = (
+        argv[0],
+        argv[1],
+        int(argv[2]),
+        int(argv[3]),
+    )
+    scripts = workload(index)
+    store = RemoteRecordStore(socket_path, timeout_s=2.0, retry_after_s=0.05)
+
+    if mode == "warm":
+        engine = Engine(seed=seed, record_store=store)
+        profile = engine.run(scripts, name=f"warm-{index}", use_store=True)
+        published = engine.publish_records(counters=profile.counters)
+        blob = _evidence(profile)
+        blob["published"] = published
+        print(json.dumps(blob))
+        return 0
+
+    if mode == "reuse":
+        cold = Engine(seed=seed).run(scripts, name=f"cold-{index}")
+        engine = Engine(seed=seed + 1, record_store=store)
+        profile = engine.run(scripts, name=f"reuse-{index}", use_store=True)
+        print(json.dumps(_evidence(profile, cold)))
+        return 0
+
+    if mode == "kill":
+        cold = Engine(seed=seed).run(scripts, name=f"cold-{index}")
+        warm_engine = Engine(seed=seed + 1, record_store=store)
+        warm_engine.run(scripts, name=f"warm-{index}", use_store=True)
+        warm_engine.publish_records()
+        engine = Engine(seed=seed + 2, record_store=store)
+        alive = engine.run(scripts, name=f"alive-{index}", use_store=True)
+        print("READY", flush=True)
+        sys.stdin.readline()  # parent SIGKILLs the daemon, then writes a line
+        dead = engine.run(scripts, name=f"dead-{index}", use_store=True)
+        print(
+            json.dumps(
+                {
+                    "alive": _evidence(alive, cold),
+                    "dead": _evidence(dead, cold),
+                }
+            )
+        )
+        return 0
+
+    print(json.dumps({"error": f"unknown mode {mode!r}"}))
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

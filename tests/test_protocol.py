@@ -1,0 +1,141 @@
+"""Unit tests for the ricd wire protocol (repro.server.protocol).
+
+Everything here runs on socketpairs — no daemon, no filesystem sockets —
+so it exercises exactly the frame codec and its hostility to malformed
+input.
+"""
+
+import json
+import socket
+import struct
+
+import pytest
+
+from repro.server import protocol
+from repro.server.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    cache_key,
+    encode_frame,
+    key_fields,
+    read_frame,
+    write_frame,
+)
+
+
+@pytest.fixture
+def pair():
+    left, right = socket.socketpair()
+    left.settimeout(2.0)
+    right.settimeout(2.0)
+    yield left, right
+    left.close()
+    right.close()
+
+
+class TestFrameCodec:
+    def test_round_trip(self, pair):
+        left, right = pair
+        message = {"v": PROTOCOL_VERSION, "op": "GET", "key": ["a.jsl", "ff", 3]}
+        write_frame(left, message)
+        assert read_frame(right) == message
+
+    def test_multiple_frames_in_sequence(self, pair):
+        left, right = pair
+        for index in range(5):
+            write_frame(left, {"n": index})
+        for index in range(5):
+            assert read_frame(right) == {"n": index}
+
+    def test_clean_eof_returns_none(self, pair):
+        left, right = pair
+        left.close()
+        assert read_frame(right) is None
+
+    def test_eof_mid_header_raises(self, pair):
+        left, right = pair
+        left.sendall(b"\x00\x00")
+        left.close()
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            read_frame(right)
+
+    def test_eof_mid_body_raises(self, pair):
+        left, right = pair
+        left.sendall(struct.pack(">I", 100) + b"only a little")
+        left.close()
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            read_frame(right)
+
+    def test_oversized_length_prefix_refused(self, pair):
+        left, right = pair
+        left.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+        with pytest.raises(ProtocolError, match="exceeds"):
+            read_frame(right)
+
+    def test_garbage_body_raises(self, pair):
+        left, right = pair
+        body = b"\xff\xfe not json"
+        left.sendall(struct.pack(">I", len(body)) + body)
+        with pytest.raises(ProtocolError, match="JSON"):
+            read_frame(right)
+
+    def test_non_object_body_raises(self, pair):
+        left, right = pair
+        body = json.dumps([1, 2, 3]).encode()
+        left.sendall(struct.pack(">I", len(body)) + body)
+        with pytest.raises(ProtocolError, match="object"):
+            read_frame(right)
+
+    def test_encode_refuses_oversized_messages(self):
+        with pytest.raises(ProtocolError, match="exceeds"):
+            encode_frame({"blob": "x" * (MAX_FRAME_BYTES + 16)})
+
+    def test_frame_layout_is_length_prefixed(self):
+        frame = encode_frame({"a": 1})
+        (length,) = struct.unpack(">I", frame[:4])
+        assert length == len(frame) - 4
+        assert json.loads(frame[4:].decode()) == {"a": 1}
+
+
+class TestMessageSchema:
+    def test_cache_key_includes_format_version(self):
+        assert cache_key("lib.jsl", "abcd", 3) == "lib.jsl:abcd:v3"
+
+    def test_key_fields_round_trip(self):
+        message = {"key": ["lib.jsl", "abcd", 3]}
+        assert key_fields(message) == ("lib.jsl", "abcd", 3)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            None,
+            [],
+            ["a", "b"],
+            ["a", "b", "c"],
+            [1, "b", 3],
+            ["a", 2, 3],
+            ["a", "b", True],
+            "a:b:3",
+        ],
+    )
+    def test_key_fields_rejects_malformed_keys(self, bad):
+        with pytest.raises(ProtocolError, match="key"):
+            key_fields({"key": bad})
+
+    def test_version_check(self):
+        protocol.check_version({"v": PROTOCOL_VERSION})
+        with pytest.raises(ProtocolError, match="version"):
+            protocol.check_version({"v": PROTOCOL_VERSION + 1})
+        with pytest.raises(ProtocolError, match="version"):
+            protocol.check_version({})
+
+    def test_request_and_response_builders(self):
+        assert protocol.request("GET", key=[1]) == {
+            "v": PROTOCOL_VERSION,
+            "op": "GET",
+            "key": [1],
+        }
+        assert protocol.ok_response(hit=False)["ok"] is True
+        error = protocol.error_response("boom")
+        assert error["ok"] is False and error["error"] == "boom"

@@ -1,0 +1,244 @@
+"""Multi-process chaos tests for the record-cache daemon (ISSUE satellite 3).
+
+Everything in :mod:`tests.test_server` is single-process: the daemon runs
+on a background thread of the test interpreter.  These tests instead use
+**real processes** — ``ric-serve`` spawned as a subprocess, clients
+spawned as subprocesses of their own (``tests/_chaos_client.py``) — so
+they cover what threads cannot:
+
+* records extracted by one *process* averting misses in another;
+* N clients warming disjoint workloads concurrently against one daemon;
+* SIGKILLing the daemon mid-sequence, which severs live connections at
+  the kernel (a threaded ``daemon.stop()`` leaves in-flight handler
+  threads serving — see ``test_server.py``).
+
+The contract under chaos is the PR 1 degradation ladder extended to the
+transport: program output never diverges from a cold run, nothing
+raises, and the damage is visible only in ``ric_remote_*`` counters.
+"""
+
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.server.client import RemoteRecordStore
+
+ROOT = Path(__file__).resolve().parent.parent
+CLIENT = ROOT / "tests" / "_chaos_client.py"
+
+pytestmark = [
+    pytest.mark.net,
+    pytest.mark.skipif(
+        not hasattr(__import__("socket"), "AF_UNIX"),
+        reason="unix domain sockets unavailable",
+    ),
+]
+
+
+def _env() -> dict:
+    import os
+
+    env = dict(os.environ)
+    src = str(ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}:{existing}" if existing else src
+    return env
+
+
+def _wait_for_daemon(socket_path: str, proc, timeout_s: float = 15.0) -> None:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            out = proc.stdout.read() if proc.stdout else ""
+            pytest.fail(f"daemon exited early (rc={proc.returncode}): {out}")
+        probe = RemoteRecordStore(socket_path, timeout_s=1.0, retry_after_s=0.0)
+        try:
+            if probe.ping():
+                return
+        finally:
+            probe.close()
+        time.sleep(0.05)
+    pytest.fail(f"daemon never came up on {socket_path}")
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    """A real ``ric-serve`` subprocess with a disk-backed store."""
+    socket_path = str(tmp_path / "ricd.sock")
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.harness.serve_cli",
+            "--socket",
+            socket_path,
+            "--dir",
+            str(tmp_path / "records"),
+        ],
+        cwd=str(ROOT),
+        env=_env(),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    _wait_for_daemon(socket_path, proc)
+    yield proc, socket_path
+    if proc.poll() is None:
+        proc.kill()
+    proc.wait(timeout=10)
+    if proc.stdout:
+        proc.stdout.close()
+
+
+def _client_args(mode: str, socket_path: str, index: int, seed: int) -> list:
+    return [
+        sys.executable,
+        str(CLIENT),
+        mode,
+        socket_path,
+        str(index),
+        str(seed),
+    ]
+
+
+def _run_client(mode: str, socket_path: str, index: int, seed: int) -> dict:
+    proc = subprocess.run(
+        _client_args(mode, socket_path, index, seed),
+        cwd=str(ROOT),
+        env=_env(),
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, (
+        f"{mode} client {index} failed (rc={proc.returncode}):\n"
+        f"{proc.stdout}\n{proc.stderr}"
+    )
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def _assert_reuse_blob(blob: dict, who: str) -> None:
+    """The ISSUE acceptance triple: misses averted, remote hits, and
+    byte-identical program output versus the in-process cold run."""
+    assert blob["misses_averted"] > 0, who
+    assert blob["ric_remote_hits"] > 0, who
+    assert blob["ic_misses"] < blob["cold_ic_misses"], who
+    assert blob["output"] == blob["cold_output"], who
+    assert blob["mode"] == "reuse-ric", who
+
+
+class TestCrossProcessSharing:
+    def test_two_process_demo(self, daemon):
+        """The §9 story as real processes: A extracts, B reuses.
+
+        This is the default-on smoke slice of the chaos suite — one warm
+        client, one reuse client, nothing concurrent.
+        """
+        _, socket_path = daemon
+        warm = _run_client("warm", socket_path, index=0, seed=11)
+        assert warm["published"] > 0
+        assert warm["mode"] == "initial"
+
+        reuse = _run_client("reuse", socket_path, index=0, seed=22)
+        _assert_reuse_blob(reuse, "reuse client 0")
+
+    @pytest.mark.slow
+    def test_every_client_reuses_another_processes_records(self, daemon):
+        """N clients warm disjoint workloads concurrently; then each
+        client reuse-runs a workload warmed by a *different* process, so
+        every averted miss is cross-process by construction."""
+        _, socket_path = daemon
+        n = 3
+
+        warmers = [
+            subprocess.Popen(
+                _client_args("warm", socket_path, index, seed=100 + index),
+                cwd=str(ROOT),
+                env=_env(),
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+            )
+            for index in range(n)
+        ]
+        for index, proc in enumerate(warmers):
+            out, err = proc.communicate(timeout=120)
+            assert proc.returncode == 0, f"warm client {index}: {out}\n{err}"
+            blob = json.loads(out.strip().splitlines()[-1])
+            assert blob["published"] > 0, f"warm client {index}"
+
+        # Workload i's records were published only by warm client i, so
+        # reuse client i picking workload (i + 1) % n never sees its own.
+        reusers = [
+            subprocess.Popen(
+                _client_args(
+                    "reuse", socket_path, (index + 1) % n, seed=200 + index
+                ),
+                cwd=str(ROOT),
+                env=_env(),
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+            )
+            for index in range(n)
+        ]
+        for index, proc in enumerate(reusers):
+            out, err = proc.communicate(timeout=120)
+            assert proc.returncode == 0, f"reuse client {index}: {out}\n{err}"
+            blob = json.loads(out.strip().splitlines()[-1])
+            _assert_reuse_blob(blob, f"reuse client {index}")
+
+
+class TestDaemonDeath:
+    @pytest.mark.slow
+    def test_sigkill_mid_sequence_degrades_cleanly(self, daemon):
+        """SIGKILL the daemon between two reuse runs of one client.
+
+        The client must exit 0 (never an exception), the post-kill run's
+        output must stay identical to cold and to the pre-kill run, and
+        the only trace is ``ric_remote_fallbacks > 0``."""
+        daemon_proc, socket_path = daemon
+        client = subprocess.Popen(
+            _client_args("kill", socket_path, index=0, seed=7),
+            cwd=str(ROOT),
+            env=_env(),
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            line = client.stdout.readline()
+            assert line.strip() == "READY", line
+
+            daemon_proc.kill()
+            daemon_proc.wait(timeout=10)
+
+            client.stdin.write("go\n")
+            client.stdin.flush()
+            out, err = client.communicate(timeout=120)
+        finally:
+            if client.poll() is None:
+                client.kill()
+                client.wait(timeout=10)
+        assert client.returncode == 0, f"client died: {out}\n{err}"
+
+        blob = json.loads(out.strip().splitlines()[-1])
+        alive, dead = blob["alive"], blob["dead"]
+
+        _assert_reuse_blob(alive, "pre-kill run")
+        assert alive["ric_remote_fallbacks"] == 0
+
+        # Degraded, not broken: the write-back fallback store still
+        # preloads the records, output never diverges, and the daemon's
+        # absence shows up only in the fallback counter.
+        assert dead["ric_remote_fallbacks"] > 0
+        assert dead["ric_remote_hits"] == 0
+        assert dead["misses_averted"] > 0
+        assert dead["output"] == dead["cold_output"]
+        assert dead["output"] == alive["output"]
+        assert dead["mode"] == "reuse-ric"

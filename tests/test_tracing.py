@@ -151,6 +151,10 @@ class TestTraceSemantics:
 
     def test_tracing_does_not_change_measurements(self):
         engine = Engine(seed=9)
+        # Warm the in-process code cache so both compared runs see a hit
+        # (bytecode_cache_* counters differ between a cold and warm run
+        # regardless of tracing).
+        engine.run(SOURCE, name="t", seed=1)
         with_tracer = engine.run(SOURCE, name="t", seed=1, tracer=Tracer())
         without = engine.run(SOURCE, name="t", seed=1)
         assert with_tracer.counters.as_dict() == without.counters.as_dict()
