@@ -1,0 +1,167 @@
+"""Governance-overhead benchmark: what does a budget cost when it never fires?
+
+The design constraint on :mod:`repro.core.budget` (INTERNALS §10) is
+that an *armed but never-violated* budget must be almost free: the
+governed dispatch loop pays one local integer compare per dispatch plus
+a full check every ``check_stride`` dispatches.  This harness measures
+that directly — each ``BENCH_interp`` workload runs ungoverned and then
+governed with an effectively unlimited budget at several strides — and
+writes a schema-versioned JSON document (``ric-bench-budget/v1``).
+
+``benchmarks/test_bench_budget.py`` gates the schema and asserts the
+acceptance criterion: < 3% median overhead at the default stride.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_budget.py out/BENCH_budget.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+
+from repro.core.budget import DEFAULT_CHECK_STRIDE, ExecutionBudget
+from repro.core.engine import Engine
+from repro.harness.bench import bench_workloads
+
+SCHEMA = "ric-bench-budget/v1"
+
+#: Strides measured: tiny (worst case), mid, default, extra-large.
+STRIDES = (64, 512, DEFAULT_CHECK_STRIDE, 8192)
+
+
+def _time_run(scripts, name: str, seed: int, budget, iterations: int) -> dict:
+    """Median/min wall-time of ``iterations`` fresh runs, plus dispatches."""
+    times_ms = []
+    dispatches = None
+    engine = Engine(seed=seed)
+    for _ in range(iterations):
+        start = time.perf_counter()
+        profile = engine.run(scripts, name=name, budget=budget)
+        times_ms.append((time.perf_counter() - start) * 1000.0)
+        dispatches = profile.counters.dispatches
+    return {
+        "wall_ms_median": statistics.median(times_ms),
+        "wall_ms_min": min(times_ms),
+        "dispatches": dispatches,
+    }
+
+
+def measure(
+    workload_names=None, iterations: int = 7, seed: int = 1
+) -> dict:
+    """The full governed-vs-ungoverned comparison document."""
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    scripts_by_name = bench_workloads()
+    names = list(workload_names or scripts_by_name)
+    workloads = {}
+    for name in names:
+        scripts = scripts_by_name[name]
+        ungoverned = _time_run(scripts, name, seed, None, iterations)
+        governed = {}
+        for stride in STRIDES:
+            budget = ExecutionBudget(max_steps=10**12, check_stride=stride)
+            blob = _time_run(scripts, name, seed, budget, iterations)
+            # Counter-exactness is part of the contract, not just speed.
+            assert blob["dispatches"] == ungoverned["dispatches"], (
+                f"{name}: governed dispatches diverged at stride {stride}"
+            )
+            blob["overhead_frac"] = (
+                blob["wall_ms_median"] / ungoverned["wall_ms_median"] - 1.0
+                if ungoverned["wall_ms_median"] > 0
+                else 0.0
+            )
+            governed[str(stride)] = blob
+        workloads[name] = {"ungoverned": ungoverned, "governed": governed}
+    overall = _aggregate(workloads)
+    return {
+        "schema": SCHEMA,
+        "config": {
+            "iterations": iterations,
+            "seed": seed,
+            "strides": list(STRIDES),
+            "default_stride": DEFAULT_CHECK_STRIDE,
+        },
+        "workloads": workloads,
+        "overall": overall,
+    }
+
+
+def _aggregate(workloads: dict) -> dict:
+    """Median across workloads of the per-stride overhead fractions."""
+    overall = {}
+    for stride in STRIDES:
+        fractions = [
+            blob["governed"][str(stride)]["overhead_frac"]
+            for blob in workloads.values()
+        ]
+        overall[str(stride)] = {
+            "overhead_frac_median": statistics.median(fractions),
+            "overhead_frac_max": max(fractions),
+        }
+    return overall
+
+
+def validate_document(document: object) -> list[str]:
+    """Structural schema gate; returns a list of problems (empty = valid)."""
+    problems: list[str] = []
+    if not isinstance(document, dict):
+        return ["document is not an object"]
+    if document.get("schema") != SCHEMA:
+        problems.append(
+            f"schema is {document.get('schema')!r}, expected {SCHEMA!r}"
+        )
+    config = document.get("config")
+    if not isinstance(config, dict) or "default_stride" not in config:
+        problems.append("config missing or lacks default_stride")
+    workloads = document.get("workloads")
+    if not isinstance(workloads, dict) or not workloads:
+        problems.append("workloads missing or empty")
+        return problems
+    for name, blob in workloads.items():
+        for side in ("ungoverned", "governed"):
+            if side not in blob:
+                problems.append(f"{name}: missing {side!r}")
+        ungoverned = blob.get("ungoverned", {})
+        for key in ("wall_ms_median", "wall_ms_min", "dispatches"):
+            if not isinstance(ungoverned.get(key), (int, float)):
+                problems.append(f"{name}: ungoverned.{key} not numeric")
+        for stride, gov in blob.get("governed", {}).items():
+            if not isinstance(gov.get("overhead_frac"), (int, float)):
+                problems.append(
+                    f"{name}: governed[{stride}].overhead_frac not numeric"
+                )
+    overall = document.get("overall")
+    if not isinstance(overall, dict) or not overall:
+        problems.append("overall missing or empty")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("output", help="path for the JSON document")
+    parser.add_argument("--iterations", type=int, default=7)
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args(argv)
+    document = measure(iterations=args.iterations, seed=args.seed)
+    with open(args.output, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    default = document["overall"][str(DEFAULT_CHECK_STRIDE)]
+    print(
+        f"bench_budget: median overhead at default stride "
+        f"{DEFAULT_CHECK_STRIDE}: "
+        f"{100 * default['overhead_frac_median']:.2f}% "
+        f"(max {100 * default['overhead_frac_max']:.2f}%)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,34 @@
-"""Core public API: the Engine and its configuration."""
+"""Core public API: the Engine, its configuration, and execution
+governance (budgets, cancellation, and the typed abort taxonomy)."""
 
+from repro.core.budget import BudgetMeter, CancelToken, ExecutionBudget
 from repro.core.config import RICConfig
 from repro.core.engine import Engine, Scripts, WorkloadMeasurement
+from repro.core.errors import (
+    ABORT_CLASSES,
+    BudgetExceeded,
+    Cancelled,
+    DeadlineExceeded,
+    DepthBudgetExceeded,
+    ExecutionAborted,
+    HeapBudgetExceeded,
+    StepBudgetExceeded,
+)
 
-__all__ = ["Engine", "RICConfig", "Scripts", "WorkloadMeasurement"]
+__all__ = [
+    "ABORT_CLASSES",
+    "BudgetExceeded",
+    "BudgetMeter",
+    "CancelToken",
+    "Cancelled",
+    "DeadlineExceeded",
+    "DepthBudgetExceeded",
+    "Engine",
+    "ExecutionAborted",
+    "ExecutionBudget",
+    "HeapBudgetExceeded",
+    "RICConfig",
+    "Scripts",
+    "StepBudgetExceeded",
+    "WorkloadMeasurement",
+]

@@ -57,6 +57,26 @@ class RICConfig:
     * ``remote_retry_s`` — circuit-breaker hold-off after a transport
       failure; until it elapses every request goes straight to the
       local fallback.
+    * ``remote_retries`` — transient transport failures absorbed per
+      request (with jittered backoff) before the failure surfaces and
+      the circuit breaker opens.
+    * ``remote_backoff_s`` — base of the jittered exponential backoff
+      between those retries.
+    * ``remote_deadline_s`` — overall per-request deadline across all
+      retry attempts; the retry budget never extends a request past it.
+
+    Execution-governance knobs (defaults for runs on this engine; an
+    explicit ``budget=`` passed to ``Engine.run`` wins.  ``None``
+    disables a dimension — the all-``None`` default is ungoverned and
+    pays zero dispatch-loop overhead):
+
+    * ``max_steps`` — dispatch-step ceiling per run.
+    * ``max_heap_bytes`` / ``max_heap_objects`` — simulated-heap
+      ceilings per run.
+    * ``max_frame_depth`` — guest call-depth ceiling per run.
+    * ``deadline_ms`` — wall-clock allowance per run.
+    * ``budget_check_stride`` — dispatches between governance checks
+      (amortization stride; see ``repro.core.budget``).
     """
 
     enable_linking: bool = True
@@ -69,3 +89,35 @@ class RICConfig:
     remote_socket: str | None = None
     remote_timeout_s: float = 0.5
     remote_retry_s: float = 1.0
+    remote_retries: int = 1
+    remote_backoff_s: float = 0.05
+    remote_deadline_s: float = 2.0
+    max_steps: int | None = None
+    max_heap_bytes: int | None = None
+    max_heap_objects: int | None = None
+    max_frame_depth: int | None = None
+    deadline_ms: float | None = None
+    budget_check_stride: int | None = None
+
+    def execution_budget(self):
+        """The :class:`~repro.core.budget.ExecutionBudget` these knobs
+        describe, or ``None`` when every dimension is unlimited (so the
+        VM keeps its zero-overhead ungoverned loop)."""
+        if (
+            self.max_steps is None
+            and self.max_heap_bytes is None
+            and self.max_heap_objects is None
+            and self.max_frame_depth is None
+            and self.deadline_ms is None
+        ):
+            return None
+        from repro.core.budget import DEFAULT_CHECK_STRIDE, ExecutionBudget
+
+        return ExecutionBudget(
+            max_steps=self.max_steps,
+            max_heap_bytes=self.max_heap_bytes,
+            max_heap_objects=self.max_heap_objects,
+            max_frame_depth=self.max_frame_depth,
+            deadline_ms=self.deadline_ms,
+            check_stride=self.budget_check_stride or DEFAULT_CHECK_STRIDE,
+        )

@@ -31,7 +31,9 @@ import typing
 from repro.bytecode.cache import CodeCache, source_hash
 from repro.bytecode.code import CodeObject
 from repro.bytecode.compiler import compile_source
+from repro.core.budget import CancelToken, ExecutionBudget
 from repro.core.config import RICConfig
+from repro.core.errors import ExecutionAborted
 from repro.ic.icvector import FeedbackState
 from repro.ic.miss import ICRuntime
 from repro.interpreter.vm import VM
@@ -74,6 +76,9 @@ class Engine:
                 self.config.remote_socket,
                 timeout_s=self.config.remote_timeout_s,
                 retry_after_s=self.config.remote_retry_s,
+                retries=self.config.remote_retries,
+                backoff_s=self.config.remote_backoff_s,
+                request_deadline_s=self.config.remote_deadline_s,
             )
         self.record_store = record_store
         # Every execution gets a distinct sub-seed, so heap addresses differ
@@ -116,6 +121,8 @@ class Engine:
         time_source: typing.Callable[[], float] | None = None,
         tracer=None,
         use_store: bool = False,
+        budget: ExecutionBudget | None = None,
+        cancel_token: CancelToken | None = None,
     ) -> RunProfile:
         """Execute a workload in a fresh runtime and measure it.
 
@@ -132,6 +139,18 @@ class Engine:
         workload's per-script records from :attr:`record_store`; a
         daemon-backed store's hit/miss/fallback traffic for the fetch
         lands in the run's ``ric_remote_*`` counters.
+
+        ``budget`` (default: the config's governance knobs, usually
+        unlimited) and ``cancel_token`` make this a *governed* run: a
+        runaway program is stopped with a typed
+        :class:`~repro.core.errors.ExecutionAborted` subclass instead of
+        hanging the engine.  The abort is clean — heap and IC state stay
+        consistent, the run's ``budget_aborts_*`` counter is set, the
+        partial :class:`RunProfile` rides on the exception as
+        ``error.profile``, and the completed-warmup portion of the run
+        remains extractable via :meth:`extract_icrecord` /
+        :meth:`extract_per_script_records`.  The engine itself stays
+        fully usable for subsequent runs.
         """
         if isinstance(scripts, str):
             scripts = [("<script>", scripts)]
@@ -214,6 +233,19 @@ class Engine:
                 # record, each in its own HCID namespace.
                 reuse_session = MultiReuseSession(sessions)
 
+        if budget is None:
+            budget = self.config.execution_budget()
+
+        # Extraction state points at this run from here on, even if the
+        # run aborts: the IC information built during completed warmup is
+        # valid (abort points are dispatch boundaries — heap, hidden
+        # classes and feedback vectors are never left mid-transition), so
+        # an interrupted Initial run still yields a usable partial record.
+        self._last_runtime = runtime
+        self._last_feedback = feedback
+        self._last_script_keys = script_keys
+        self._last_scripts = [(filename, source) for filename, source in scripts]
+
         start = time.perf_counter()
         install_builtins(runtime)
         ic_runtime = ICRuntime(runtime, counters, reuse_session, tracer=tracer)
@@ -224,17 +256,35 @@ class Engine:
             feedback,
             time_source=time_source,
             fastpaths=self.config.interp_fastpaths,
+            budget=budget,
+            cancel_token=cancel_token,
         )
-        for code in compiled:
-            # Uncaught guest exceptions surface from run_code as
-            # JSLRuntimeError with a guest stack trace attached.
-            vm.run_code(code)
+        try:
+            for code in compiled:
+                # Uncaught guest exceptions surface from run_code as
+                # JSLRuntimeError with a guest stack trace attached.
+                vm.run_code(code)
+        except ExecutionAborted as aborted:
+            counters.record_abort(aborted.reason)
+            counters.bytecode_cache_hits = (
+                self.code_cache.hits - cache_hits_before
+            )
+            counters.bytecode_cache_misses = (
+                self.code_cache.misses - cache_misses_before
+            )
+            aborted.profile = RunProfile(
+                name=name,
+                mode=mode + "-aborted",
+                counters=counters,
+                wall_time_ms=(time.perf_counter() - start) * 1000.0,
+                heap_bytes=runtime.heap.bytes_allocated,
+                console_output=list(runtime.console_output),
+                scripts=script_keys,
+                code_cache_hits=self.code_cache.hits - cache_hits_before,
+                code_cache_misses=self.code_cache.misses - cache_misses_before,
+            )
+            raise
         wall_time_ms = (time.perf_counter() - start) * 1000.0
-
-        self._last_runtime = runtime
-        self._last_feedback = feedback
-        self._last_script_keys = script_keys
-        self._last_scripts = [(filename, source) for filename, source in scripts]
 
         counters.bytecode_cache_hits = self.code_cache.hits - cache_hits_before
         counters.bytecode_cache_misses = self.code_cache.misses - cache_misses_before

@@ -1,0 +1,94 @@
+"""Typed abort taxonomy for governed executions.
+
+A governed run (one with an :class:`~repro.core.budget.ExecutionBudget`
+or a :class:`~repro.core.budget.CancelToken`) can be stopped by the VM
+mid-dispatch.  Those stops are *host* decisions, not guest errors: they
+must never be catchable by guest ``try``/``catch`` (a runaway program
+could otherwise swallow its own termination), so none of these types
+descend from the guest-visible :class:`~repro.lang.errors.JSLError`
+hierarchy or from the in-flight :class:`~repro.interpreter.frames.GuestThrow`.
+
+The taxonomy is one abstract root with one concrete class per failure
+class, each carrying a stable ``reason`` tag that maps 1:1 onto the
+``budget_aborts_<reason>`` counters and onto ``ric-run`` exit codes:
+
+* :class:`StepBudgetExceeded` — ``reason="steps"``: dispatch-step budget.
+* :class:`HeapBudgetExceeded` — ``reason="heap"``: heap bytes/objects.
+* :class:`DepthBudgetExceeded` — ``reason="depth"``: frame-depth budget.
+* :class:`DeadlineExceeded` — ``reason="deadline"``: wall-clock deadline.
+* :class:`Cancelled` — ``reason="cancelled"``: cooperative cancellation.
+
+``Engine.run`` catches :class:`ExecutionAborted`, counts the abort,
+attaches the partial :class:`~repro.stats.profile.RunProfile` as
+``error.profile`` (so callers can inspect counters of the interrupted
+run), and re-raises.  The engine itself stays usable: the next ``run``
+on the same engine behaves normally.
+"""
+
+from __future__ import annotations
+
+
+class ExecutionAborted(Exception):
+    """Abstract root: a governed execution was stopped by the host.
+
+    ``reason`` is a stable machine-readable tag; subclasses override it.
+    ``profile`` is attached by ``Engine.run`` before re-raising.
+    """
+
+    reason = "aborted"
+
+    def __init__(self, message: str):
+        super().__init__(message)
+        self.message = message
+        #: Partial RunProfile of the interrupted run (set by Engine.run).
+        self.profile = None
+
+
+class Cancelled(ExecutionAborted):
+    """The run's :class:`~repro.core.budget.CancelToken` was triggered."""
+
+    reason = "cancelled"
+
+
+class BudgetExceeded(ExecutionAborted):
+    """Abstract: some dimension of the ExecutionBudget ran out."""
+
+    reason = "budget"
+
+
+class StepBudgetExceeded(BudgetExceeded):
+    """The run dispatched more bytecodes than ``max_steps`` allows."""
+
+    reason = "steps"
+
+
+class HeapBudgetExceeded(BudgetExceeded):
+    """The simulated heap grew past ``max_heap_bytes``/``max_heap_objects``."""
+
+    reason = "heap"
+
+
+class DepthBudgetExceeded(BudgetExceeded):
+    """A guest call would exceed ``max_frame_depth`` frames."""
+
+    reason = "depth"
+
+
+class DeadlineExceeded(BudgetExceeded):
+    """The run's wall-clock deadline (``deadline_ms``) passed."""
+
+    reason = "deadline"
+
+
+#: reason tag -> exception class (one entry per concrete abort class;
+#: the chaos suite iterates this).
+ABORT_CLASSES: dict[str, type] = {
+    cls.reason: cls
+    for cls in (
+        StepBudgetExceeded,
+        HeapBudgetExceeded,
+        DepthBudgetExceeded,
+        DeadlineExceeded,
+        Cancelled,
+    )
+}

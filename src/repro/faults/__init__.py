@@ -7,6 +7,13 @@ degradation in its counters.  ``tests/test_faults.py`` asserts exactly
 that, using these injectors and :class:`FaultyRecordStore`.
 """
 
+from repro.faults.budget_faults import (
+    BUDGET_FAULTS,
+    BudgetFault,
+    alloc_bomb,
+    deep_recursion,
+    runaway_loop,
+)
 from repro.faults.faulty_store import FaultyRecordStore
 from repro.faults.socket_faults import SOCKET_FAULTS, FlakySocketProxy
 from repro.faults.injectors import (
@@ -23,8 +30,13 @@ from repro.faults.injectors import (
 )
 
 __all__ = [
+    "BUDGET_FAULTS",
+    "BudgetFault",
     "FAULTS",
     "FaultyRecordStore",
+    "alloc_bomb",
+    "deep_recursion",
+    "runaway_loop",
     "FlakySocketProxy",
     "Injector",
     "SOCKET_FAULTS",

@@ -1,0 +1,124 @@
+"""Runaway-program generators for the execution-governance chaos suite.
+
+The governance contract of :mod:`repro.core.budget` is falsifiable the
+same way the persistence contract is: for *every* runaway class here, a
+budgeted run must terminate with the right typed
+:class:`~repro.core.errors.ExecutionAborted` subclass, bump exactly the
+matching ``budget_aborts_*`` counter, and leave the engine fully usable
+for the next run.  ``tests/test_budget.py`` asserts exactly that.
+
+Each fault is a *program generator* (jsl source text) plus the budget
+that should stop it and the abort class it must produce.  The programs
+are deliberately open-ended — an unbudgeted engine would spin on them
+for a very long time — so the generators also accept a bound for the
+rare test that wants a terminating variant.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass, field
+
+from repro.core.errors import (
+    DeadlineExceeded,
+    DepthBudgetExceeded,
+    ExecutionAborted,
+    HeapBudgetExceeded,
+    StepBudgetExceeded,
+)
+
+
+def runaway_loop(iterations: int | None = None) -> str:
+    """A tight counting loop: unbounded dispatch, no allocation."""
+    bound = "true" if iterations is None else f"i < {iterations}"
+    return f"var i = 0;\nwhile ({bound}) {{ i = i + 1; }}\n"
+
+
+def alloc_bomb(iterations: int | None = None) -> str:
+    """An allocation storm: every iteration creates fresh objects whose
+    properties force hidden-class transitions and heap growth."""
+    bound = "true" if iterations is None else f"i < {iterations}"
+    return (
+        "var i = 0;\n"
+        "var keep = [];\n"
+        f"while ({bound}) {{\n"
+        "  var box = {a: i, b: i + 1, c: i + 2};\n"
+        "  keep[i % 1024] = [box, {d: box}];\n"
+        "  i = i + 1;\n"
+        "}\n"
+    )
+
+
+def deep_recursion(depth: int | None = None) -> str:
+    """Unbounded self-recursion: each call pushes a frame (and would hit
+    the VM's own MAX_CALL_DEPTH RangeError if the budget didn't fire
+    first — the chaos suite budgets *below* that ceiling)."""
+    bound = "true" if depth is None else f"n < {depth}"
+    return (
+        "function dive(n) {\n"
+        f"  if ({bound}) {{ return dive(n + 1); }}\n"
+        "  return n;\n"
+        "}\n"
+        "dive(0);\n"
+    )
+
+
+@dataclass(frozen=True)
+class BudgetFault:
+    """One runaway class: the program, the budget that stops it, and the
+    abort the governance layer must produce."""
+
+    name: str
+    source: typing.Callable[[], str]
+    #: kwargs for :class:`~repro.core.budget.ExecutionBudget`.
+    budget_kwargs: dict = field(default_factory=dict)
+    expected: type[ExecutionAborted] = ExecutionAborted
+    #: The ``budget_aborts_*`` counter this abort must bump.
+    counter: str = ""
+
+
+#: The chaos matrix: every runaway class, every governance dimension.
+BUDGET_FAULTS: list[BudgetFault] = [
+    BudgetFault(
+        name="runaway-loop-steps",
+        source=runaway_loop,
+        budget_kwargs={"max_steps": 50_000},
+        expected=StepBudgetExceeded,
+        counter="budget_aborts_steps",
+    ),
+    BudgetFault(
+        name="runaway-loop-deadline",
+        source=runaway_loop,
+        budget_kwargs={"deadline_ms": 80.0, "check_stride": 512},
+        expected=DeadlineExceeded,
+        counter="budget_aborts_deadline",
+    ),
+    BudgetFault(
+        name="alloc-bomb-heap-bytes",
+        source=alloc_bomb,
+        budget_kwargs={"max_heap_bytes": 4_000_000, "check_stride": 256},
+        expected=HeapBudgetExceeded,
+        counter="budget_aborts_heap",
+    ),
+    BudgetFault(
+        name="alloc-bomb-heap-objects",
+        source=alloc_bomb,
+        budget_kwargs={"max_heap_objects": 20_000, "check_stride": 256},
+        expected=HeapBudgetExceeded,
+        counter="budget_aborts_heap",
+    ),
+    BudgetFault(
+        name="deep-recursion-depth",
+        source=deep_recursion,
+        budget_kwargs={"max_frame_depth": 64},
+        expected=DepthBudgetExceeded,
+        counter="budget_aborts_depth",
+    ),
+    BudgetFault(
+        name="alloc-bomb-steps",
+        source=alloc_bomb,
+        budget_kwargs={"max_steps": 50_000},
+        expected=StepBudgetExceeded,
+        counter="budget_aborts_steps",
+    ),
+]

@@ -16,7 +16,20 @@ Examples::
     ric-run --trace lib.jsl                  # print the IC event trace
     ric-run --disassemble lib.jsl            # show bytecode, don't run
     ric-run --bench-json BENCH_interp.json   # cold-vs-reuse perf baseline
+    ric-run --max-steps 1000000 loop.jsl     # governed run (exit 5 on abort)
     ric-run                                  # REPL
+
+Exit codes (one per failure class, so wrappers and CI can react without
+parsing stderr; documented in the README):
+
+* 0 — success
+* 1 — internal error (a bug in ric-run itself)
+* 2 — usage error: bad flags, missing input file
+* 3 — parse/compile error in a jsl source
+* 4 — guest runtime error (uncaught throw, type error, ...)
+* 5 — execution budget exceeded (steps/heap/depth/deadline)
+* 6 — run cancelled via a cancel token
+* 7 — record store unavailable (with ``--require-store``)
 """
 
 from __future__ import annotations
@@ -27,11 +40,22 @@ from pathlib import Path
 
 from repro.bytecode.compiler import compile_source
 from repro.bytecode.disasm import disassemble
+from repro.core.budget import ExecutionBudget
 from repro.core.engine import Engine
-from repro.lang.errors import JSLError
+from repro.core.errors import Cancelled, ExecutionAborted
+from repro.lang.errors import JSLCompileError, JSLError, JSLSyntaxError
 from repro.ric.errors import CorruptRecord
 from repro.ric.serialize import save_icrecord, try_load_icrecord
 from repro.stats.tracing import Tracer
+
+EXIT_OK = 0
+EXIT_INTERNAL = 1
+EXIT_USAGE = 2
+EXIT_PARSE = 3
+EXIT_RUNTIME = 4
+EXIT_BUDGET = 5
+EXIT_CANCELLED = 6
+EXIT_STORE_UNAVAILABLE = 7
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -85,6 +109,70 @@ def main(argv: list[str] | None = None) -> int:
         default=5,
         help="wall-time repetitions per workload for --bench-json",
     )
+    governance = parser.add_argument_group(
+        "execution governance (any flag arms the budget; exit 5 on abort)"
+    )
+    governance.add_argument(
+        "--max-steps",
+        type=int,
+        default=None,
+        metavar="N",
+        help="abort after N dispatch steps",
+    )
+    governance.add_argument(
+        "--max-heap-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="abort when the simulated heap exceeds N bytes",
+    )
+    governance.add_argument(
+        "--max-heap-objects",
+        type=int,
+        default=None,
+        metavar="N",
+        help="abort after N heap allocations",
+    )
+    governance.add_argument(
+        "--max-depth",
+        type=int,
+        default=None,
+        metavar="N",
+        help="abort when guest call depth reaches N frames",
+    )
+    governance.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="abort after MS milliseconds of wall clock",
+    )
+    parser.add_argument(
+        "--require-store",
+        action="store_true",
+        help="with --remote-store: exit 7 if the daemon doesn't answer "
+        "a PING, instead of silently falling back to the local store",
+    )
+    parser.add_argument(
+        "--sweep-quarantine",
+        action="store_true",
+        help="with --store-dir: delete old/excess quarantined *.corrupt "
+        "entries (see --quarantine-max-age/--quarantine-max-count)",
+    )
+    parser.add_argument(
+        "--quarantine-max-age",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="sweep quarantined entries older than SECONDS",
+    )
+    parser.add_argument(
+        "--quarantine-max-count",
+        type=int,
+        default=None,
+        metavar="N",
+        help="sweep the oldest quarantined entries beyond the newest N",
+    )
     args = parser.parse_args(argv)
 
     if args.bench_json:
@@ -96,17 +184,45 @@ def main(argv: list[str] | None = None) -> int:
 
         store = make_record_store(args.remote_store, directory=args.store_dir)
 
+    if args.require_store and args.remote_store:
+        if not store.ping():
+            print(
+                f"ric-run: record store unavailable: {args.remote_store}",
+                file=sys.stderr,
+            )
+            return EXIT_STORE_UNAVAILABLE
+
+    if args.sweep_quarantine:
+        local = getattr(store, "fallback", store)
+        if local is None or getattr(local, "sweep_quarantine", None) is None:
+            print(
+                "ric-run: --sweep-quarantine needs --store-dir",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        summary = local.sweep_quarantine(
+            max_age_s=args.quarantine_max_age,
+            max_count=args.quarantine_max_count,
+        )
+        print(
+            f"ric-run: quarantine sweep: removed {summary['swept']}, "
+            f"kept {summary['kept']}",
+            file=sys.stderr,
+        )
+        if not args.files and not args.store_status:
+            return EXIT_OK
+
     if args.store_status:
         if store is None:
             print(
                 "ric-run: --store-status needs --store-dir and/or --remote-store",
                 file=sys.stderr,
             )
-            return 2
+            return EXIT_USAGE
         import json
 
         print(json.dumps(store.status(), indent=2, sort_keys=True))
-        return 0
+        return EXIT_OK
 
     if not args.files:
         return _repl(args)
@@ -116,7 +232,7 @@ def main(argv: list[str] | None = None) -> int:
         path = Path(filename)
         if not path.exists():
             print(f"ric-run: no such file: {filename}", file=sys.stderr)
-            return 2
+            return EXIT_USAGE
         scripts.append((path.name, path.read_text()))
 
     if args.disassemble:
@@ -125,9 +241,29 @@ def main(argv: list[str] | None = None) -> int:
                 code = compile_source(source, filename)
             except JSLError as error:
                 print(f"ric-run: {error}", file=sys.stderr)
-                return 1
+                return EXIT_PARSE
             print(disassemble(code, recursive=True))
-        return 0
+        return EXIT_OK
+
+    budget = None
+    if (
+        args.max_steps is not None
+        or args.max_heap_bytes is not None
+        or args.max_heap_objects is not None
+        or args.max_depth is not None
+        or args.deadline_ms is not None
+    ):
+        try:
+            budget = ExecutionBudget(
+                max_steps=args.max_steps,
+                max_heap_bytes=args.max_heap_bytes,
+                max_heap_objects=args.max_heap_objects,
+                max_frame_depth=args.max_depth,
+                deadline_ms=args.deadline_ms,
+            )
+        except ValueError as error:
+            print(f"ric-run: {error}", file=sys.stderr)
+            return EXIT_USAGE
 
     engine = Engine(
         seed=args.seed,
@@ -154,10 +290,23 @@ def main(argv: list[str] | None = None) -> int:
             icrecord=record,
             tracer=tracer,
             use_store=store is not None and record is None,
+            budget=budget,
         )
+    except (JSLSyntaxError, JSLCompileError) as error:
+        print(f"ric-run: {error}", file=sys.stderr)
+        return EXIT_PARSE
     except JSLError as error:
         print(f"ric-run: {error}", file=sys.stderr)
-        return 1
+        return EXIT_RUNTIME
+    except ExecutionAborted as aborted:
+        # The run was terminated by governance, not by the guest.  Output
+        # produced before the abort still prints (partial runs are real
+        # runs), then the reason-specific exit code.
+        if aborted.profile is not None:
+            for line in aborted.profile.console_output:
+                print(line)
+        print(f"ric-run: aborted ({aborted.reason}): {aborted}", file=sys.stderr)
+        return EXIT_CANCELLED if isinstance(aborted, Cancelled) else EXIT_BUDGET
 
     for line in profile.console_output:
         print(line)
@@ -195,6 +344,12 @@ def main(argv: list[str] | None = None) -> int:
             f"{counters.ric_remote_misses} misses, "
             f"{counters.ric_remote_fallbacks} fallbacks, "
             f"{counters.ric_remote_evictions} evictions\n"
+            f"budget aborts:      {counters.budget_aborts_total} "
+            f"(steps {counters.budget_aborts_steps}, "
+            f"heap {counters.budget_aborts_heap}, "
+            f"depth {counters.budget_aborts_depth}, "
+            f"deadline {counters.budget_aborts_deadline}, "
+            f"cancelled {counters.budget_aborts_cancelled})\n"
             f"wall time:          {profile.wall_time_ms:.2f} ms",
             file=sys.stderr,
         )

@@ -15,8 +15,18 @@ Two-terminal demo::
     ric-run --remote-store /tmp/ricd.sock --stats lib.jsl
     ric-run --remote-store /tmp/ricd.sock --stats lib.jsl
 
-Runs in the foreground until SIGINT/SIGTERM; ``--stat-interval`` logs
-cache statistics periodically to stderr.
+Lifecycle (INTERNALS §10):
+
+* **SIGTERM** → graceful drain: stop accepting, finish in-flight
+  requests, flush nothing (write-through is synchronous), exit 0.  A
+  drain that deadline-cuts stragglers (``--drain-timeout``) exits 1.
+* **SIGINT** → immediate stop (Ctrl-C is an operator at a terminal, not
+  an orchestrator's shutdown request).
+* ``--supervise`` → run the daemon as a *supervised child*: crashes are
+  restarted with jittered exponential backoff, a restart storm trips a
+  circuit breaker, and a clean (drained) exit ends supervision.
+
+``--stat-interval`` logs cache statistics periodically to stderr.
 """
 
 from __future__ import annotations
@@ -28,9 +38,10 @@ import sys
 import threading
 
 from repro.server.daemon import RecordCacheDaemon
+from repro.server.supervisor import EXIT_STORM, Supervisor
 
 
-def main(argv: list[str] | None = None) -> int:
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="ric-serve", description=__doc__)
     parser.add_argument(
         "--socket",
@@ -63,29 +74,67 @@ def main(argv: list[str] | None = None) -> int:
         metavar="SECONDS",
         help="log cache stats to stderr every SECONDS (0 = off)",
     )
-    args = parser.parse_args(argv)
+    parser.add_argument(
+        "--read-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-connection read deadline (default: 30s)",
+    )
+    parser.add_argument(
+        "--write-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-connection write deadline (default: 30s)",
+    )
+    parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="max wait for in-flight requests during SIGTERM drain",
+    )
+    parser.add_argument(
+        "--supervise",
+        action="store_true",
+        help="run the daemon as a supervised child: restart on crash "
+        "with backoff, give up on a restart storm",
+    )
+    return parser
 
-    if args.max_records < 1 or args.max_bytes < 1:
-        print("ric-serve: bounds must be >= 1", file=sys.stderr)
-        return 2
 
+def _serve(args: argparse.Namespace) -> int:
     daemon = RecordCacheDaemon(
         args.socket,
         directory=args.dir,
         max_records=args.max_records,
         max_bytes=args.max_bytes,
+        read_timeout_s=args.read_timeout,
+        write_timeout_s=args.write_timeout,
     )
 
     stop = threading.Event()
+    #: Filled by the drain thread; read after serve_forever returns.
+    outcome: dict = {"drained": True}
 
-    def shutdown(signum, frame) -> None:
+    def hard_stop(signum, frame) -> None:
         stop.set()
         # server.shutdown() blocks until serve_forever() exits; the signal
         # handler runs *on* the serve_forever thread, so stop elsewhere.
         threading.Thread(target=daemon.stop, daemon=True).start()
 
-    signal.signal(signal.SIGINT, shutdown)
-    signal.signal(signal.SIGTERM, shutdown)
+    def graceful_drain(signum, frame) -> None:
+        stop.set()
+
+        def run_drain() -> None:
+            outcome["drained"] = daemon.drain(timeout_s=args.drain_timeout)
+
+        outcome["thread"] = thread = threading.Thread(target=run_drain)
+        thread.start()
+
+    signal.signal(signal.SIGINT, hard_stop)
+    signal.signal(signal.SIGTERM, graceful_drain)
 
     if args.stat_interval > 0:
 
@@ -107,7 +156,54 @@ def main(argv: list[str] | None = None) -> int:
     except OSError as exc:
         print(f"ric-serve: {exc}", file=sys.stderr)
         return 1
+    # serve_forever returned: either a hard stop or a drain's shutdown()
+    # call.  Wait for the drain to finish its in-flight accounting before
+    # deciding the exit code — a fully drained SIGTERM must exit 0.
+    drain_thread = outcome.get("thread")
+    if drain_thread is not None:
+        drain_thread.join()
+        if not outcome["drained"]:
+            print(
+                "ric-serve: drain deadline cut in-flight requests",
+                file=sys.stderr,
+            )
+            return 1
+        print("ric-serve: drained cleanly", file=sys.stderr)
     return 0
+
+
+def _supervise(argv: list[str]) -> int:
+    """Run ``ric-serve`` (minus ``--supervise``) as a supervised child."""
+    child_argv = [a for a in argv if a != "--supervise"]
+    command = [sys.executable, "-m", "repro.harness.serve_cli", *child_argv]
+    supervisor = Supervisor(command)
+
+    def forward(signum, frame) -> None:
+        # request_stop terminates the child with SIGTERM, which drains it.
+        supervisor.request_stop()
+
+    signal.signal(signal.SIGINT, forward)
+    signal.signal(signal.SIGTERM, forward)
+    outcome = supervisor.run()
+    if outcome == EXIT_STORM:
+        print(
+            "ric-serve: restart storm — supervision giving up",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    args = _build_parser().parse_args(argv)
+    if args.max_records < 1 or args.max_bytes < 1:
+        print("ric-serve: bounds must be >= 1", file=sys.stderr)
+        return 2
+    if args.supervise:
+        return _supervise(list(argv))
+    return _serve(args)
 
 
 if __name__ == "__main__":

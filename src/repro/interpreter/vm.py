@@ -28,6 +28,22 @@ Guest instruction accounting: each dispatched bytecode charges
 (allocation, natives, IC misses) is charged where it happens.  The raw
 dispatch count is also recorded in ``Counters.dispatches`` for the
 benchmark baseline.
+
+**Execution governance**: a VM built with an
+:class:`~repro.core.budget.ExecutionBudget` and/or a
+:class:`~repro.core.budget.CancelToken` runs a *governed* twin of the
+dispatch loop (``_execute_governed``) that performs the full governance
+check — cancellation, step/heap budgets, wall-clock deadline — every
+``check_stride`` dispatches, paying one local integer compare per
+dispatch and the real check only at stride boundaries.  The frame-depth
+budget is enforced eagerly in :meth:`VM.call_function`, where a depth
+comparison already exists.  An ungoverned VM (the default) uses the
+original loop untouched — zero overhead.  Governance aborts raise the
+:class:`~repro.core.errors.ExecutionAborted` taxonomy, which descends
+from neither ``GuestThrow`` nor ``JSLError`` and is therefore invisible
+to guest ``try``/``catch`` — a runaway program cannot swallow its own
+termination.  Counter accounting (dispatch counts, instruction charges)
+is identical between the two loops, including on the abort path.
 """
 
 from __future__ import annotations
@@ -37,6 +53,8 @@ import typing
 
 from repro.bytecode.code import CodeObject
 from repro.bytecode.opcodes import BinOp, Op, UnOp
+from repro.core.budget import BudgetMeter, CancelToken, ExecutionBudget
+from repro.core.errors import DepthBudgetExceeded
 from repro.ic.handlers import MISS
 from repro.ic.icvector import FeedbackState
 from repro.ic.miss import ICRuntime
@@ -94,6 +112,8 @@ class VM:
         feedback: FeedbackState,
         time_source: typing.Callable[[], float] | None = None,
         fastpaths: bool = True,
+        budget: ExecutionBudget | None = None,
+        cancel_token: CancelToken | None = None,
     ):
         self.runtime = runtime
         self.counters = counters
@@ -105,6 +125,15 @@ class VM:
         self._dispatch = self._build_dispatch_table()
         #: id(code) -> threaded instruction list for this VM.
         self._threaded_cache: dict[int, list] = {}
+        #: Governance state: a BudgetMeter when this VM is governed (the
+        #: deadline arms here, at VM construction = run start), else None
+        #: and the original zero-overhead dispatch loop runs.
+        self._meter: BudgetMeter | None = None
+        self._depth_budget: int | None = None
+        if budget is not None or cancel_token is not None:
+            self._meter = BudgetMeter(budget, cancel_token, runtime.heap)
+            if budget is not None:
+                self._depth_budget = budget.max_frame_depth
 
     # -- dispatch table construction --------------------------------------------
 
@@ -181,6 +210,14 @@ class VM:
         code = fn.code
         assert code is not None
         self.counters.charge(CATEGORY_EXECUTE, cost.CALL_SETUP)
+        # Depth governance fires before the guest RangeError so a budget
+        # tighter than MAX_CALL_DEPTH is a hard (uncatchable) stop; a
+        # looser one never fires and guest semantics are unchanged.
+        if self._depth_budget is not None and self._call_depth >= self._depth_budget:
+            raise DepthBudgetExceeded(
+                f"frame-depth budget exceeded: depth {self._call_depth} "
+                f">= {self._depth_budget}"
+            )
         if self._call_depth >= MAX_CALL_DEPTH:
             raise GuestThrow("RangeError: maximum call stack size exceeded")
         env = Environment(code.num_locals, parent=fn.env)  # type: ignore[arg-type]
@@ -302,6 +339,8 @@ class VM:
     # -- the dispatch loop -------------------------------------------------------
 
     def _execute(self, frame: Frame) -> object:
+        if self._meter is not None:
+            return self._execute_governed(frame)
         code = frame.code
         threaded = self._threaded(code)
         counters = self.counters
@@ -356,6 +395,81 @@ class VM:
         finally:
             counters.dispatches += dispatched
             counters.charge(CATEGORY_EXECUTE, cost.DISPATCH * dispatched)
+
+    def _execute_governed(self, frame: Frame) -> object:
+        """The dispatch loop's governed twin (see module docstring).
+
+        Identical to :meth:`_execute` except for the stride bookkeeping:
+        every ``meter.stride`` dispatches the frame credits a full stride
+        to the meter and runs the governance check (which may raise a
+        typed abort).  The remainder below a stride boundary is credited
+        quietly at frame exit, so ``meter.steps_used`` is exact across
+        nested frames.  Counter accounting (``dispatches``, DISPATCH
+        charges) matches the ungoverned loop bytecode-for-bytecode.
+        """
+        code = frame.code
+        threaded = self._threaded(code)
+        counters = self.counters
+        meter = self._meter
+        assert meter is not None
+        stride = meter.stride
+
+        pc = 0
+        dispatched = 0  # batched DISPATCH charges
+        next_check = stride  # dispatch count that triggers the next check
+        flushed = 0  # steps already credited to the meter
+
+        try:
+            while True:
+                handler, a, b = threaded[pc]
+                dispatched += 1
+                if dispatched >= next_check:
+                    next_check = dispatched + stride
+                    flushed += stride
+                    meter.note_steps(stride)
+                try:
+                    pc = handler(frame, a, b, pc + 1)
+                    if pc < 0:
+                        return frame.return_value
+                except GuestThrow as thrown:
+                    if not frame.try_stack:
+                        if thrown.position is None:
+                            thrown.position = code.position_at(pc)
+                        thrown.trace.append(
+                            f"at {code.name} ({code.position_at(pc)})"
+                        )
+                        raise
+                    target, depth = frame.try_stack.pop()
+                    stack = frame.stack
+                    del stack[depth:]
+                    stack.append(thrown.value)
+                    pc = target
+                except JSLRuntimeError as error:
+                    if not frame.try_stack:
+                        if error.position is None:
+                            error.position = code.position_at(pc)
+                        if not hasattr(error, "guest_trace"):
+                            error.guest_trace = []  # type: ignore[attr-defined]
+                        error.guest_trace.append(  # type: ignore[attr-defined]
+                            f"at {code.name} ({code.position_at(pc)})"
+                        )
+                        raise
+                    target, depth = frame.try_stack.pop()
+                    stack = frame.stack
+                    del stack[depth:]
+                    name = type(error).__name__
+                    if name.startswith("JSL"):
+                        name = name[3:]
+                    if name == "RuntimeError":
+                        name = "Error"
+                    stack.append(self._make_guest_error(name, error.message))
+                    pc = target
+        finally:
+            counters.dispatches += dispatched
+            counters.charge(CATEGORY_EXECUTE, cost.DISPATCH * dispatched)
+            # Quiet credit: checking here could raise while another
+            # exception is already unwinding and mask it.
+            meter.note_steps_quiet(dispatched - flushed)
 
     # -- dispatch handlers -------------------------------------------------------
     #

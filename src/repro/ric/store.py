@@ -250,6 +250,9 @@ class RecordStore:
         #: (filename, error message) for every on-disk entry that failed to
         #: load — the degradation signal tests and reporting consume.
         self.load_errors: list[tuple[str, str]] = []
+        #: Quarantined files removed by :meth:`sweep_quarantine` over this
+        #: store's lifetime.
+        self.quarantine_swept = 0
         if self._directory is not None:
             self._directory.mkdir(parents=True, exist_ok=True)
             self._load_directory()
@@ -314,9 +317,57 @@ class RecordStore:
             "records": len(self._entries),
             "bytes": sum(self._sizes.values()),
             "quarantined": quarantined,
+            "quarantine_swept": self.quarantine_swept,
             "load_errors": len(self.load_errors),
             "directory": str(self._directory) if self._directory else None,
         }
+
+    def sweep_quarantine(
+        self,
+        max_age_s: float | None = None,
+        max_count: int | None = None,
+    ) -> dict:
+        """Prune quarantined ``*.corrupt*`` entries.
+
+        Quarantine preserves corrupt entries for post-mortem, but a store
+        that is corrupted repeatedly (flaky disk, crashing writer) will
+        otherwise accumulate them without bound.  The sweep deletes
+        entries older than ``max_age_s`` and, if more than ``max_count``
+        remain, the oldest of those; ``None`` disables a criterion, and
+        all-``None`` sweeps nothing (status-quo safe).  Returns a
+        ``{"swept": n, "kept": m}`` summary; memory-only stores have no
+        quarantine and report zeros.
+        """
+        if self._directory is None:
+            return {"swept": 0, "kept": 0}
+        import time
+
+        now = time.time()
+        aged: list[tuple[float, Path]] = []
+        for path in self._directory.glob("*.corrupt*"):
+            try:
+                aged.append((path.stat().st_mtime, path))
+            except OSError:  # pragma: no cover - raced removal
+                pass
+        aged.sort()  # oldest first
+        doomed: list[Path] = []
+        if max_age_s is not None:
+            cutoff = now - max_age_s
+            while aged and aged[0][0] < cutoff:
+                doomed.append(aged.pop(0)[1])
+        if max_count is not None and len(aged) > max_count:
+            excess = len(aged) - max_count
+            doomed.extend(path for _, path in aged[:excess])
+            del aged[:excess]
+        swept = 0
+        for path in doomed:
+            try:
+                path.unlink()
+                swept += 1
+            except OSError:  # pragma: no cover - raced removal
+                pass
+        self.quarantine_swept += swept
+        return {"swept": swept, "kept": len(aged)}
 
     def _load_directory(self) -> None:
         assert self._directory is not None

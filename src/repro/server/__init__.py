@@ -29,6 +29,7 @@ from repro.server.client import (
 )
 from repro.server.daemon import RecordCacheDaemon
 from repro.server.lru import LRUCache
+from repro.server.supervisor import Supervisor
 from repro.server.protocol import (
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
@@ -46,6 +47,7 @@ __all__ = [
     "RecordCacheDaemon",
     "RemoteRecordStore",
     "RemoteStoreError",
+    "Supervisor",
     "cache_key",
     "make_record_store",
     "read_frame",

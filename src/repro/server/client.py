@@ -15,10 +15,16 @@ speedup, visibly:
 2. remote answers *miss* → count ``misses``, consult the local
    fallback store;
 3. transport or protocol trouble (connect refused, timeout, garbage
-   frame, version skew, poisoned envelope) → count ``fallbacks``,
-   consult the local fallback store, and open the circuit breaker:
-   for ``retry_after_s`` every request goes straight to the fallback
-   so a dead daemon costs one timeout, not one per record.
+   frame, version skew, poisoned envelope) → first spend the bounded
+   **retry budget**: up to ``retries`` fresh-connection attempts with
+   jittered exponential backoff, all inside the per-request deadline
+   ``request_deadline_s`` (a blip — daemon restart, dropped socket —
+   costs a few milliseconds, not the whole sharing win).  Only when
+   the budget is exhausted does the failure surface: count
+   ``fallbacks``, consult the local fallback store, and open the
+   circuit breaker: for ``retry_after_s`` every request goes straight
+   to the fallback so a dead daemon costs one timeout, not one per
+   record.
 
 Remote records are written through to the fallback store on the way
 past, so anything learned from the daemon survives its death.  The
@@ -28,6 +34,7 @@ past, so anything learned from the daemon survives its death.  The
 
 from __future__ import annotations
 
+import random
 import socket
 import threading
 import time
@@ -60,14 +67,25 @@ class RemoteRecordStore:
         fallback: "RecordStore | None" = None,
         timeout_s: float = 0.5,
         retry_after_s: float = 1.0,
+        retries: int = 1,
+        backoff_s: float = 0.05,
+        request_deadline_s: float = 2.0,
+        retry_seed: int | None = None,
     ):
         self.socket_path = str(socket_path)
         self.fallback = fallback if fallback is not None else RecordStore()
         self.timeout_s = timeout_s
         self.retry_after_s = retry_after_s
+        #: Bounded retry budget: transient transport failures absorbed
+        #: per request before the circuit breaker opens.
+        self.retries = max(0, retries)
+        self.backoff_s = backoff_s
+        self.request_deadline_s = request_deadline_s
+        self._retry_rng = random.Random(retry_seed)
         #: hits/misses are remote answers; fallbacks are requests that the
         #: transport failed and the local store absorbed; evictions is the
-        #: daemon-reported eviction total our PUTs triggered.
+        #: daemon-reported eviction total our PUTs triggered; retries is
+        #: transient failures the retry budget absorbed invisibly.
         self.stats: dict[str, int] = {
             "hits": 0,
             "misses": 0,
@@ -75,6 +93,7 @@ class RemoteRecordStore:
             "evictions": 0,
             "puts": 0,
             "puts_rejected": 0,
+            "retries": 0,
         }
         self._sock: socket.socket | None = None
         self._lock = threading.Lock()
@@ -98,29 +117,56 @@ class RemoteRecordStore:
 
     def _request(self, message: dict) -> dict:
         """One request/response exchange; raises :class:`RemoteStoreError`
-        on any transport or protocol failure (and opens the breaker)."""
+        on any transport or protocol failure.
+
+        Transient transport failures first consume the bounded retry
+        budget (``retries`` fresh-connection attempts with jittered
+        exponential backoff, all inside ``request_deadline_s``); only an
+        exhausted budget surfaces the error and opens the breaker.
+        """
         with self._lock:
             if time.monotonic() < self._dead_until:
                 raise RemoteStoreError("circuit breaker open")
-            try:
-                if self._sock is None:
-                    self._sock = self._connect()
-                protocol.write_frame(self._sock, message)
-                response = protocol.read_frame(self._sock)
-                if response is None:
-                    raise ProtocolError("daemon closed connection mid-request")
-                protocol.check_version(response)
-            except (OSError, socket.timeout, ProtocolError) as exc:
-                self._close()
-                self._dead_until = time.monotonic() + self.retry_after_s
-                raise RemoteStoreError(str(exc)) from exc
-            if response.get("ok") is not True:
-                # A clean error response is a server-side refusal, not
-                # transport trouble: don't trip the breaker, but do drop
-                # the connection (the server closes after errors).
-                self._close()
-                raise RemoteStoreError(str(response.get("error", "unknown error")))
-            return response
+            deadline = time.monotonic() + self.request_deadline_s
+            attempt = 0
+            while True:
+                try:
+                    if self._sock is None:
+                        self._sock = self._connect()
+                    protocol.write_frame(self._sock, message)
+                    response = protocol.read_frame(self._sock)
+                    if response is None:
+                        raise ProtocolError(
+                            "daemon closed connection mid-request"
+                        )
+                    protocol.check_version(response)
+                except (OSError, socket.timeout, ProtocolError) as exc:
+                    self._close()
+                    now = time.monotonic()
+                    if attempt < self.retries and now < deadline:
+                        # Jittered exponential backoff, clamped to the
+                        # per-request deadline so retrying never costs
+                        # more time than giving up would.
+                        pause = self.backoff_s * (2**attempt)
+                        pause *= 1.0 + self._retry_rng.random()
+                        pause = min(pause, max(0.0, deadline - now))
+                        attempt += 1
+                        self.stats["retries"] += 1
+                        if pause > 0:
+                            time.sleep(pause)
+                        continue
+                    self._dead_until = time.monotonic() + self.retry_after_s
+                    raise RemoteStoreError(str(exc)) from exc
+                if response.get("ok") is not True:
+                    # A clean error response is a server-side refusal, not
+                    # transport trouble: don't retry, don't trip the
+                    # breaker, but do drop the connection (the server
+                    # closes after errors).
+                    self._close()
+                    raise RemoteStoreError(
+                        str(response.get("error", "unknown error"))
+                    )
+                return response
 
     # -- the store interface -------------------------------------------------
 
@@ -193,6 +239,7 @@ class RemoteRecordStore:
             remote = {
                 "cache": response.get("cache"),
                 "store": response.get("store"),
+                "health": response.get("health"),
             }
         except RemoteStoreError:
             pass
@@ -238,6 +285,9 @@ def make_record_store(
     directory: "str | Path | None" = None,
     timeout_s: float = 0.5,
     retry_after_s: float = 1.0,
+    retries: int = 1,
+    backoff_s: float = 0.05,
+    request_deadline_s: float = 2.0,
 ) -> "RemoteRecordStore | RecordStore":
     """Store selection in one place: remote-with-fallback when a socket
     is configured, plain local store otherwise."""
@@ -249,6 +299,9 @@ def make_record_store(
         fallback=local,
         timeout_s=timeout_s,
         retry_after_s=retry_after_s,
+        retries=retries,
+        backoff_s=backoff_s,
+        request_deadline_s=request_deadline_s,
     )
 
 

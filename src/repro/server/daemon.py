@@ -25,6 +25,25 @@ to bottom:
    :class:`~repro.ric.store.RecordStore`: admitted records survive
    daemon restarts and LRU eviction; on an LRU miss the store is
    consulted before answering ``hit: false``.
+
+Operational hardening (the supervision contract, INTERNALS §10):
+
+* **Health** — ``STAT`` answers a ``health`` blob (uptime, inflight
+  request count, draining/ready flags, LRU pressure) so an operator or
+  supervisor can distinguish "alive", "loaded", and "shutting down"
+  without guessing from traffic.
+* **Per-connection I/O deadlines** — reads *and* writes carry socket
+  timeouts (``read_timeout_s`` / ``write_timeout_s``), so a stalled or
+  malicious client that stops mid-frame loses its connection instead of
+  pinning a worker thread forever.
+* **Graceful drain** — :meth:`RecordCacheDaemon.drain` (wired to
+  SIGTERM in ``ric-serve``) stops accepting new connections, lets every
+  in-flight request finish and its response flush, confirms the
+  write-through store is durable, and only then tears the socket down.
+  Connections idle at a frame boundary are closed; a client mid-frame
+  gets its answer.  One bad apple cannot extend the drain forever: the
+  drain deadline caps the wait, after which remaining connections are
+  cut.
 """
 
 from __future__ import annotations
@@ -35,6 +54,7 @@ import os
 import socket
 import socketserver
 import threading
+import time
 from pathlib import Path
 
 from repro.ric.errors import RecordFormatError
@@ -59,8 +79,13 @@ class _Handler(socketserver.BaseRequestHandler):
     def handle(self) -> None:
         daemon = self.server.ricd  # type: ignore[attr-defined]
         sock: socket.socket = self.request
-        sock.settimeout(daemon.connection_timeout_s)
         while True:
+            if daemon.draining:
+                # Frame boundary during a drain: stop taking new work on
+                # this connection (in-flight frames were already
+                # answered below).
+                return
+            sock.settimeout(daemon.read_timeout_s)
             try:
                 message = protocol.read_frame(sock)
             except (ProtocolError, socket.timeout, OSError) as exc:
@@ -68,21 +93,28 @@ class _Handler(socketserver.BaseRequestHandler):
                 return
             if message is None:  # client closed cleanly
                 return
+            # From here to the response write this connection is
+            # *inflight*: a drain waits for it (and only it) to finish.
+            daemon._begin_request()
             try:
-                response = daemon.handle_request(message)
-            except ProtocolError as exc:
-                self._try_send(sock, protocol.error_response(str(exc)))
-                return
-            except Exception as exc:  # never let one request kill the thread
-                logger.exception("ricd: internal error")
-                self._try_send(
-                    sock, protocol.error_response(f"internal error: {exc}")
-                )
-                return
-            try:
-                protocol.write_frame(sock, response)
-            except OSError:
-                return
+                try:
+                    response = daemon.handle_request(message)
+                except ProtocolError as exc:
+                    self._try_send(sock, protocol.error_response(str(exc)))
+                    return
+                except Exception as exc:  # never let one request kill the thread
+                    logger.exception("ricd: internal error")
+                    self._try_send(
+                        sock, protocol.error_response(f"internal error: {exc}")
+                    )
+                    return
+                sock.settimeout(daemon.write_timeout_s)
+                try:
+                    protocol.write_frame(sock, response)
+                except (socket.timeout, OSError):
+                    return
+            finally:
+                daemon._end_request()
 
     @staticmethod
     def _try_send(sock: socket.socket, message: dict) -> None:
@@ -102,9 +134,23 @@ class RecordCacheDaemon:
         max_records: int = 256,
         max_bytes: int = 64 * 1024 * 1024,
         connection_timeout_s: float = 30.0,
+        read_timeout_s: float | None = None,
+        write_timeout_s: float | None = None,
     ):
         self.socket_path = Path(socket_path)
         self.connection_timeout_s = connection_timeout_s
+        #: Per-connection I/O deadlines; default to the legacy
+        #: connection_timeout_s.  Writes get their own (usually shorter)
+        #: deadline: a client that stops reading its response is stalled
+        #: just like one that stops sending its request.
+        self.read_timeout_s = (
+            read_timeout_s if read_timeout_s is not None else connection_timeout_s
+        )
+        self.write_timeout_s = (
+            write_timeout_s
+            if write_timeout_s is not None
+            else connection_timeout_s
+        )
         self.cache = LRUCache(max_records=max_records, max_bytes=max_bytes)
         self.store = RecordStore(directory=directory) if directory else None
         #: Request-level counters (the cache keeps its own hit/miss/eviction
@@ -116,6 +162,12 @@ class RecordCacheDaemon:
         self._server: _Server | None = None
         self._thread: threading.Thread | None = None
         self._lock = threading.Lock()
+        #: Supervision state: monotonic birth time, inflight request
+        #: count (condition-guarded so drain can wait on it), drain flag.
+        self._started_monotonic = time.monotonic()
+        self._inflight = 0
+        self._inflight_cond = threading.Condition()
+        self.draining = False
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -144,6 +196,9 @@ class RecordCacheDaemon:
         self._server.serve_forever()
 
     def stop(self) -> None:
+        """Immediate stop: close the listener now; in-flight handler
+        threads are daemonic and die with the process.  For the graceful
+        variant see :meth:`drain`."""
         if self._server is not None:
             self._server.shutdown()
             self._server.server_close()
@@ -156,6 +211,49 @@ class RecordCacheDaemon:
                 self.socket_path.unlink()
             except OSError:  # pragma: no cover - raced removal
                 pass
+
+    def drain(self, timeout_s: float = 10.0) -> bool:
+        """Graceful shutdown: stop accepting, finish in-flight requests,
+        confirm write-through durability, then tear down.
+
+        Returns True when every in-flight request finished inside
+        ``timeout_s`` (the SIGTERM → exit-0 path of ``ric-serve``);
+        False when the deadline cut stragglers off.  Idempotent:
+        concurrent/repeat calls fall through to :meth:`stop`.
+        """
+        with self._inflight_cond:
+            already = self.draining
+            self.draining = True
+        server = self._server
+        if server is not None and not already:
+            # Stops the accept loop; existing handler threads continue.
+            server.shutdown()
+        deadline = time.monotonic() + timeout_s
+        drained = True
+        with self._inflight_cond:
+            while self._inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    drained = False
+                    break
+                self._inflight_cond.wait(remaining)
+        # Write-through is synchronous (every admitted PUT hit the store
+        # before its response went out), so once inflight is zero the
+        # backing directory is durable; there is nothing left to flush.
+        self.stop()
+        return drained
+
+    # -- inflight accounting (handler threads) --------------------------------
+
+    def _begin_request(self) -> None:
+        with self._inflight_cond:
+            self._inflight += 1
+
+    def _end_request(self) -> None:
+        with self._inflight_cond:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._inflight_cond.notify_all()
 
     def __enter__(self) -> "RecordCacheDaemon":
         self.start()
@@ -239,7 +337,11 @@ class RecordCacheDaemon:
         return protocol.ok_response(stored=True, evicted=evicted)
 
     def _handle_stat(self) -> dict:
-        return protocol.ok_response(cache=self.stats(), store=self.store_status())
+        return protocol.ok_response(
+            cache=self.stats(),
+            store=self.store_status(),
+            health=self.health(),
+        )
 
     def _handle_evict(self, message: dict) -> dict:
         if message.get("all"):
@@ -264,6 +366,33 @@ class RecordCacheDaemon:
 
     def store_status(self) -> dict | None:
         return self.store.status() if self.store is not None else None
+
+    def health(self) -> dict:
+        """Health/readiness blob for STAT, supervisors, and operators.
+
+        ``ready`` is the readiness gate (serving and not draining);
+        ``pressure`` is LRU occupancy as fractions of both bounds, the
+        early-warning signal that the serving tier is about to start
+        evicting.
+        """
+        cache = self.cache
+        with self._inflight_cond:
+            inflight = self._inflight
+            draining = self.draining
+        return {
+            "uptime_s": time.monotonic() - self._started_monotonic,
+            "inflight": inflight,
+            "draining": draining,
+            "ready": self._server is not None and not draining,
+            "pressure": {
+                "records": len(cache),
+                "max_records": cache.max_records,
+                "records_frac": len(cache) / cache.max_records,
+                "bytes": cache.bytes_used,
+                "max_bytes": cache.max_bytes,
+                "bytes_frac": cache.bytes_used / cache.max_bytes,
+            },
+        }
 
 
 def _envelope_bytes(envelope: dict) -> int:

@@ -90,6 +90,18 @@ class Counters:
     ric_remote_fallbacks: int = 0
     ric_remote_evictions: int = 0
 
+    #: Governance aborts: how this run was stopped, if it was.  At most
+    #: one of these is 1 for a given run (a run aborts once); they are
+    #: separate counters rather than a single tag so report aggregation
+    #: can sum them across many runs.  ``steps``/``heap``/``depth``/
+    #: ``deadline`` map to the :class:`~repro.core.errors.BudgetExceeded`
+    #: subclasses; ``cancelled`` to :class:`~repro.core.errors.Cancelled`.
+    budget_aborts_steps: int = 0
+    budget_aborts_heap: int = 0
+    budget_aborts_depth: int = 0
+    budget_aborts_deadline: int = 0
+    budget_aborts_cancelled: int = 0
+
     # -- charging ------------------------------------------------------------
 
     def charge(self, category: str, amount: int) -> None:
@@ -136,6 +148,24 @@ class Counters:
         self.ic_misses += 1
         self.misses_by_reason[reason] += 1
 
+    def record_abort(self, reason: str) -> None:
+        """Count one governance abort by its typed ``reason`` tag."""
+        field_name = f"budget_aborts_{reason}"
+        if not hasattr(self, field_name):
+            raise ValueError(f"unknown abort reason {reason!r}")
+        setattr(self, field_name, getattr(self, field_name) + 1)
+
+    @property
+    def budget_aborts_total(self) -> int:
+        """All governance aborts (budget dimensions + cancellation)."""
+        return (
+            self.budget_aborts_steps
+            + self.budget_aborts_heap
+            + self.budget_aborts_depth
+            + self.budget_aborts_deadline
+            + self.budget_aborts_cancelled
+        )
+
     def as_dict(self) -> dict:
         """Plain-data snapshot for reports and tests."""
         return {
@@ -165,6 +195,12 @@ class Counters:
             "ric_remote_misses": self.ric_remote_misses,
             "ric_remote_fallbacks": self.ric_remote_fallbacks,
             "ric_remote_evictions": self.ric_remote_evictions,
+            "budget_aborts_steps": self.budget_aborts_steps,
+            "budget_aborts_heap": self.budget_aborts_heap,
+            "budget_aborts_depth": self.budget_aborts_depth,
+            "budget_aborts_deadline": self.budget_aborts_deadline,
+            "budget_aborts_cancelled": self.budget_aborts_cancelled,
+            "budget_aborts_total": self.budget_aborts_total,
         }
 
     @property

@@ -1,10 +1,49 @@
-"""Shared pytest fixtures."""
+"""Shared pytest fixtures and the hang backstop.
+
+The governance suite deliberately runs *runaway* programs and expects
+the budget layer to stop them; if that layer regresses, the failure
+mode is a hung test, not a failing one.  ``pytest-timeout`` is not a
+dependency of this repo, so the backstop is a conftest-level SIGALRM:
+every test gets a generous wall-clock ceiling (``RIC_TEST_TIMEOUT``
+seconds, default 120; tests marked ``slow`` get four times that) and
+dies with a ``TimeoutError`` instead of wedging CI.
+"""
+
+import os
+import signal
+import threading
 
 import pytest
 
 from repro.core.engine import Engine
 from repro.runtime.builtins import install_builtins
 from repro.runtime.context import Runtime
+
+_TEST_TIMEOUT_S = int(os.environ.get("RIC_TEST_TIMEOUT", "120"))
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    if (
+        not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield  # no alarm available here; run unguarded
+        return
+    limit = _TEST_TIMEOUT_S * (4 if item.get_closest_marker("slow") else 1)
+
+    def on_alarm(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the {limit}s conftest backstop (likely hang)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.alarm(limit)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

@@ -24,7 +24,12 @@ import json
 
 import pytest
 
+from repro.core.budget import ExecutionBudget
+from repro.core.engine import Engine
+from repro.core.errors import StepBudgetExceeded
 from repro.harness.bench import bench_workloads
+from repro.ric.store import RecordStore
+from repro.ric.validate import validate_record
 from tests.helpers import ColdReuseRuns, run_cold_and_reused
 
 WORKLOAD_NAMES = (
@@ -76,3 +81,45 @@ class TestColdVsReuseDifferential:
         assert runs.reused.counters.ric_preloads > 0
         assert runs.reused.counters.ic_hits_on_preloaded > 0
         assert runs.reused.counters.ic_misses < runs.cold.counters.ic_misses
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+class TestBudgetAbortDifferential:
+    """Governance differential (INTERNALS §10): a budget abort must leave
+    no poison behind.  The partial record extracted from an aborted run
+    validates and persists cleanly, and the *same engine*, run unbudgeted
+    afterwards, reproduces the exact cold/reuse counters of an engine
+    that never aborted."""
+
+    #: Every workload dispatches > ~2.5k bytecodes, so this aborts all
+    #: of them partway through (amortized at a 64-dispatch stride).
+    ABORT_BUDGET = ExecutionBudget(max_steps=2000, check_stride=64)
+
+    def test_abort_leaves_no_poison(self, name, tmp_path):
+        scripts = bench_workloads()[name]
+        survivor = Engine(seed=11)
+        with pytest.raises(StepBudgetExceeded):
+            survivor.run(scripts, name=name, budget=self.ABORT_BUDGET)
+
+        # The partial records validate and survive a disk round trip.
+        partial = survivor.extract_per_script_records()
+        store = RecordStore(directory=tmp_path)
+        for filename, record in partial.items():
+            assert validate_record(record) == [], filename
+            store.put(filename, f"src-of-{filename}", record)
+        reloaded = RecordStore(directory=tmp_path)
+        assert reloaded.load_errors == []
+        assert len(reloaded) == len(partial)
+
+        # The survivor engine now runs the full protocol unbudgeted and
+        # must be counter-identical to an engine with no abort history.
+        cold = survivor.run(scripts, name=name)
+        record = survivor.extract_icrecord()
+        assert validate_record(record) == []
+        reused = survivor.run(scripts, name=name, icrecord=record)
+
+        pristine = run_cold_and_reused(scripts, seed=11, name=name)
+        assert cold.console_output == pristine.cold.console_output
+        assert reused.console_output == pristine.reused.console_output
+        assert cold.counters.as_dict() == pristine.cold.counters.as_dict()
+        assert reused.counters.as_dict() == pristine.reused.counters.as_dict()

@@ -206,11 +206,18 @@ class TestRunCli:
         assert main(["/nonexistent/nope.jsl"]) == 2
 
     def test_guest_error_exit_code(self, tmp_path, capsys):
-        from repro.harness.run_cli import main
+        from repro.harness.run_cli import EXIT_RUNTIME, main
 
         script = tmp_path / "s.jsl"
         script.write_text("throw 'bad';")
-        assert main([str(script)]) == 1
+        assert main([str(script)]) == EXIT_RUNTIME
+
+    def test_parse_error_exit_code(self, tmp_path, capsys):
+        from repro.harness.run_cli import EXIT_PARSE, main
+
+        script = tmp_path / "s.jsl"
+        script.write_text("var = ;")
+        assert main([str(script)]) == EXIT_PARSE
 
     def test_trace_flag(self, tmp_path, capsys):
         from repro.harness.run_cli import main

@@ -319,3 +319,92 @@ class TestConcurrentAccess:
         ric = second.run(APP_B, name="app-b", icrecord=available)
         assert ric.console_output == conventional.console_output
         assert ric.counters.ic_misses < conventional.counters.ic_misses
+
+
+class TestSweepQuarantine:
+    """Quarantine keeps casualties for post-mortem; the sweep bounds them."""
+
+    @staticmethod
+    def _plant_corrupt(tmp_path, name: str, age_s: float) -> Path:
+        import os
+        import time
+
+        path = tmp_path / name
+        path.write_text("{ damaged")
+        stamp = time.time() - age_s
+        os.utime(path, (stamp, stamp))
+        return path
+
+    def test_memory_store_has_nothing_to_sweep(self):
+        assert RecordStore().sweep_quarantine(max_age_s=0.0) == {
+            "swept": 0,
+            "kept": 0,
+        }
+
+    def test_all_none_sweeps_nothing(self, tmp_path):
+        self._plant_corrupt(tmp_path, "a.icrecord.json.corrupt", age_s=3600)
+        store = RecordStore(directory=tmp_path)
+        assert store.sweep_quarantine() == {"swept": 0, "kept": 1}
+
+    def test_sweep_by_age(self, tmp_path):
+        old = self._plant_corrupt(
+            tmp_path, "old.icrecord.json.corrupt", age_s=3600
+        )
+        young = self._plant_corrupt(
+            tmp_path, "young.icrecord.json.corrupt", age_s=1
+        )
+        store = RecordStore(directory=tmp_path)
+        assert store.sweep_quarantine(max_age_s=60.0) == {"swept": 1, "kept": 1}
+        assert not old.exists() and young.exists()
+        assert store.status()["quarantine_swept"] == 1
+        assert store.status()["quarantined"] == 1
+
+    def test_sweep_by_count_keeps_newest(self, tmp_path):
+        paths = [
+            self._plant_corrupt(
+                tmp_path, f"c{i}.icrecord.json.corrupt", age_s=100 - i
+            )
+            for i in range(5)
+        ]
+        store = RecordStore(directory=tmp_path)
+        assert store.sweep_quarantine(max_count=2) == {"swept": 3, "kept": 2}
+        # c0..c2 were oldest and died; c3, c4 survive.
+        assert [p.exists() for p in paths] == [False, False, False, True, True]
+
+    def test_age_and_count_compose(self, tmp_path):
+        for i in range(4):
+            self._plant_corrupt(
+                tmp_path, f"c{i}.icrecord.json.corrupt", age_s=3600 * (i + 1)
+            )
+        store = RecordStore(directory=tmp_path)
+        # Age kills the two oldest; count then trims the survivors to one.
+        summary = store.sweep_quarantine(max_age_s=3 * 3600 + 1, max_count=1)
+        assert summary == {"swept": 3, "kept": 1}
+
+    def test_cli_sweep_flag(self, tmp_path, capsys):
+        from repro.harness.run_cli import main
+
+        store_dir = tmp_path / "store"
+        store_dir.mkdir()
+        self._plant_corrupt(
+            store_dir, "dead.icrecord.json.corrupt", age_s=3600
+        )
+        assert (
+            main(
+                [
+                    "--store-dir",
+                    str(store_dir),
+                    "--sweep-quarantine",
+                    "--quarantine-max-age",
+                    "60",
+                ]
+            )
+            == 0
+        )
+        assert "removed 1" in capsys.readouterr().err
+        assert not (store_dir / "dead.icrecord.json.corrupt").exists()
+
+    def test_cli_sweep_requires_a_directory(self, capsys):
+        from repro.harness.run_cli import EXIT_USAGE, main
+
+        assert main(["--sweep-quarantine"]) == EXIT_USAGE
