@@ -1,0 +1,55 @@
+"""Smoke/validation gate for the concurrency benchmark.
+
+Gates on what the benchmark *guarantees* — schema validity and counter
+parity between concurrent and sequential batches — not on the speedup
+ratio: the interpreter is CPU-bound pure Python, so wall-clock scaling
+is a property of the host (core count, free-threading), and CI hosts
+commonly have one core and a GIL.  The honest host metadata
+(``cpus``, ``gil_limited``) is part of the schema for exactly that
+reason.
+"""
+
+from benchmarks.bench_concurrency import (
+    SCHEMA,
+    measure,
+    validate_concurrency_json,
+)
+from repro.harness.bench import bench_workloads
+
+
+def test_measure_produces_valid_parity_checked_document():
+    document = measure(
+        workload_names=["underscorelike"],
+        jobs=2,
+        runs_per_workload=3,
+        seed=7,
+    )
+    assert validate_concurrency_json(document) == []
+    assert document["schema"] == SCHEMA
+    blob = document["workloads"]["underscorelike"]
+    assert blob["counters_match"] is True
+    # Single-flight over the batch: the warm run built each artifact
+    # once; all six measured sessions were hits or joins.
+    assert blob["artifact_cache"]["builds"] == len(
+        bench_workloads()["underscorelike"]
+    )
+    assert isinstance(document["host"]["gil_limited"], bool)
+
+
+def test_validator_rejects_broken_documents():
+    assert validate_concurrency_json([]) == ["document is not an object"]
+    assert any(
+        "schema" in problem
+        for problem in validate_concurrency_json({"schema": "nope"})
+    )
+    document = measure(
+        workload_names=["underscorelike"],
+        jobs=2,
+        runs_per_workload=1,
+        seed=7,
+    )
+    document["workloads"]["underscorelike"]["counters_match"] = False
+    assert any(
+        "counters_match" in problem
+        for problem in validate_concurrency_json(document)
+    )

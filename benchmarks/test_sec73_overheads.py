@@ -42,8 +42,8 @@ def test_sec73_extraction_benchmark(benchmark):
 
     engine = Engine(seed=1)
     engine.run(WORKLOADS["reactlike"].scripts(), name="reactlike")
-    runtime = engine._last_runtime
-    feedback = engine._last_feedback
+    runtime = engine.last_run.runtime
+    feedback = engine.last_run.feedback
 
     record = benchmark(extract_icrecord, runtime, feedback)
     assert record.num_hidden_classes > 0

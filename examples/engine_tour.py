@@ -42,7 +42,7 @@ def main() -> None:
     # --- hidden classes ------------------------------------------------------
     engine = Engine(seed=99)
     engine.run(FIGURE2, name="figure2")
-    runtime = engine._last_runtime
+    runtime = engine.last_run.runtime
     print("\n== hidden classes created (Figure 2's HC0 -> HC1 -> HC2) ==")
     for hc in runtime.hidden_classes.all_classes:
         if hc.creation_kind == "builtin":
@@ -55,7 +55,7 @@ def main() -> None:
 
     # --- the ICVector after execution -------------------------------------------
     print("\n== ICVector state (paper Figure 3) ==")
-    feedback = engine._last_feedback
+    feedback = engine.last_run.feedback
     for site in feedback.all_sites():
         if not site.slots:
             continue

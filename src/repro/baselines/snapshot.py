@@ -69,9 +69,10 @@ class SnapshotBaseline:
     @staticmethod
     def capture(engine: Engine, scripts: Scripts | str) -> Snapshot:
         """Serialize the last run's user-visible global state."""
-        runtime = engine._last_runtime
-        if runtime is None:
+        session = engine.last_run
+        if session is None:
             raise RuntimeError("run the workload before capturing a snapshot")
+        runtime = session.runtime
         globals_data = serialize_user_globals(runtime)
         globals_json = json.dumps(globals_data)
         console = list(runtime.console_output)

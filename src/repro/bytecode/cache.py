@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import threading
 from pathlib import Path
 
 from repro.bytecode.code import CodeObject, FeedbackSlotInfo, SiteKind
@@ -99,11 +100,20 @@ class CodeCache:
     The cache models the V8 host API: the embedder asks for a script's
     compiled form; on a hit the frontend is skipped.  ``hits``/``misses``
     are exposed so benchmarks can assert the Reuse run never re-compiles.
+
+    Thread-safety contract: the cache is shared by every concurrent
+    :class:`~repro.core.session.RunSession` of an engine, so lookups,
+    insertions and the hit/miss counters are atomic under one lock.  The
+    cached :class:`~repro.bytecode.code.CodeObject` trees themselves are
+    immutable after the optimizer runs (the VM threads them into
+    per-VM caches, never in place), so handing one instance to many
+    sessions is safe.
     """
 
     def __init__(self, cache_dir: str | Path | None = None):
         self._entries: dict[str, CodeObject] = {}
         self._cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         if self._cache_dir is not None:
@@ -116,22 +126,35 @@ class CodeCache:
     def lookup(self, filename: str, source: str) -> CodeObject | None:
         """Return the cached code for (filename, source) or None."""
         key = self._key(filename, source)
-        code = self._entries.get(key)
-        if code is None and self._cache_dir is not None:
-            code = self._load_from_disk(key)
-            if code is not None:
-                self._entries[key] = code
-        if code is None:
-            self.misses += 1
-            return None
-        self.hits += 1
-        return code
+        with self._lock:
+            code = self._entries.get(key)
+            if code is None and self._cache_dir is not None:
+                code = self._load_from_disk(key)
+                if code is not None:
+                    self._entries[key] = code
+            if code is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            return code
+
+    def note_hit(self) -> None:
+        """Count a frontend-skip served *above* this cache.
+
+        The :class:`~repro.core.artifacts.ArtifactCache` satisfies warm
+        requests without consulting the code cache at all; it reports them
+        here so ``hits``/``misses`` keep meaning "runs that skipped the
+        frontend" exactly as before the artifact layer existed.
+        """
+        with self._lock:
+            self.hits += 1
 
     def store(self, filename: str, source: str, code: CodeObject) -> None:
         key = self._key(filename, source)
-        self._entries[key] = code
-        if self._cache_dir is not None:
-            self._store_to_disk(key, code)
+        with self._lock:
+            self._entries[key] = code
+            if self._cache_dir is not None:
+                self._store_to_disk(key, code)
 
     # -- disk persistence ----------------------------------------------------
 

@@ -1,16 +1,26 @@
-"""The Engine: the library's main entry point.
+"""The Engine: the library's main entry point, as a thin facade.
 
-An :class:`Engine` owns the cross-execution artifacts — the code cache
-(bytecode persists across runs, paper §8.1) and, after extraction, the
-ICRecord — and creates a fresh, address-randomized runtime for every
-execution.  The paper's three measured configurations map to:
+An :class:`Engine` wires together the three execution layers:
 
-* **Initial run** — ``engine.run(scripts)`` on a cold engine (compiles and
-  fills the code cache, builds IC state from scratch).
-* **Conventional Reuse run** — ``engine.run(scripts)`` again: bytecode comes
-  from the code cache but IC state is rebuilt from scratch.
+* **Artifact layer** (:mod:`repro.core.artifacts`) — immutable, shared:
+  the code cache and the :class:`~repro.core.artifacts.ArtifactCache`
+  of compiled-script artifacts, single-flight built.
+* **Session layer** (:mod:`repro.core.session`) — per-run, mutable: a
+  :class:`~repro.core.session.RunSession` owns the heap, context, IC
+  vectors, counters and budget of one execution.
+* **Executor layer** (:mod:`repro.core.executor`) — many sessions at
+  once over the shared artifact cache.
+
+The legacy API is preserved byte-for-byte in behaviour and counters:
+the paper's three measured configurations still map to
+
+* **Initial run** — ``engine.run(scripts)`` on a cold engine (compiles
+  and fills the code cache, builds IC state from scratch).
+* **Conventional Reuse run** — ``engine.run(scripts)`` again: bytecode
+  comes from the code cache but IC state is rebuilt from scratch.
 * **RIC Reuse run** — ``engine.run(scripts, icrecord=record)`` with the
-  record from ``engine.extract_icrecord()``: IC state is partially preloaded.
+  record from ``engine.extract_icrecord()``: IC state is partially
+  preloaded.
 
 Example::
 
@@ -20,35 +30,42 @@ Example::
     conventional = engine.run(scripts, name="react-like")
     ric = engine.run(scripts, name="react-like", icrecord=record)
     assert ric.ic_miss_rate < conventional.ic_miss_rate
+
+The state of the most recent run is exposed as :attr:`last_run` — a
+:class:`~repro.core.session.RunSession` handle.  The old private
+``_last_runtime``/``_last_feedback`` attributes still work but are
+deprecated shims over it.
 """
 
 from __future__ import annotations
 
 import random
-import time
+import threading
 import typing
+import warnings
 
-from repro.bytecode.cache import CodeCache, source_hash
+from repro.bytecode.cache import CodeCache
 from repro.bytecode.code import CodeObject
-from repro.bytecode.compiler import compile_source
+from repro.core.artifacts import ArtifactBuilder, ArtifactCache
 from repro.core.budget import CancelToken, ExecutionBudget
 from repro.core.config import RICConfig
-from repro.core.errors import ExecutionAborted
-from repro.ic.icvector import FeedbackState
-from repro.ic.miss import ICRuntime
-from repro.interpreter.vm import VM
-from repro.ric.errors import CorruptRecord, RecordFormatError
-from repro.ric.extraction import extract_icrecord
+from repro.core.session import RunSession, admit_record
+from repro.ric.errors import CorruptRecord
 from repro.ric.icrecord import ICRecord
-from repro.ric.reuse import MultiReuseSession, ReuseSession
-from repro.ric.validate import validate_record
-from repro.runtime.builtins import install_builtins
-from repro.runtime.context import Runtime
 from repro.stats.counters import Counters
 from repro.stats.profile import RunProfile
 
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.ic.icvector import FeedbackState
+    from repro.runtime.context import Runtime
+
 #: A workload: list of (filename, source) scripts executed in order.
 Scripts = typing.Sequence[typing.Tuple[str, str]]
+
+_LAST_RUNTIME_DEPRECATION = (
+    "Engine.{name} is deprecated; use engine.last_run.{attr} "
+    "(the RunSession handle of the most recent run) instead"
+)
 
 
 class Engine:
@@ -81,33 +98,41 @@ class Engine:
                 request_deadline_s=self.config.remote_deadline_s,
             )
         self.record_store = record_store
+        #: The shared artifact cache every run (facade or executor) of
+        #: this engine draws from.
+        self.artifacts = ArtifactCache(
+            ArtifactBuilder(
+                self.code_cache,
+                optimize=optimize,
+                record_store=record_store,
+            )
+        )
         # Every execution gets a distinct sub-seed, so heap addresses differ
         # across runs even when the engine itself is seeded (which is the
         # whole premise of the paper).  Seeding the engine makes the
-        # *sequence* of runs reproducible.
+        # *sequence* of runs reproducible.  The draw is locked so
+        # concurrent submitters see a deterministic sequence too.
         self._seed_stream = random.Random(seed)
-        #: State of the most recent run, kept for extraction.
-        self._last_runtime: Runtime | None = None
-        self._last_feedback: FeedbackState | None = None
-        self._last_script_keys: list[str] = []
-        self._last_scripts: list[tuple[str, str]] = []
+        self._seed_lock = threading.Lock()
+        #: The most recent run's session, kept for extraction.
+        self._last_run: RunSession | None = None
 
-    # -- compilation --------------------------------------------------------------
+    # -- seeds --------------------------------------------------------------
+
+    def draw_seed(self) -> int:
+        """Next sub-seed from the engine's deterministic seed stream."""
+        with self._seed_lock:
+            return self._seed_stream.getrandbits(48)
+
+    # -- compilation --------------------------------------------------------
 
     def compile(self, filename: str, source: str) -> CodeObject:
         """Compile through the code cache (hit = frontend skipped); the
         peephole optimizer runs before the bytecode is cached."""
-        code = self.code_cache.lookup(filename, source)
-        if code is None:
-            code = compile_source(source, filename)
-            if self.optimize:
-                from repro.bytecode.optimizer import optimize_code
-
-                optimize_code(code)
-            self.code_cache.store(filename, source, code)
+        code, _ = self.artifacts.builder.compile(filename, source)
         return code
 
-    # -- execution -------------------------------------------------------------------
+    # -- execution ----------------------------------------------------------
 
     def run(
         self,
@@ -124,7 +149,7 @@ class Engine:
         budget: ExecutionBudget | None = None,
         cancel_token: CancelToken | None = None,
     ) -> RunProfile:
-        """Execute a workload in a fresh runtime and measure it.
+        """Execute a workload in a fresh session and measure it.
 
         ``scripts`` is either a single source string or a sequence of
         ``(filename, source)`` pairs executed in order (a "website").
@@ -154,7 +179,7 @@ class Engine:
         """
         if isinstance(scripts, str):
             scripts = [("<script>", scripts)]
-        run_seed = seed if seed is not None else self._seed_stream.getrandbits(48)
+        run_seed = seed if seed is not None else self.draw_seed()
 
         counters = Counters()
         if use_store and icrecord is None and self.record_store is not None:
@@ -162,151 +187,74 @@ class Engine:
                 counters, lambda: self.record_store.records_for(scripts)
             )
             icrecord = fetched or None
-        runtime = Runtime(seed=run_seed)
-        feedback = FeedbackState()
 
-        reuse_session: "ReuseSession | MultiReuseSession | None" = None
+        # Compile errors surface here, before any session state changes
+        # (so last_run still points at the previous, completed run).
+        artifacts = self.artifacts.get_many(scripts)
 
-        def on_hidden_class_created(hc) -> None:
-            counters.hidden_classes_created += 1
-            if tracer is not None:
-                from repro.stats.tracing import HC_CREATED
-
-                tracer.emit(
-                    HC_CREATED, site_key=hc.creation_key, hc_index=hc.index
-                )
-            if reuse_session is not None:
-                reuse_session.on_hidden_class_created(hc)
-
-        runtime.hidden_classes.on_created = on_hidden_class_created
-
-        mode = "reuse-ric" if icrecord is not None else "initial"
-        cache_hits_before = self.code_cache.hits
-        cache_misses_before = self.code_cache.misses
-
-        # Compile (or fetch) all scripts first, then register their feedback
-        # vectors *before* builtins are created: builtin validation may
-        # preload sites anywhere in the workload.
-        compiled: list[CodeObject] = []
-        script_keys: list[str] = []
-        for filename, source in scripts:
-            code = self.compile(filename, source)
-            compiled.append(code)
-            feedback.register_script(code)
-            script_keys.append(f"{filename}:{source_hash(source)}")
-            for nested in code.iter_code_objects():
-                runtime.heap.charge(
-                    "bytecode",
-                    16 * len(nested.instructions)
-                    + 8 * len(nested.constants)
-                    + 24 * len(nested.feedback_slots),
-                )
-
-        # Sessions are created only now that this run's script keys
-        # (filename:source-hash) are known: a record's file-bound state only
-        # applies to files whose content matches what it was extracted from.
-        # Every candidate record passes structural validation first; a
-        # corrupt or invalid record degrades to cold-start for that record
-        # only — the remaining records still build sessions and reuse.
-        if icrecord is not None:
-            trusted = set(script_keys)
-            if isinstance(icrecord, (ICRecord, CorruptRecord)):
-                candidates = [icrecord]
-            else:
-                candidates = list(icrecord)
-            sessions = [
-                ReuseSession(
-                    record,
-                    feedback,
-                    counters,
-                    self.config,
-                    tracer=tracer,
-                    trusted_script_keys=trusted,
-                )
-                for candidate in candidates
-                if (record := self._admit_record(candidate, counters)) is not None
-            ]
-            if len(sessions) == 1:
-                reuse_session = sessions[0]
-            elif sessions:
-                # Per-script records (see repro.ric.store): one session per
-                # record, each in its own HCID namespace.
-                reuse_session = MultiReuseSession(sessions)
-
-        if budget is None:
-            budget = self.config.execution_budget()
-
-        # Extraction state points at this run from here on, even if the
-        # run aborts: the IC information built during completed warmup is
-        # valid (abort points are dispatch boundaries — heap, hidden
-        # classes and feedback vectors are never left mid-transition), so
-        # an interrupted Initial run still yields a usable partial record.
-        self._last_runtime = runtime
-        self._last_feedback = feedback
-        self._last_script_keys = script_keys
-        self._last_scripts = [(filename, source) for filename, source in scripts]
-
-        start = time.perf_counter()
-        install_builtins(runtime)
-        ic_runtime = ICRuntime(runtime, counters, reuse_session, tracer=tracer)
-        vm = VM(
-            runtime,
-            counters,
-            ic_runtime,
-            feedback,
+        session = RunSession(
+            artifacts,
+            config=self.config,
+            seed=run_seed,
+            name=name,
+            icrecord=icrecord,
+            counters=counters,
+            tracer=tracer,
             time_source=time_source,
-            fastpaths=self.config.interp_fastpaths,
             budget=budget,
             cancel_token=cancel_token,
         )
-        try:
-            for code in compiled:
-                # Uncaught guest exceptions surface from run_code as
-                # JSLRuntimeError with a guest stack trace attached.
-                vm.run_code(code)
-        except ExecutionAborted as aborted:
-            counters.record_abort(aborted.reason)
-            counters.bytecode_cache_hits = (
-                self.code_cache.hits - cache_hits_before
-            )
-            counters.bytecode_cache_misses = (
-                self.code_cache.misses - cache_misses_before
-            )
-            aborted.profile = RunProfile(
-                name=name,
-                mode=mode + "-aborted",
-                counters=counters,
-                wall_time_ms=(time.perf_counter() - start) * 1000.0,
-                heap_bytes=runtime.heap.bytes_allocated,
-                console_output=list(runtime.console_output),
-                scripts=script_keys,
-                code_cache_hits=self.code_cache.hits - cache_hits_before,
-                code_cache_misses=self.code_cache.misses - cache_misses_before,
-            )
-            raise
-        wall_time_ms = (time.perf_counter() - start) * 1000.0
+        # Extraction state points at this run from here on, even if the
+        # run aborts: the IC information built during completed warmup
+        # is valid, so an interrupted Initial run still yields a usable
+        # partial record.
+        self._last_run = session
+        return session.execute()
 
-        counters.bytecode_cache_hits = self.code_cache.hits - cache_hits_before
-        counters.bytecode_cache_misses = self.code_cache.misses - cache_misses_before
+    # -- the last-run handle ------------------------------------------------
 
-        return RunProfile(
-            name=name,
-            mode=mode,
-            counters=counters,
-            wall_time_ms=wall_time_ms,
-            heap_bytes=runtime.heap.bytes_allocated,
-            console_output=list(runtime.console_output),
-            scripts=script_keys,
-            code_cache_hits=self.code_cache.hits - cache_hits_before,
-            code_cache_misses=self.code_cache.misses - cache_misses_before,
+    @property
+    def last_run(self) -> "RunSession | None":
+        """Session handle of the most recent (possibly aborted) run."""
+        return self._last_run
+
+    @property
+    def _last_runtime(self) -> "Runtime | None":
+        warnings.warn(
+            _LAST_RUNTIME_DEPRECATION.format(name="_last_runtime", attr="runtime"),
+            DeprecationWarning,
+            stacklevel=2,
         )
+        return self._last_run.runtime if self._last_run is not None else None
 
-    # -- record store traffic ----------------------------------------------------------
+    @property
+    def _last_feedback(self) -> "FeedbackState | None":
+        warnings.warn(
+            _LAST_RUNTIME_DEPRECATION.format(name="_last_feedback", attr="feedback"),
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._last_run.feedback if self._last_run is not None else None
+
+    @property
+    def _last_script_keys(self) -> list:
+        return list(self._last_run.script_keys) if self._last_run else []
+
+    @property
+    def _last_scripts(self) -> list:
+        return list(self._last_run.scripts) if self._last_run else []
+
+    # -- record store traffic -----------------------------------------------
 
     def _store_roundtrip(self, counters: Counters, operation):
         """Run one store operation, folding a remote store's hit/miss/
         fallback/eviction deltas into this run's counters.  Local stores
-        have no ``stats_snapshot`` and contribute nothing."""
+        have no ``stats_snapshot`` and contribute nothing.
+
+        The fold reads global store stats, so it is only exact while one
+        run is in flight; the concurrent executor skips it (aggregate
+        remote traffic stays available via ``record_store.status()``).
+        """
         snapshot = getattr(self.record_store, "stats_snapshot", None)
         before = snapshot() if snapshot is not None else None
         result = operation()
@@ -347,76 +295,33 @@ class Engine:
             counters = Counters()  # throwaway sink; remote stats still tally
         return self._store_roundtrip(counters, publish)
 
-    # -- record admission --------------------------------------------------------------
+    # -- record admission ---------------------------------------------------
 
     def _admit_record(
         self,
         candidate: "ICRecord | CorruptRecord",
         counters: Counters,
     ) -> "ICRecord | None":
-        """Gate one candidate record before a ReuseSession may be built.
+        """Gate one candidate record (see :func:`repro.core.session.admit_record`)."""
+        return admit_record(candidate, self.config, counters)
 
-        Returns the record if trustworthy, else None after counting the
-        degradation (or raising, under ``strict_validation``).
-        """
-        if isinstance(candidate, CorruptRecord):
-            if self.config.strict_validation:
-                raise RecordFormatError(
-                    f"corrupt ICRecord from {candidate.source}: {candidate.error}"
-                )
-            counters.ric_records_corrupt += 1
-            return None
-        if not isinstance(candidate, ICRecord):
-            raise TypeError(
-                "icrecord entries must be ICRecord or CorruptRecord, "
-                f"got {type(candidate).__name__}"
-            )
-        problems = validate_record(candidate)
-        if problems:
-            if self.config.strict_validation:
-                raise RecordFormatError(
-                    f"invalid ICRecord ({len(problems)} problems): "
-                    + "; ".join(problems[:5])
-                )
-            counters.ric_records_rejected += 1
-            return None
-        return candidate
-
-    # -- extraction --------------------------------------------------------------------
+    # -- extraction ---------------------------------------------------------
 
     def extract_icrecord(self) -> ICRecord:
         """Run the RIC extraction phase over the most recent execution."""
-        if self._last_runtime is None or self._last_feedback is None:
+        if self._last_run is None:
             raise RuntimeError("no completed run to extract from; call run() first")
-        return extract_icrecord(
-            self._last_runtime,
-            self._last_feedback,
-            config=self.config,
-            script_keys=self._last_script_keys,
-        )
+        return self._last_run.extract_icrecord()
 
     def extract_per_script_records(self) -> dict:
         """Per-file ICRecords from the most recent execution (paper §9:
         RIC information is maintained per JavaScript file and shareable
         across applications).  See :mod:`repro.ric.store`."""
-        if self._last_runtime is None or self._last_feedback is None:
+        if self._last_run is None:
             raise RuntimeError("no completed run to extract from; call run() first")
-        from repro.ric.store import extract_per_script_records
+        return self._last_run.extract_per_script_records()
 
-        records = extract_per_script_records(
-            self._last_runtime, self._last_feedback, config=self.config
-        )
-        # Stamp each record with its script's content identity so reuse can
-        # refuse records whose source has changed.
-        hash_by_filename = {
-            key.split(":", 1)[0]: key for key in self._last_script_keys
-        }
-        for filename, record in records.items():
-            if filename in hash_by_filename:
-                record.script_keys = [hash_by_filename[filename]]
-        return records
-
-    # -- the paper's full measurement protocol ------------------------------------------
+    # -- the paper's full measurement protocol ------------------------------
 
     def measure_workload(
         self, scripts: Scripts | str, name: str = "workload"

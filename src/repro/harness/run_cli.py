@@ -17,6 +17,7 @@ Examples::
     ric-run --disassemble lib.jsl            # show bytecode, don't run
     ric-run --bench-json BENCH_interp.json   # cold-vs-reuse perf baseline
     ric-run --max-steps 1000000 loop.jsl     # governed run (exit 5 on abort)
+    ric-run --jobs 4 a.jsl b.jsl c.jsl d.jsl # concurrent isolated sessions
     ric-run                                  # REPL
 
 Exit codes (one per failure class, so wrappers and CI can react without
@@ -92,6 +93,16 @@ def main(argv: list[str] | None = None) -> int:
         "--disassemble", action="store_true", help="print bytecode and exit"
     )
     parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run each FILE as its own isolated session, N at a time, over "
+        "one shared artifact cache (note: files no longer share globals or "
+        "stop at the first failure — every file runs; the first failing "
+        "file in argument order decides the exit code)",
+    )
     parser.add_argument(
         "--no-optimize",
         action="store_true",
@@ -271,6 +282,9 @@ def main(argv: list[str] | None = None) -> int:
         optimize=not args.no_optimize,
         record_store=store,
     )
+    if args.jobs != 1:
+        return _run_jobs(args, engine, scripts, store, budget)
+
     record = None
     if args.record and Path(args.record).exists():
         # Degrading load: a corrupt/stale record becomes a CorruptRecord
@@ -354,6 +368,95 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
     return 0
+
+
+def _run_jobs(args, engine, scripts, store, budget) -> int:
+    """--jobs N: one isolated concurrent session per file.
+
+    Unlike the sequential path the files do not share a global object and
+    a failure in one does not stop the others; outputs are printed in
+    file order once every session finishes.  The exit code is the
+    sequential one: the first failing file (in argument order) decides.
+    """
+    if args.jobs < 1:
+        print(f"ric-run: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return EXIT_USAGE
+    if args.record:
+        print(
+            "ric-run: --record is per-run state and cannot be combined "
+            "with --jobs; use --store-dir/--remote-store for shared records",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    if args.trace:
+        print("ric-run: --trace cannot be combined with --jobs", file=sys.stderr)
+        return EXIT_USAGE
+
+    from repro.core.executor import EngineExecutor, RunRequest
+
+    requests = [
+        RunRequest(
+            scripts=[script],
+            name=script[0],
+            use_store=store is not None,
+            budget=budget,
+        )
+        for script in scripts
+    ]
+    outcomes = EngineExecutor(engine).run_many(requests, jobs=args.jobs)
+
+    exit_code = EXIT_OK
+    for outcome in outcomes:
+        if outcome.profile is not None:
+            for line in outcome.profile.console_output:
+                print(line)
+        error = outcome.error
+        if error is None:
+            if store is not None and outcome.session is not None:
+                # Publish this file's records so later invocations — or
+                # other processes sharing the daemon — start warm.
+                records = outcome.session.extract_per_script_records()
+                for (filename, source) in outcome.session.scripts:
+                    record = records.get(filename)
+                    if record is not None:
+                        engine.record_store.put(filename, source, record)
+            continue
+        if isinstance(error, (JSLSyntaxError, JSLCompileError)):
+            code = EXIT_PARSE
+        elif isinstance(error, JSLError):
+            code = EXIT_RUNTIME
+        elif isinstance(error, ExecutionAborted):
+            code = EXIT_CANCELLED if isinstance(error, Cancelled) else EXIT_BUDGET
+        else:  # pragma: no cover - executor only captures the above
+            code = EXIT_INTERNAL
+        print(f"ric-run: {outcome.request.name}: {error}", file=sys.stderr)
+        if exit_code == EXIT_OK:  # first failing file in order decides
+            exit_code = code
+
+    if args.stats:
+        print("\n-- statistics (per file) " + "-" * 33, file=sys.stderr)
+        for outcome in outcomes:
+            profile = outcome.profile
+            if profile is None:
+                print(f"{outcome.request.name}: no profile", file=sys.stderr)
+                continue
+            counters = profile.counters
+            print(
+                f"{outcome.request.name}: "
+                f"{counters.total_instructions} instructions, "
+                f"IC {counters.ic_accesses} accesses "
+                f"({100 * counters.ic_miss_rate:.1f}% miss), "
+                f"{counters.ric_preloads} preloads, "
+                f"{profile.wall_time_ms:.2f} ms",
+                file=sys.stderr,
+            )
+        cache = engine.artifacts.stats()
+        print(
+            f"artifact cache: {cache.builds} builds, {cache.hits} hits, "
+            f"{cache.joins} joins",
+            file=sys.stderr,
+        )
+    return exit_code
 
 
 def _bench(args: argparse.Namespace) -> int:

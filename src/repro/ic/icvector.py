@@ -117,6 +117,8 @@ class FeedbackState:
     preloads can always find their target site.
     """
 
+    __slots__ = ("_vectors", "_vector_list", "_sites_by_key")
+
     def __init__(self) -> None:
         self._vectors: dict[int, ICVector] = {}
         self._vector_list: list[ICVector] = []

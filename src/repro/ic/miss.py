@@ -52,6 +52,19 @@ if typing.TYPE_CHECKING:  # pragma: no cover
 class ICRuntime:
     """Implements IC probes, hits and the runtime miss path."""
 
+    __slots__ = (
+        "runtime",
+        "counters",
+        "reuse_session",
+        "tracer",
+        "_load_field_cache",
+        "_store_field_cache",
+        "_load_element",
+        "_store_element",
+        "_load_array_length",
+        "stub_cache",
+    )
+
     def __init__(
         self,
         runtime: Runtime,

@@ -37,6 +37,20 @@ class ReuseSession:
     this session.
     """
 
+    __slots__ = (
+        "tracer",
+        "record",
+        "feedback",
+        "counters",
+        "config",
+        "_valid_files",
+        "address_by_hcid",
+        "hcid_by_address",
+        "validated",
+        "_handler_cache",
+        "_cd_sites_by_hcid",
+    )
+
     def __init__(
         self,
         record: ICRecord,
@@ -226,6 +240,8 @@ class MultiReuseSession:
     of them.  This is how per-file records extracted by *different
     applications* compose on a single page load.
     """
+
+    __slots__ = ("sessions",)
 
     def __init__(self, sessions: list[ReuseSession]):
         self.sessions = sessions

@@ -27,6 +27,7 @@ from __future__ import annotations
 import json
 import logging
 import os
+import threading
 import typing
 from pathlib import Path
 
@@ -235,6 +236,12 @@ class RecordStore:
     silently skipped — a store that quietly sheds entries looks identical
     to a store that never had them, which is exactly how corruption goes
     unnoticed in production.
+
+    Thread-safety contract: one store may serve many concurrent sessions
+    (the executor layer), so the entry map, size map and error list are
+    guarded by a re-entrant lock.  Records handed out are shared —
+    :class:`~repro.ric.reuse.ReuseSession` reads them strictly
+    read-only, so no copy is needed.
     """
 
     def __init__(
@@ -242,6 +249,7 @@ class RecordStore:
         directory: str | Path | None = None,
         quarantine: bool = True,
     ):
+        self._lock = threading.RLock()
         self._entries: dict[str, ICRecord] = {}
         #: Serialized payload bytes per key, for :meth:`status`.
         self._sizes: dict[str, int] = {}
@@ -279,17 +287,20 @@ class RecordStore:
         the source text, so the plain :meth:`put` signature cannot apply.
         """
         text = json.dumps(record_to_envelope(record, extra={"key": key}))
-        self._entries[key] = record
-        self._sizes[key] = len(text.encode("utf-8"))
-        if self._directory is not None:
-            with file_lock(self._lock_path(), exclusive=True):
-                atomic_write_text(self._path_for_key(key), text)
+        with self._lock:
+            self._entries[key] = record
+            self._sizes[key] = len(text.encode("utf-8"))
+            if self._directory is not None:
+                with file_lock(self._lock_path(), exclusive=True):
+                    atomic_write_text(self._path_for_key(key), text)
 
     def get(self, filename: str, source: str) -> ICRecord | None:
-        return self._entries.get(self._key(filename, source))
+        with self._lock:
+            return self._entries.get(self._key(filename, source))
 
     def get_by_key(self, key: str) -> ICRecord | None:
-        return self._entries.get(key)
+        with self._lock:
+            return self._entries.get(key)
 
     def records_for(self, scripts) -> list[ICRecord]:
         """Records available for a (filename, source) script list."""
@@ -301,7 +312,8 @@ class RecordStore:
         return found
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def status(self) -> dict:
         """Operational summary: entry count, payload bytes, casualties.
@@ -313,14 +325,15 @@ class RecordStore:
         quarantined = 0
         if self._directory is not None:
             quarantined = len(list(self._directory.glob("*.corrupt*")))
-        return {
-            "records": len(self._entries),
-            "bytes": sum(self._sizes.values()),
-            "quarantined": quarantined,
-            "quarantine_swept": self.quarantine_swept,
-            "load_errors": len(self.load_errors),
-            "directory": str(self._directory) if self._directory else None,
-        }
+        with self._lock:
+            return {
+                "records": len(self._entries),
+                "bytes": sum(self._sizes.values()),
+                "quarantined": quarantined,
+                "quarantine_swept": self.quarantine_swept,
+                "load_errors": len(self.load_errors),
+                "directory": str(self._directory) if self._directory else None,
+            }
 
     def sweep_quarantine(
         self,
@@ -366,7 +379,8 @@ class RecordStore:
                 swept += 1
             except OSError:  # pragma: no cover - raced removal
                 pass
-        self.quarantine_swept += swept
+        with self._lock:
+            self.quarantine_swept += swept
         return {"swept": swept, "kept": len(aged)}
 
     def _load_directory(self) -> None:

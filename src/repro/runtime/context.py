@@ -48,6 +48,25 @@ class LookupResult:
 class Runtime:
     """All mutable state of one guest execution."""
 
+    __slots__ = (
+        "heap",
+        "hidden_classes",
+        "rng",
+        "console_output",
+        "global_object",
+        "empty_object_hc",
+        "function_hc",
+        "native_function_hc",
+        "prototype_root_hc",
+        "array_hc",
+        "object_prototype",
+        "function_prototype",
+        "array_prototype",
+        "error_prototype",
+        "string_methods",
+        "number_methods",
+    )
+
     def __init__(self, seed: int | None = None):
         rng = random.Random(seed)
         self.heap = Heap(seed=rng.getrandbits(64))

@@ -42,6 +42,13 @@ BASELINE_ISOLATE_BYTES = 1_400_000
 class Heap:
     """Allocates monotonically increasing, run-randomized addresses."""
 
+    __slots__ = (
+        "_next_address",
+        "bytes_allocated",
+        "allocation_count",
+        "allocations_by_kind",
+    )
+
     def __init__(self, seed: int | None = None):
         rng = random.Random(seed)
         # A 47-bit user-space-style base, 4 KiB aligned.

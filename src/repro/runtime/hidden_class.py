@@ -91,6 +91,8 @@ class HiddenClassRegistry:
     validation engages (builtin creation and transitioning sites).
     """
 
+    __slots__ = ("_heap", "all_classes", "on_created")
+
     def __init__(self, heap: Heap):
         self._heap = heap
         self.all_classes: list[HiddenClass] = []

@@ -15,6 +15,8 @@ import math
 class _Undefined:
     """The single ``undefined`` value."""
 
+    __slots__ = ()
+
     _instance: "_Undefined | None" = None
 
     def __new__(cls) -> "_Undefined":
@@ -31,6 +33,8 @@ class _Undefined:
 
 class _Null:
     """The single ``null`` value."""
+
+    __slots__ = ()
 
     _instance: "_Null | None" = None
 

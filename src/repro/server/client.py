@@ -30,6 +30,16 @@ Remote records are written through to the fallback store on the way
 past, so anything learned from the daemon survives its death.  The
 ``stats`` dict feeds the per-run ``ric_remote_*`` counters
 (:class:`~repro.stats.counters.Counters`) via the engine.
+
+Thread-safety: one client is shared by every concurrent session of an
+engine (executor layer), so ``stats`` mutations sit behind their own
+lock (the transport lock already serializes the wire).  GETs are
+**single-flight** per (filename, source hash): when N cold sessions ask
+for the same script's record at once, one thread does the network
+round-trip and the rest share its result — each joiner still counts the
+same ``stats`` outcome, so per-request accounting stays truthful while
+the daemon sees one GET.  The circuit breaker is likewise shared: a
+dead daemon costs the fleet one timeout, not one per session.
 """
 
 from __future__ import annotations
@@ -56,6 +66,17 @@ from repro.server.protocol import ProtocolError
 
 class RemoteStoreError(Exception):
     """Transport- or protocol-level failure talking to the daemon."""
+
+
+class _GetFlight:
+    """One in-progress GET that concurrent callers can join."""
+
+    __slots__ = ("event", "record", "stat")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.record: "ICRecord | None" = None
+        self.stat: "str | None" = None
 
 
 class RemoteRecordStore:
@@ -97,7 +118,17 @@ class RemoteRecordStore:
         }
         self._sock: socket.socket | None = None
         self._lock = threading.Lock()
+        #: Guards ``stats`` (mutated on paths that don't hold the
+        #: transport lock, and read by snapshots mid-flight).
+        self._stats_lock = threading.Lock()
+        #: In-progress GETs other threads can join (single-flight).
+        self._get_flights: "dict[tuple[str, str], _GetFlight]" = {}
+        self._flight_lock = threading.Lock()
         self._dead_until = 0.0
+
+    def _count(self, stat: str, amount: int = 1) -> None:
+        with self._stats_lock:
+            self.stats[stat] += amount
 
     # -- transport ----------------------------------------------------------
 
@@ -151,7 +182,7 @@ class RemoteRecordStore:
                         pause *= 1.0 + self._retry_rng.random()
                         pause = min(pause, max(0.0, deadline - now))
                         attempt += 1
-                        self.stats["retries"] += 1
+                        self._count("retries")
                         if pause > 0:
                             time.sleep(pause)
                         continue
@@ -171,26 +202,57 @@ class RemoteRecordStore:
     # -- the store interface -------------------------------------------------
 
     def get(self, filename: str, source: str) -> ICRecord | None:
+        """Single-flighted GET: concurrent requests for one script share
+        one network round-trip (each still counted in ``stats``)."""
+        flight_key = (filename, source_hash(source))
+        with self._flight_lock:
+            flight = self._get_flights.get(flight_key)
+            if flight is None:
+                flight = _GetFlight()
+                self._get_flights[flight_key] = flight
+                leader = True
+            else:
+                leader = False
+        if not leader:
+            flight.event.wait()
+            if flight.stat is not None:
+                self._count(flight.stat)
+            return flight.record
+        try:
+            record, stat = self._get_once(filename, source)
+            flight.record = record
+            flight.stat = stat
+            return record
+        finally:
+            with self._flight_lock:
+                self._get_flights.pop(flight_key, None)
+            flight.event.set()
+
+    def _get_once(
+        self, filename: str, source: str
+    ) -> "tuple[ICRecord | None, str]":
+        """One real GET; returns ``(record, stat_key)`` where the stat
+        key names the outcome bucket (already counted for the caller)."""
         key = [filename, source_hash(source), ICRECORD_FORMAT_VERSION]
         try:
             response = self._request(protocol.request("GET", key=key))
         except RemoteStoreError:
-            self.stats["fallbacks"] += 1
-            return self.fallback.get(filename, source)
+            self._count("fallbacks")
+            return self.fallback.get(filename, source), "fallbacks"
         if not response.get("hit"):
-            self.stats["misses"] += 1
-            return self.fallback.get(filename, source)
+            self._count("misses")
+            return self.fallback.get(filename, source), "misses"
         try:
             # Never trust the daemon: full checksum + structural
             # re-verification, exactly as if the envelope came off disk.
             record = record_from_envelope(response.get("envelope"))
         except RecordFormatError:
-            self.stats["fallbacks"] += 1
-            return self.fallback.get(filename, source)
-        self.stats["hits"] += 1
+            self._count("fallbacks")
+            return self.fallback.get(filename, source), "fallbacks"
+        self._count("hits")
         # Write-back: what the daemon taught us survives its death.
         self.fallback.put(filename, source, record)
-        return record
+        return record, "hits"
 
     def put(self, filename: str, source: str, record: ICRecord) -> None:
         self.fallback.put(filename, source, record)
@@ -201,15 +263,15 @@ class RemoteRecordStore:
                 protocol.request("PUT", key=key, envelope=envelope)
             )
         except RemoteStoreError:
-            self.stats["fallbacks"] += 1
+            self._count("fallbacks")
             return
         if response.get("stored"):
-            self.stats["puts"] += 1
+            self._count("puts")
             evicted = response.get("evicted")
             if isinstance(evicted, int) and not isinstance(evicted, bool):
-                self.stats["evictions"] += max(evicted, 0)
+                self._count("evictions", max(evicted, 0))
         else:
-            self.stats["puts_rejected"] += 1
+            self._count("puts_rejected")
 
     def records_for(self, scripts) -> list[ICRecord]:
         found = []
@@ -246,7 +308,7 @@ class RemoteRecordStore:
         return {
             "socket": self.socket_path,
             "remote": remote,
-            "client": dict(self.stats),
+            "client": self.stats_snapshot(),
             "local": self.fallback.status(),
         }
 
@@ -277,7 +339,8 @@ class RemoteRecordStore:
             self._close()
 
     def stats_snapshot(self) -> dict[str, int]:
-        return dict(self.stats)
+        with self._stats_lock:
+            return dict(self.stats)
 
 
 def make_record_store(

@@ -96,9 +96,9 @@ def run_cold_and_reused(
         engine.run(record_from if record_from is not None else scripts, name=name)
         record = engine.extract_icrecord()
     cold = engine.run(scripts, name=name)
-    cold_state = serialize_user_globals(engine._last_runtime)
+    cold_state = serialize_user_globals(engine.last_run.runtime)
     reused = engine.run(scripts, name=name, icrecord=record)
-    reused_state = serialize_user_globals(engine._last_runtime)
+    reused_state = serialize_user_globals(engine.last_run.runtime)
     return ColdReuseRuns(
         engine=engine,
         record=record,

@@ -27,9 +27,7 @@ from repro.core.errors import (
     BudgetExceeded,
     Cancelled,
     DeadlineExceeded,
-    DepthBudgetExceeded,
     ExecutionAborted,
-    HeapBudgetExceeded,
     StepBudgetExceeded,
 )
 from repro.faults.budget_faults import BUDGET_FAULTS, runaway_loop

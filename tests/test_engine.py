@@ -48,21 +48,39 @@ class TestEngineRuns:
 
     def test_explicit_seed_reproduces_addresses(self, engine):
         engine.run(SOURCE, name="t", seed=77)
-        first = [hc.address for hc in engine._last_runtime.hidden_classes.all_classes]
+        first = [hc.address for hc in engine.last_run.runtime.hidden_classes.all_classes]
         engine.run(SOURCE, name="t", seed=77)
-        second = [hc.address for hc in engine._last_runtime.hidden_classes.all_classes]
+        second = [hc.address for hc in engine.last_run.runtime.hidden_classes.all_classes]
         assert first == second
 
     def test_default_runs_differ_in_addresses(self, engine):
         engine.run(SOURCE, name="t")
-        first = engine._last_runtime.heap._next_address
+        first = engine.last_run.runtime.heap._next_address
         engine.run(SOURCE, name="t")
-        second = engine._last_runtime.heap._next_address
+        second = engine.last_run.runtime.heap._next_address
         assert first != second
 
     def test_syntax_error_propagates(self, engine):
         with pytest.raises(JSLSyntaxError):
             engine.run("var = ;", name="bad")
+
+    def test_last_run_handle_exposes_session_state(self, engine):
+        assert engine.last_run is None
+        engine.run(SOURCE, name="t")
+        session = engine.last_run
+        assert session is not None
+        assert session.runtime is not None
+        assert session.feedback is not None
+        assert session.profile is not None and session.profile.name == "t"
+
+    def test_deprecated_last_runtime_shims_still_work(self, engine):
+        engine.run(SOURCE, name="t")
+        with pytest.warns(DeprecationWarning, match="last_run"):
+            runtime = engine._last_runtime
+        assert runtime is engine.last_run.runtime
+        with pytest.warns(DeprecationWarning, match="last_run"):
+            feedback = engine._last_feedback
+        assert feedback is engine.last_run.feedback
 
     def test_uncaught_guest_error_becomes_runtime_error(self, engine):
         with pytest.raises(JSLRuntimeError, match="uncaught"):

@@ -1,0 +1,193 @@
+"""Differential concurrency oracle for the executor layer.
+
+The contract (INTERNALS §11): N sessions sharing one artifact cache
+produce results **bit-identical** to the same N requests run solo —
+concurrency must never change what a run computes, only when it runs.
+The oracle is therefore differential: every ``run_many(jobs=N)`` batch
+is compared counter-for-counter against its sequential twin (same
+seeds, same artifacts, same records).
+"""
+
+import pytest
+
+from repro.core.budget import ExecutionBudget
+from repro.core.engine import Engine
+from repro.core.errors import BudgetExceeded, ExecutionAborted
+from repro.core.executor import EngineExecutor, RunRequest
+from repro.harness.bench import bench_workloads
+from repro.lang.errors import JSLRuntimeError, JSLSyntaxError
+
+SOURCE = """
+function T(v) { this.v = v; }
+var items = [new T(1), new T(2), new T(3)];
+var total = 0;
+for (var i = 0; i < items.length; i++) { total += items[i].v; }
+console.log("total", total);
+"""
+
+
+def _fingerprint(outcome):
+    """Everything a run computes, as comparable data."""
+    profile = outcome.profile
+    return {
+        "counters": profile.counters.as_dict(),
+        "console": profile.console_output,
+        "heap_bytes": profile.heap_bytes,
+        "mode": profile.mode,
+        "scripts": profile.scripts,
+    }
+
+
+class TestDifferentialOracle:
+    @pytest.mark.slow
+    def test_concurrent_counters_bit_identical_to_sequential(self):
+        """The acceptance oracle: jobs=4 over the eight workloads (one
+        warmed reuse run each) against their jobs=1 twins."""
+        engine = Engine(seed=11)
+        executor = EngineExecutor(engine)
+
+        requests = []
+        for index, (name, scripts) in enumerate(bench_workloads().items()):
+            engine.run(scripts, name=f"{name}-warm")
+            record = engine.extract_icrecord()
+            requests.append(
+                RunRequest(
+                    scripts=scripts,
+                    name=name,
+                    icrecord=record,
+                    seed=1000 + index,
+                )
+            )
+
+        sequential = executor.run_many(requests, jobs=1)
+        concurrent = executor.run_many(requests, jobs=4)
+
+        assert len(sequential) == len(concurrent) == 8
+        for seq, conc in zip(sequential, concurrent):
+            assert seq.ok and conc.ok
+            assert _fingerprint(seq) == _fingerprint(conc)
+        # Reuse actually happened under the pool (not silently cold).
+        assert all(
+            outcome.profile.counters.ric_validations > 0
+            for outcome in concurrent
+        )
+
+    def test_seed_draws_are_submission_ordered(self):
+        """Unseeded requests draw from the engine's stream at submission
+        time, so two identically-seeded engines agree request-for-request
+        whatever the pool width."""
+
+        def batch(jobs):
+            engine = Engine(seed=77)
+            outcomes = EngineExecutor(engine).run_many(
+                [RunRequest(scripts=SOURCE, name=f"r{i}") for i in range(6)],
+                jobs=jobs,
+            )
+            return [_fingerprint(outcome) for outcome in outcomes]
+
+        assert batch(1) == batch(4)
+
+
+class TestIsolation:
+    def test_one_failure_never_poisons_the_batch(self):
+        engine = Engine(seed=3)
+        executor = EngineExecutor(engine)
+        requests = [
+            RunRequest(scripts=SOURCE, name="ok-1"),
+            RunRequest(scripts="var = ;", name="syntax"),
+            RunRequest(scripts="nope();", name="guest-throw"),
+            RunRequest(scripts=SOURCE, name="ok-2"),
+        ]
+        outcomes = executor.run_many(requests, jobs=4)
+
+        # Outcomes come back in submission order, each tied to its request.
+        assert [outcome.request for outcome in outcomes] == requests
+        ok1, syntax, guest, ok2 = outcomes
+        assert ok1.ok and ok2.ok
+        assert ok1.profile.console_output == ["total 6"]
+        assert ok2.profile.console_output == ["total 6"]
+        assert isinstance(syntax.error, JSLSyntaxError)
+        assert not syntax.ok and syntax.profile is None
+        assert isinstance(guest.error, JSLRuntimeError)
+        # The engine stays fully usable after a mixed batch.
+        assert engine.run(SOURCE, name="after").console_output == ["total 6"]
+
+    def test_budget_abort_is_captured_per_session(self):
+        engine = Engine(seed=3)
+        executor = EngineExecutor(engine)
+        outcomes = executor.run_many(
+            [
+                RunRequest(
+                    scripts="while (true) { }",
+                    name="runaway",
+                    budget=ExecutionBudget(max_steps=500),
+                ),
+                RunRequest(scripts=SOURCE, name="ok"),
+            ],
+            jobs=2,
+        )
+        runaway, ok = outcomes
+        assert isinstance(runaway.error, BudgetExceeded)
+        assert isinstance(runaway.error, ExecutionAborted)
+        # The partial profile rides along, flagged as aborted.
+        assert runaway.profile is not None
+        assert runaway.profile.mode.endswith("-aborted")
+        assert ok.ok and ok.profile.console_output == ["total 6"]
+
+
+class TestSharedCaches:
+    def test_stampede_through_run_many_compiles_once(self, monkeypatch):
+        import repro.core.artifacts as artifacts_module
+
+        calls = []
+        real = artifacts_module.compile_source
+        monkeypatch.setattr(
+            artifacts_module,
+            "compile_source",
+            lambda source, filename: (calls.append(filename), real(source, filename))[1],
+        )
+        engine = Engine(seed=5)
+        outcomes = EngineExecutor(engine).run_many(
+            [
+                RunRequest(scripts=[("hot.jsl", SOURCE)], name=f"r{i}")
+                for i in range(12)
+            ],
+            jobs=6,
+        )
+        assert all(outcome.ok for outcome in outcomes)
+        assert len(calls) == 1
+        assert engine.artifacts.stats().builds == 1
+
+    def test_use_store_pins_one_fetch_per_script(self):
+        from tests.test_artifacts import CountingStore
+
+        warm = Engine(seed=9)
+        warm.run([("a.jsl", SOURCE)], name="warm")
+        record = warm.extract_icrecord()
+
+        store = CountingStore(record=record)
+        engine = Engine(seed=9, record_store=store)
+        outcomes = EngineExecutor(engine).run_many(
+            [
+                RunRequest(
+                    scripts=[("a.jsl", SOURCE)], name=f"r{i}", use_store=True
+                )
+                for i in range(8)
+            ],
+            jobs=4,
+        )
+        assert store.gets == 1  # one GET fleet-wide, pinned to the artifact
+        for outcome in outcomes:
+            assert outcome.ok
+            assert outcome.profile.mode == "reuse-ric"
+            assert outcome.profile.counters.ric_validations > 0
+
+    def test_sessions_remain_extractable(self):
+        engine = Engine(seed=13)
+        outcomes = EngineExecutor(engine).run_many(
+            [RunRequest(scripts=[("a.jsl", SOURCE)], name="r")], jobs=1
+        )
+        record = outcomes[0].session.extract_icrecord()
+        reused = engine.run([("a.jsl", SOURCE)], name="r", icrecord=record)
+        assert reused.mode == "reuse-ric"
+        assert reused.counters.ric_validations > 0

@@ -286,10 +286,10 @@ class TestFastPathCrossCheck:
     def _run_protocol(self, source: str, fastpaths: bool):
         engine = Engine(config=RICConfig(interp_fastpaths=fastpaths), seed=9)
         cold = engine.run(source, name="fuzz")
-        cold_state = serialize_user_globals(engine._last_runtime)
+        cold_state = serialize_user_globals(engine.last_run.runtime)
         record = engine.extract_icrecord()
         reused = engine.run(source, name="fuzz", icrecord=record)
-        reused_state = serialize_user_globals(engine._last_runtime)
+        reused_state = serialize_user_globals(engine.last_run.runtime)
         return {
             "cold_output": cold.console_output,
             "cold_counters": cold.counters.as_dict(),

@@ -15,7 +15,7 @@ from repro.workloads import WORKLOADS
 def run_and_runtime(source, seed=5):
     engine = Engine(seed=seed)
     engine.run(source, name="g")
-    return engine._last_runtime
+    return engine.last_run.runtime
 
 
 class TestGraphConstruction:
@@ -99,9 +99,9 @@ class TestStats:
         Table 1 hidden-class ordering, visible structurally."""
         engine = Engine(seed=5)
         engine.run(WORKLOADS["reactlike"].scripts(), name="react")
-        react = transition_stats(engine._last_runtime)
+        react = transition_stats(engine.last_run.runtime)
         engine.run(WORKLOADS["underscorelike"].scripts(), name="underscore")
-        underscore = transition_stats(engine._last_runtime)
+        underscore = transition_stats(engine.last_run.runtime)
         assert react.classes > underscore.classes
 
 

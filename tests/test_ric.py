@@ -7,7 +7,6 @@ validates nothing and stays correct.
 
 import pytest
 
-from repro.core.engine import Engine
 from repro.ric.extraction import extract_icrecord
 from repro.ric.serialize import (
     load_icrecord,
@@ -169,13 +168,11 @@ class TestFigure7:
     def test_divergence_never_preloads_wrong_slots(self, engine):
         engine.run(figure7_scripts(branch=False), name="fig7")
         record = engine.extract_icrecord()
-        divergent = engine.run(
-            figure7_scripts(branch=True), name="fig7", icrecord=record
-        )
+        engine.run(figure7_scripts(branch=True), name="fig7", icrecord=record)
         # L1 (the load of o.y) must not have been preloaded with the stale
         # offset — the transition chain diverged.  (Builtin-validated
         # dependents like console.log may still legitimately preload.)
-        feedback = engine._last_feedback
+        feedback = engine.last_run.feedback
         l1_sites = [
             site
             for site in feedback.all_sites()
@@ -212,9 +209,9 @@ class TestReuseRuns:
     def test_reuse_run_addresses_differ_but_validation_succeeds(self, engine):
         engine.run(self.WORKLOAD, name="vec")
         record = engine.extract_icrecord()
-        runtime_a = engine._last_runtime
+        runtime_a = engine.last_run.runtime
         ric = engine.run(self.WORKLOAD, name="vec", icrecord=record)
-        runtime_b = engine._last_runtime
+        runtime_b = engine.last_run.runtime
         addresses_a = {hc.index: hc.address for hc in runtime_a.hidden_classes.all_classes}
         addresses_b = {hc.index: hc.address for hc in runtime_b.hidden_classes.all_classes}
         assert addresses_a != addresses_b  # the paper's premise

@@ -17,7 +17,6 @@ end-to-end signal behavior against real ``ric-serve`` subprocesses
 
 from __future__ import annotations
 
-import json
 import os
 import random
 import signal

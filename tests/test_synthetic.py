@@ -32,7 +32,7 @@ class TestGenerator:
         engine.run(
             generated_scripts(shapes=2, fields_per_shape=fields), name="synth"
         )
-        stats = transition_stats(engine._last_runtime)
+        stats = transition_stats(engine.last_run.runtime)
         assert stats.max_chain_depth >= fields
 
     def test_sites_per_shape_scales_misses_per_hc(self):
