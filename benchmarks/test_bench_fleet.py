@@ -1,0 +1,102 @@
+"""Schema gate for the sharded-fleet bench (bench_fleet.py).
+
+Mirrors ``test_bench_remote.py``: a tiny configuration so it runs
+everywhere fast; the point is that the harness produces a schema-valid
+document and that killing one shard mid-run demonstrably costs nothing
+but failovers — not that the numbers are impressive.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+import pytest
+
+from bench_fleet import (
+    SCHEMA,
+    measure_fleet,
+    validate_fleet_json,
+    write_fleet_json,
+    zipfian_trace,
+)
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(socket, "AF_UNIX"), reason="unix domain sockets unavailable"
+)
+
+
+@pytest.fixture(scope="module")
+def document() -> dict:
+    return measure_fleet(shards=3, replication=2, keys=8, accesses=60, seed=1)
+
+
+def test_document_is_schema_valid(document):
+    assert document["schema"] == SCHEMA
+    assert validate_fleet_json(document) == []
+
+
+def test_healthy_phase_serves_everything_remotely(document):
+    healthy = document["phases"]["healthy"]
+    assert healthy["hit_rate"] == 1.0
+    assert healthy["failovers"] == 0
+    assert healthy["fallbacks"] == 0
+
+
+def test_shard_kill_costs_failovers_not_hits(document):
+    degraded = document["phases"]["degraded"]
+    # R=2: the surviving replica keeps the hit rate at 1.0 ...
+    assert degraded["hit_rate"] == 1.0
+    assert degraded["fallbacks"] == 0
+    # ... and the kill is visible only as failovers (the hottest key's
+    # primary is the victim, so the Zipfian trace must hop).
+    assert degraded["failovers"] > 0
+    assert document["fleet"]["killed_shard"]
+
+
+def test_latency_percentiles_are_ordered(document):
+    for phase in document["phases"].values():
+        assert 0.0 <= phase["p50_ms"] <= phase["p99_ms"]
+
+
+def test_totals_aggregate_phases(document):
+    totals = document["totals"]
+    phases = document["phases"]
+    assert (
+        totals["misses_averted"]
+        == phases["healthy"]["hits"] + phases["degraded"]["hits"]
+    )
+    assert totals["hit_rate"] == 1.0
+    assert totals["failovers"] == phases["degraded"]["failovers"]
+
+
+def test_zipfian_trace_is_seeded_and_skewed():
+    trace = zipfian_trace(keys=8, accesses=500, s=1.1, seed=7)
+    assert trace == zipfian_trace(keys=8, accesses=500, s=1.1, seed=7)
+    assert trace != zipfian_trace(keys=8, accesses=500, s=1.1, seed=8)
+    # Rank 0 is the hottest key by a wide margin.
+    assert trace.count(0) > trace.count(7)
+
+
+def test_write_round_trips(document, tmp_path):
+    path = tmp_path / "bench_fleet.json"
+    write_fleet_json(str(path), document)
+    assert json.loads(path.read_text()) == document
+
+
+def test_write_refuses_invalid_documents(tmp_path):
+    with pytest.raises(ValueError, match="invalid bench document"):
+        write_fleet_json(str(tmp_path / "bad.json"), {"schema": "nope"})
+
+
+def test_validator_reports_missing_phases():
+    broken = {
+        "schema": SCHEMA,
+        "config": {"shards": 3, "replication": 2, "keys": 8, "accesses": 60},
+        "fleet": {"killed_shard": "x"},
+        "totals": {"misses_averted": 1, "hit_rate": 1.0, "failovers": 0},
+        "phases": {"healthy": {}},
+    }
+    problems = validate_fleet_json(broken)
+    assert any("phases.degraded" in p for p in problems)
+    assert any("phases.healthy.hits" in p for p in problems)

@@ -47,11 +47,19 @@ class RICConfig:
     Remote record-store knobs (the cross-process sharing daemon,
     :mod:`repro.server`):
 
-    * ``remote_socket`` — unix-socket path of a ``ricd`` daemon
-      (``ric-serve``).  When set, an :class:`Engine` without an explicit
-      ``record_store`` builds a
-      :class:`~repro.server.client.RemoteRecordStore` with a local
-      in-memory fallback; ``None`` (default) keeps the store local.
+    * ``remote_socket`` — endpoint spec(s) of the ``ricd`` daemon(s)
+      (``ric-serve``): a unix-socket path, a ``HOST:PORT`` /
+      ``tcp://HOST:PORT`` TCP spec, or *several* endpoints (a tuple, or
+      one comma-separated string) for a sharded fleet.  When set, an
+      :class:`Engine` without an explicit ``record_store`` builds a
+      :class:`~repro.server.client.RemoteRecordStore` (one endpoint) or
+      a consistent-hash :class:`~repro.server.sharding.ShardedRecordStore`
+      (several) with a local in-memory fallback; ``None`` (default)
+      keeps the store local.
+    * ``remote_replication`` — replica count R for the sharded fleet:
+      every record is PUT to its R ring owners and a GET fails over
+      down that preference list.  Clamped to the fleet size; ignored
+      for a single endpoint.
     * ``remote_timeout_s`` — per-request socket timeout.  Deliberately
       small: a slow daemon must cost milliseconds, not stall a run.
     * ``remote_retry_s`` — circuit-breaker hold-off after a transport
@@ -86,7 +94,8 @@ class RICConfig:
     strict_validation: bool = False
     quarantine_corrupt: bool = True
     interp_fastpaths: bool = True
-    remote_socket: str | None = None
+    remote_socket: "str | tuple | None" = None
+    remote_replication: int = 2
     remote_timeout_s: float = 0.5
     remote_retry_s: float = 1.0
     remote_retries: int = 1

@@ -96,6 +96,7 @@ class Engine:
                 retries=self.config.remote_retries,
                 backoff_s=self.config.remote_backoff_s,
                 request_deadline_s=self.config.remote_deadline_s,
+                replication=self.config.remote_replication,
             )
         self.record_store = record_store
         #: The shared artifact cache every run (facade or executor) of
@@ -260,14 +261,21 @@ class Engine:
         result = operation()
         if before is not None:
             after = snapshot()
-            counters.ric_remote_hits += after["hits"] - before["hits"]
-            counters.ric_remote_misses += after["misses"] - before["misses"]
-            counters.ric_remote_fallbacks += (
-                after["fallbacks"] - before["fallbacks"]
-            )
-            counters.ric_remote_evictions += (
-                after["evictions"] - before["evictions"]
-            )
+            # Store stat key → run counter.  Keys a store doesn't track
+            # (e.g. "failovers" on a single-daemon client) fold nothing.
+            fold = {
+                "hits": "ric_remote_hits",
+                "misses": "ric_remote_misses",
+                "fallbacks": "ric_remote_fallbacks",
+                "evictions": "ric_remote_evictions",
+                "failovers": "ric_remote_failovers",
+                "proto_mismatch": "ric_remote_proto_mismatch",
+                "stale_epoch": "ric_remote_stale_epoch",
+            }
+            for stat, counter in fold.items():
+                if stat in after and stat in before:
+                    delta = after[stat] - before[stat]
+                    setattr(counters, counter, getattr(counters, counter) + delta)
         return result
 
     def publish_records(self, counters: Counters | None = None) -> int:

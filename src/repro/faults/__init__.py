@@ -15,7 +15,11 @@ from repro.faults.budget_faults import (
     runaway_loop,
 )
 from repro.faults.faulty_store import FaultyRecordStore
-from repro.faults.socket_faults import SOCKET_FAULTS, FlakySocketProxy
+from repro.faults.socket_faults import (
+    SOCKET_FAULTS,
+    FlakySocketProxy,
+    kill_shard,
+)
 from repro.faults.injectors import (
     FAULTS,
     Injector,
@@ -44,6 +48,7 @@ __all__ = [
     "flip_bits",
     "handler_swap",
     "inject_fault",
+    "kill_shard",
     "out_of_range_handler_id",
     "out_of_range_hcid",
     "stale_version",

@@ -1,9 +1,9 @@
 """Socket-level fault injection for the record-cache daemon path.
 
 :class:`FlakySocketProxy` sits between a :class:`~repro.server.client.
-RemoteRecordStore` and a real ricd daemon on a second unix socket,
-forwarding traffic while injecting one transport fault class — the three
-ways a network hop actually fails, as opposed to the *content* faults of
+RemoteRecordStore` and a real ricd daemon, forwarding traffic while
+injecting one transport fault class — the ways a network hop actually
+fails, as opposed to the *content* faults of
 :mod:`repro.faults.injectors`:
 
 * ``disconnect`` — drop the connection after forwarding a few response
@@ -13,14 +13,30 @@ ways a network hop actually fails, as opposed to the *content* faults of
   well-formed frame (a corrupted or hostile server: the length prefix
   lies, the body is noise);
 * ``slow`` — delay the response past the client's socket timeout (an
-  overloaded daemon: the client must cut its losses, not stall the run).
+  overloaded daemon — the *slow-shard* injector: the client must cut
+  its losses, not stall the run);
+* ``partition`` — black-hole the request: accept it, forward nothing,
+  answer nothing (a network partition between client and shard: the
+  client times out with the daemon alive and well on the far side).
 
-The chaos suite points a client at the proxy and asserts the PR 1
+Both ends speak either transport: ``listen``/``upstream`` are endpoint
+specs (unix path or ``HOST:PORT``, see
+:func:`repro.server.protocol.parse_endpoint`), so one proxy can sit in
+front of a unix-socket daemon or a TCP shard of a fleet.  The fault is
+*mutable mid-run* (:meth:`set_fault`/:meth:`clear_fault`), which is how
+the fleet chaos suite degrades one shard at a specific point in a run;
+``fault=None`` makes the proxy a transparent pass-through until armed.
+
+For whole-shard failures there is :func:`kill_shard`: an abrupt stop of
+an in-process :class:`~repro.server.daemon.RecordCacheDaemon` (listener
+torn down, no drain), the test-harness equivalent of SIGKILL.
+
+The chaos suites point clients at these injectors and assert the PR 1
 degradation contract one layer up: identical program output, no
-exception, ``ric_remote_fallbacks`` visibly bumped.
+exception, only ``ric_remote_*`` counters move.
 
-Faults fire with probability ``probability`` per *response*, driven by a
-seeded ``random.Random`` so runs are replayable.
+Faults fire with probability ``probability`` per *request/response*,
+driven by a seeded ``random.Random`` so runs are replayable.
 """
 
 from __future__ import annotations
@@ -31,27 +47,38 @@ import threading
 import time
 from pathlib import Path
 
+from repro.server import protocol
+
 #: The transport fault classes the chaos suite must prove harmless.
-SOCKET_FAULTS = ("disconnect", "garbage", "slow")
+SOCKET_FAULTS = ("disconnect", "garbage", "slow", "partition")
+
+
+def kill_shard(daemon) -> None:
+    """Abruptly kill an in-process daemon: every live client connection
+    severed mid-whatever, listeners closed, no drain — the harness
+    equivalent of SIGKILL-ing one shard of a fleet."""
+    daemon.kill()
 
 
 class FlakySocketProxy:
-    """A unix-socket proxy that injects transport faults into responses."""
+    """A stream-socket proxy that injects transport faults, either
+    transport on either side."""
 
     def __init__(
         self,
         listen_path: str | Path,
         upstream_path: str | Path,
-        fault: str,
+        fault: "str | None",
         probability: float = 1.0,
         seed: int = 0,
         slow_delay_s: float = 2.0,
     ):
-        if fault not in SOCKET_FAULTS:
+        if fault is not None and fault not in SOCKET_FAULTS:
             raise ValueError(f"unknown socket fault {fault!r}")
-        self.listen_path = Path(listen_path)
+        self.listen_spec = str(listen_path)
         self.upstream_path = str(upstream_path)
-        self.fault = fault
+        self._fault = fault
+        self._fault_lock = threading.Lock()
         self.probability = probability
         self.slow_delay_s = slow_delay_s
         self._rng = random.Random(seed)
@@ -59,18 +86,55 @@ class FlakySocketProxy:
         self._listener: socket.socket | None = None
         self._accept_thread: threading.Thread | None = None
         self._stop = threading.Event()
-        #: How many responses were tampered with, for assertions.
+        #: The dialable spec of the listener (rewritten after bind so a
+        #: ``HOST:0`` TCP listen spec reports its real port).
+        self.endpoint = self.listen_spec
+        #: How many requests/responses were tampered with, for assertions.
         self.injected = 0
+
+    # -- back-compat aliases (the proxy predates TCP support) ---------------
+
+    @property
+    def listen_path(self) -> Path:
+        return Path(self.listen_spec)
+
+    # -- fault control -------------------------------------------------------
+
+    @property
+    def fault(self) -> "str | None":
+        with self._fault_lock:
+            return self._fault
+
+    def set_fault(self, fault: "str | None") -> None:
+        """Re-arm the proxy mid-run (``None`` = pass-through)."""
+        if fault is not None and fault not in SOCKET_FAULTS:
+            raise ValueError(f"unknown socket fault {fault!r}")
+        with self._fault_lock:
+            self._fault = fault
+
+    def clear_fault(self) -> None:
+        self.set_fault(None)
 
     # -- lifecycle -----------------------------------------------------------
 
     def start(self) -> None:
         if self._listener is not None:
             raise RuntimeError("proxy already started")
-        if self.listen_path.exists():
-            self.listen_path.unlink()
-        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        listener.bind(str(self.listen_path))
+        kind, address = protocol.parse_endpoint(self.listen_spec)
+        if kind == "tcp":
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((address[0], int(address[1])))
+            self.endpoint = protocol.format_endpoint(
+                "tcp", listener.getsockname()[:2]
+            )
+        else:
+            path = Path(str(address))
+            if path.exists():
+                path.unlink()
+            listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            listener.bind(str(path))
+            self.endpoint = str(path)
         listener.listen(16)
         listener.settimeout(0.2)
         self._listener = listener
@@ -87,9 +151,10 @@ class FlakySocketProxy:
         if self._listener is not None:
             self._listener.close()
             self._listener = None
-        if self.listen_path.exists():
+        kind, address = protocol.parse_endpoint(self.listen_spec)
+        if kind == "unix" and Path(str(address)).exists():
             try:
-                self.listen_path.unlink()
+                Path(str(address)).unlink()
             except OSError:  # pragma: no cover
                 pass
 
@@ -115,47 +180,73 @@ class FlakySocketProxy:
                 target=self._serve_connection, args=(client,), daemon=True
             ).start()
 
+    def _fire(self) -> "str | None":
+        """The fault to inject for this exchange, or None."""
+        fault = self.fault
+        if fault is None:
+            return None
+        with self._rng_lock:
+            if self._rng.random() >= self.probability:
+                return None
+        return fault
+
     def _serve_connection(self, client: socket.socket) -> None:
         try:
-            upstream = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            upstream.connect(self.upstream_path)
+            upstream = protocol.connect_endpoint(self.upstream_path, 0.2)
         except OSError:
             client.close()
             return
         client.settimeout(0.2)
-        upstream.settimeout(0.2)
+        upstream.settimeout(2.0)
         try:
             while not self._stop.is_set():
-                request = _pump_one(client, upstream)
+                # An idle client is not a fault: keep the connection open
+                # (polling _stop) until a request arrives or the peer
+                # hangs up for real.
+                request = _read_whole_frame(client, idle_ok=True)
+                if request is _IDLE:
+                    continue
                 if request is None:
                     return
-                response = _read_available(upstream)
+                fault = self._fire()
+                if fault == "partition":
+                    # Black hole: the request never reaches the daemon
+                    # and no bytes ever come back; hold the connection
+                    # until the client's timeout walks away from it.
+                    self.injected += 1
+                    self._stop.wait(self.slow_delay_s)
+                    return
+                try:
+                    upstream.sendall(request)
+                except OSError:
+                    return
+                response = _read_whole_frame(upstream)
                 if response is None:
                     return
-                if not self._inject(client, response):
+                if not self._inject(client, response, fault):
                     return
         finally:
             client.close()
             upstream.close()
 
-    def _inject(self, client: socket.socket, response: bytes) -> bool:
+    def _inject(
+        self, client: socket.socket, response: bytes, fault: "str | None"
+    ) -> bool:
         """Forward (possibly tampered) response; False = drop connection."""
-        with self._rng_lock:
-            fire = self._rng.random() < self.probability
-        if not fire:
+        if fault is None:
             try:
                 client.sendall(response)
             except OSError:
                 return False
             return True
         self.injected += 1
-        if self.fault == "disconnect":
+        if fault == "disconnect":
             try:
                 client.sendall(response[: max(1, len(response) // 3)])
             except OSError:
                 pass
             return False
-        if self.fault == "garbage":
+        if fault == "garbage":
             with self._rng_lock:
                 noise = bytes(self._rng.randrange(256) for _ in range(64))
             try:
@@ -174,13 +265,20 @@ class FlakySocketProxy:
         return False
 
 
-def _read_whole_frame(sock: socket.socket) -> bytes | None:
+#: Sentinel: a read timed out before any bytes arrived (peer is merely
+#: idle, not gone).
+_IDLE = object()
+
+
+def _read_whole_frame(sock: socket.socket, idle_ok: bool = False):
     """Read one complete length-prefixed frame (header + body) as raw
-    bytes; None on EOF, timeout, or a mid-frame surprise."""
+    bytes; None on EOF, timeout, or a mid-frame surprise.  With
+    ``idle_ok``, a timeout before the first byte returns :data:`_IDLE`
+    instead so callers can keep a quiet connection alive."""
     import struct
 
+    header = b""
     try:
-        header = b""
         while len(header) < 4:
             chunk = sock.recv(4 - len(header))
             if not chunk:
@@ -195,23 +293,10 @@ def _read_whole_frame(sock: socket.socket) -> bytes | None:
             if not chunk:
                 return None
             body += chunk
-    except (socket.timeout, OSError):
+    except socket.timeout:
+        if idle_ok and not header:
+            return _IDLE
         return None
-    return header + body
-
-
-def _pump_one(client: socket.socket, upstream: socket.socket) -> bytes | None:
-    """Forward one client→daemon request frame; None on EOF/timeout."""
-    frame = _read_whole_frame(client)
-    if frame is None:
-        return None
-    try:
-        upstream.sendall(frame)
     except OSError:
         return None
-    return frame
-
-
-def _read_available(upstream: socket.socket) -> bytes | None:
-    """Read the daemon's one response frame to the forwarded request."""
-    return _read_whole_frame(upstream)
+    return header + body

@@ -12,6 +12,8 @@ Examples::
     ric-run --record /tmp/lib.ric lib.jsl    # persist/reuse the ICRecord
     ric-run --store-dir /tmp/ricstore lib.jsl    # per-script RecordStore
     ric-run --remote-store /tmp/ricd.sock lib.jsl  # share via a ricd daemon
+    ric-run --remote-store h1:7401,h2:7401,h3:7401 lib.jsl  # sharded fleet
+    ric-run --remote-store h1:7401,h2:7401,h3:7401 --bump-epoch  # invalidate fleet
     ric-run --store-dir /tmp/ricstore --store-status  # store health summary
     ric-run --trace lib.jsl                  # print the IC event trace
     ric-run --disassemble lib.jsl            # show bytecode, don't run
@@ -79,9 +81,28 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--remote-store",
-        metavar="SOCKET",
-        help="unix socket of a ric-serve daemon; --store-dir (if given) "
+        metavar="ENDPOINT",
+        action="append",
+        default=None,
+        help="endpoint of a ric-serve daemon: a unix socket path or "
+        "HOST:PORT.  Repeat the flag (or comma-separate) for a sharded "
+        "fleet routed by consistent hashing; --store-dir (if given) "
         "becomes the local fallback store",
+    )
+    parser.add_argument(
+        "--replication",
+        type=int,
+        default=2,
+        metavar="R",
+        help="fleet replication factor: each record lives on R shards "
+        "(PUT fan-out, GET failover); clamped to the fleet size",
+    )
+    parser.add_argument(
+        "--bump-epoch",
+        action="store_true",
+        help="broadcast a fleet-epoch bump to every --remote-store "
+        "endpoint (invalidating all previously published records on "
+        "every shard and replica) and exit",
     )
     parser.add_argument(
         "--store-status",
@@ -189,16 +210,64 @@ def main(argv: list[str] | None = None) -> int:
     if args.bench_json:
         return _bench(args)
 
+    # --remote-store may be repeated and each value comma-separated;
+    # flatten to one endpoint list (order matters only for display —
+    # routing is by consistent hash).
+    endpoints: "list[str] | None" = None
+    if args.remote_store:
+        endpoints = [
+            part.strip()
+            for spec in args.remote_store
+            for part in str(spec).split(",")
+            if part.strip()
+        ]
+    if args.replication < 1:
+        print(
+            f"ric-run: --replication must be >= 1, got {args.replication}",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+
     store = None
-    if args.remote_store or args.store_dir:
+    if endpoints or args.store_dir:
         from repro.server.client import make_record_store
 
-        store = make_record_store(args.remote_store, directory=args.store_dir)
+        store = make_record_store(
+            endpoints,
+            directory=args.store_dir,
+            replication=args.replication,
+        )
 
-    if args.require_store and args.remote_store:
+    if args.bump_epoch:
+        if not endpoints:
+            print(
+                "ric-run: --bump-epoch needs --remote-store", file=sys.stderr
+            )
+            return EXIT_USAGE
+        epoch = store.bump_epoch()
+        if epoch is None:
+            print(
+                "ric-run: --bump-epoch: no shard acknowledged "
+                f"({', '.join(endpoints)})",
+                file=sys.stderr,
+            )
+            return EXIT_STORE_UNAVAILABLE
+        print(f"ric-run: fleet epoch is now {epoch}", file=sys.stderr)
+        missed = getattr(store, "last_bump_missed", [])
+        if missed:
+            print(
+                f"ric-run: warning: {len(missed)} shard(s) missed the "
+                f"bump ({', '.join(missed)}); re-run --bump-epoch when "
+                "they rejoin",
+                file=sys.stderr,
+            )
+        if not args.files and not args.store_status:
+            return EXIT_OK
+
+    if args.require_store and endpoints:
         if not store.ping():
             print(
-                f"ric-run: record store unavailable: {args.remote_store}",
+                f"ric-run: record store unavailable: {', '.join(endpoints)}",
                 file=sys.stderr,
             )
             return EXIT_STORE_UNAVAILABLE
@@ -358,6 +427,9 @@ def main(argv: list[str] | None = None) -> int:
             f"{counters.ric_remote_misses} misses, "
             f"{counters.ric_remote_fallbacks} fallbacks, "
             f"{counters.ric_remote_evictions} evictions\n"
+            f"remote fleet:       {counters.ric_remote_failovers} failovers, "
+            f"{counters.ric_remote_proto_mismatch} proto mismatches, "
+            f"{counters.ric_remote_stale_epoch} stale-epoch refusals\n"
             f"budget aborts:      {counters.budget_aborts_total} "
             f"(steps {counters.budget_aborts_steps}, "
             f"heap {counters.budget_aborts_heap}, "

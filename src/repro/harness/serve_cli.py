@@ -1,9 +1,10 @@
 """``ric-serve`` — run the record-cache daemon (ricd).
 
-Serves ICRecords to many engine processes over a unix-domain socket
-(:mod:`repro.server`), with an in-memory LRU bounded by record count and
-bytes, write-through persistence to ``--dir``, and per-PUT validation so
-one client can never poison another.
+Serves ICRecords to many engine processes over a unix-domain socket, a
+TCP port (``--tcp HOST:PORT``), or both (:mod:`repro.server`), with an
+in-memory LRU bounded by record count and bytes, write-through
+persistence to ``--dir``, and per-PUT validation so one client can
+never poison another.
 
 Two-terminal demo::
 
@@ -14,6 +15,14 @@ Two-terminal demo::
     # records through the daemon (watch "remote hits" in --stats)
     ric-run --remote-store /tmp/ricd.sock --stats lib.jsl
     ric-run --remote-store /tmp/ricd.sock --stats lib.jsl
+
+Fleet demo (three TCP shards, see INTERNALS §12)::
+
+    ric-serve --tcp 127.0.0.1:7401 --dir /tmp/shard1 &
+    ric-serve --tcp 127.0.0.1:7402 --dir /tmp/shard2 &
+    ric-serve --tcp 127.0.0.1:7403 --dir /tmp/shard3 &
+    ric-run --remote-store 127.0.0.1:7401,127.0.0.1:7402,127.0.0.1:7403 \\
+            --stats lib.jsl
 
 Lifecycle (INTERNALS §10):
 
@@ -45,9 +54,17 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="ric-serve", description=__doc__)
     parser.add_argument(
         "--socket",
-        required=True,
+        default=None,
         metavar="PATH",
         help="unix-domain socket to listen on",
+    )
+    parser.add_argument(
+        "--tcp",
+        default=None,
+        metavar="HOST:PORT",
+        help="TCP address to listen on (same protocol; port 0 picks an "
+        "ephemeral port, printed on startup); may be combined with "
+        "--socket",
     )
     parser.add_argument(
         "--dir",
@@ -105,14 +122,19 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _serve(args: argparse.Namespace) -> int:
-    daemon = RecordCacheDaemon(
-        args.socket,
-        directory=args.dir,
-        max_records=args.max_records,
-        max_bytes=args.max_bytes,
-        read_timeout_s=args.read_timeout,
-        write_timeout_s=args.write_timeout,
-    )
+    try:
+        daemon = RecordCacheDaemon(
+            args.socket,
+            directory=args.dir,
+            max_records=args.max_records,
+            max_bytes=args.max_bytes,
+            read_timeout_s=args.read_timeout,
+            write_timeout_s=args.write_timeout,
+            tcp=args.tcp,
+        )
+    except ValueError as exc:
+        print(f"ric-serve: {exc}", file=sys.stderr)
+        return 2
 
     stop = threading.Event()
     #: Filled by the drain thread; read after serve_forever returns.
@@ -146,16 +168,18 @@ def _serve(args: argparse.Namespace) -> int:
 
         threading.Thread(target=report, daemon=True).start()
 
-    print(
-        f"ric-serve: listening on {args.socket}"
-        + (f", persisting to {args.dir}" if args.dir else " (memory-only)"),
-        file=sys.stderr,
-    )
+    # Bind before announcing, so --tcp HOST:0 prints the real port.
     try:
-        daemon.serve_forever()
+        daemon.start()
     except OSError as exc:
         print(f"ric-serve: {exc}", file=sys.stderr)
         return 1
+    print(
+        f"ric-serve: listening on {', '.join(daemon.endpoints)}"
+        + (f", persisting to {args.dir}" if args.dir else " (memory-only)"),
+        file=sys.stderr,
+    )
+    daemon.serve_forever()
     # serve_forever returned: either a hard stop or a drain's shutdown()
     # call.  Wait for the drain to finish its in-flight accounting before
     # deciding the exit code — a fully drained SIGTERM must exit 0.

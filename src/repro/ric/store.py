@@ -265,6 +265,11 @@ class RecordStore:
             self._directory.mkdir(parents=True, exist_ok=True)
             self._load_directory()
 
+    @property
+    def directory(self) -> "Path | None":
+        """Backing directory, or ``None`` for a memory-only store."""
+        return self._directory
+
     @staticmethod
     def _key(filename: str, source: str) -> str:
         return f"{filename}:{source_hash(source)}"
@@ -334,6 +339,28 @@ class RecordStore:
                 "load_errors": len(self.load_errors),
                 "directory": str(self._directory) if self._directory else None,
             }
+
+    def clear(self) -> int:
+        """Drop every entry, in memory and on disk; returns how many died.
+
+        The epoch-invalidation primitive (INTERNALS §12): when the fleet
+        epoch bumps, records extracted from the old source must die
+        everywhere, including the write-through directory that would
+        otherwise resurrect them after a daemon restart.  Quarantined
+        ``*.corrupt`` files are left for post-mortem (they were never
+        servable anyway)."""
+        with self._lock:
+            count = len(self._entries)
+            self._entries.clear()
+            self._sizes.clear()
+            if self._directory is not None:
+                with file_lock(self._lock_path(), exclusive=True):
+                    for path in self._directory.glob("*.icrecord.json"):
+                        try:
+                            path.unlink()
+                        except OSError:  # pragma: no cover - raced removal
+                            pass
+        return count
 
     def sweep_quarantine(
         self,

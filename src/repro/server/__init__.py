@@ -17,39 +17,58 @@ account; this package realizes it *across processes*:
   degrades gracefully: on connect/timeout/protocol error it falls back
   to a local store, bumps the ``ric_remote_*`` counters, and never
   fails the run.
+* :class:`ShardedRecordStore` scales that to a *fleet*: a
+  consistent-hash ring (:class:`HashRing`) of N daemons with
+  replication factor R — PUT fan-out, GET failover, per-shard circuit
+  breakers, and epoch-based fleet-wide invalidation (``EVICT_EPOCH`` +
+  :class:`EpochClock` gossip) so invalidated records die on every
+  shard and replica.
 
 Wire format and degradation ladder: :mod:`repro.server.protocol` and
-docs/INTERNALS.md §9.
+docs/INTERNALS.md §9 (single daemon) / §12 (fleet).
 """
 
 from repro.server.client import (
+    EpochClock,
+    RemoteProtoMismatch,
     RemoteRecordStore,
     RemoteStoreError,
     make_record_store,
 )
 from repro.server.daemon import RecordCacheDaemon
 from repro.server.lru import LRUCache
+from repro.server.sharding import HashRing, ShardedRecordStore
 from repro.server.supervisor import Supervisor
 from repro.server.protocol import (
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
     ProtocolError,
     cache_key,
+    connect_endpoint,
+    format_endpoint,
+    parse_endpoint,
     read_frame,
     write_frame,
 )
 
 __all__ = [
+    "EpochClock",
+    "HashRing",
     "LRUCache",
     "MAX_FRAME_BYTES",
     "PROTOCOL_VERSION",
     "ProtocolError",
     "RecordCacheDaemon",
+    "RemoteProtoMismatch",
     "RemoteRecordStore",
     "RemoteStoreError",
+    "ShardedRecordStore",
     "Supervisor",
     "cache_key",
+    "connect_endpoint",
+    "format_endpoint",
     "make_record_store",
+    "parse_endpoint",
     "read_frame",
     "write_frame",
 ]

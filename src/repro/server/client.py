@@ -2,7 +2,11 @@
 
 Satisfies :class:`~repro.ric.store.RecordStoreProtocol`, so the engine,
 ``ric-run`` and the bench harness use it wherever a local
-:class:`~repro.ric.store.RecordStore` fits.  The defining property is
+:class:`~repro.ric.store.RecordStore` fits.  The daemon endpoint is a
+unix socket path or a ``HOST:PORT`` TCP spec (see
+:func:`repro.server.protocol.parse_endpoint`); for a multi-shard fleet
+see :class:`~repro.server.sharding.ShardedRecordStore`, which routes
+keys over a ring of these clients.  The defining property is
 the **degradation ladder** (extending the PR 1 discipline from corrupt
 *records* to a failing *transport*): a reuse run pointed at a dead,
 slow, or lying daemon must behave exactly like one pointed at its local
@@ -44,6 +48,7 @@ dead daemon costs the fleet one timeout, not one per session.
 
 from __future__ import annotations
 
+import logging
 import random
 import socket
 import threading
@@ -63,9 +68,52 @@ from repro.ric.store import RecordStore
 from repro.server import protocol
 from repro.server.protocol import ProtocolError
 
+logger = logging.getLogger(__name__)
+
 
 class RemoteStoreError(Exception):
     """Transport- or protocol-level failure talking to the daemon."""
+
+
+class RemoteProtoMismatch(RemoteStoreError):
+    """The daemon answered cleanly but does not speak this dialect —
+    an unknown verb or a different protocol version.  The mixed-fleet
+    rolling-upgrade signal: the daemon is *alive* (no breaker trip, no
+    retry burn), just older/newer than this client.  Counted as
+    ``proto_mismatch`` in :attr:`RemoteRecordStore.stats` and folded
+    into the run's ``ric_remote_proto_mismatch`` counter."""
+
+
+class EpochClock:
+    """A thread-safe max-register for the fleet epoch.
+
+    Every daemon response echoes the daemon's epoch; every client
+    request carries the highest epoch its clock has seen.  Shared by all
+    shard clients of a :class:`~repro.server.sharding.ShardedRecordStore`,
+    so an epoch learned from one shard immediately protects GETs against
+    stale replicas of every other shard."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self, value: int = 0):
+        self._value = int(value)
+        self._lock = threading.Lock()
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+    def advance(self, epoch) -> bool:
+        """Adopt a higher epoch; returns True if the clock moved.
+        Non-int and lower values are ignored (old daemons send none)."""
+        if not isinstance(epoch, int) or isinstance(epoch, bool):
+            return False
+        with self._lock:
+            if epoch <= self._value:
+                return False
+            self._value = epoch
+            return True
 
 
 class _GetFlight:
@@ -92,7 +140,11 @@ class RemoteRecordStore:
         backoff_s: float = 0.05,
         request_deadline_s: float = 2.0,
         retry_seed: int | None = None,
+        epoch_clock: "EpochClock | None" = None,
     ):
+        #: The endpoint spec — a unix socket path or ``HOST:PORT`` /
+        #: ``tcp://``/``unix://`` form.  The name predates TCP support and
+        #: is kept for API stability.
         self.socket_path = str(socket_path)
         self.fallback = fallback if fallback is not None else RecordStore()
         self.timeout_s = timeout_s
@@ -103,10 +155,15 @@ class RemoteRecordStore:
         self.backoff_s = backoff_s
         self.request_deadline_s = request_deadline_s
         self._retry_rng = random.Random(retry_seed)
+        #: Fleet epoch gossip register; shared across shard clients when
+        #: this store sits inside a ShardedRecordStore.
+        self._epoch_clock = epoch_clock if epoch_clock is not None else EpochClock()
         #: hits/misses are remote answers; fallbacks are requests that the
         #: transport failed and the local store absorbed; evictions is the
         #: daemon-reported eviction total our PUTs triggered; retries is
-        #: transient failures the retry budget absorbed invisibly.
+        #: transient failures the retry budget absorbed invisibly;
+        #: proto_mismatch is clean refusals from a daemon speaking another
+        #: dialect; stale_epoch is hits/puts refused by epoch fencing.
         self.stats: dict[str, int] = {
             "hits": 0,
             "misses": 0,
@@ -115,6 +172,8 @@ class RemoteRecordStore:
             "puts": 0,
             "puts_rejected": 0,
             "retries": 0,
+            "proto_mismatch": 0,
+            "stale_epoch": 0,
         }
         self._sock: socket.socket | None = None
         self._lock = threading.Lock()
@@ -132,11 +191,13 @@ class RemoteRecordStore:
 
     # -- transport ----------------------------------------------------------
 
+    @property
+    def epoch(self) -> int:
+        """Highest fleet epoch this client has learned via gossip."""
+        return self._epoch_clock.value
+
     def _connect(self) -> socket.socket:
-        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        sock.settimeout(self.timeout_s)
-        sock.connect(self.socket_path)
-        return sock
+        return protocol.connect_endpoint(self.socket_path, self.timeout_s)
 
     def _close(self) -> None:
         if self._sock is not None:
@@ -194,10 +255,120 @@ class RemoteRecordStore:
                     # breaker, but do drop the connection (the server
                     # closes after errors).
                     self._close()
-                    raise RemoteStoreError(
-                        str(response.get("error", "unknown error"))
-                    )
+                    error = str(response.get("error", "unknown error"))
+                    if error.startswith("unknown op") or "protocol version" in error:
+                        # Mixed-fleet dialect skew: the daemon is alive but
+                        # older/newer than us.  Log-and-count rather than
+                        # fail opaquely so rolling upgrades stay observable.
+                        self._count("proto_mismatch")
+                        logger.warning(
+                            "ricd at %s refused %s: %s (protocol mismatch)",
+                            self.socket_path,
+                            message.get("op"),
+                            error,
+                        )
+                        raise RemoteProtoMismatch(error)
+                    raise RemoteStoreError(error)
+                self._epoch_clock.advance(response.get("epoch"))
                 return response
+
+    # -- shard-level primitives ----------------------------------------------
+    #
+    # ``remote_get``/``remote_put`` are the *stat-free* remote-only ops a
+    # ShardedRecordStore composes: no fallback consult, no stats counting
+    # (except proto_mismatch inside ``_request``), just one outcome per
+    # wire exchange.  The ladder of outcomes is what the router needs to
+    # decide failover: "error" (transport/breaker) means try a replica,
+    # everything else is an authoritative answer from a live shard.
+
+    def remote_get(
+        self, filename: str, source: str
+    ) -> "tuple[str, ICRecord | None]":
+        """One remote-only GET.  Returns ``(outcome, record)`` where the
+        outcome is ``"hit"`` (verified record), ``"miss"``, ``"stale"``
+        (the shard served a record admitted before the fleet epoch this
+        client knows — a lagging replica must not resurrect it),
+        ``"mismatch"`` (dialect skew), or ``"error"`` (transport/breaker
+        failure, or an envelope that failed re-verification)."""
+        key = [filename, source_hash(source), ICRECORD_FORMAT_VERSION]
+        try:
+            response = self._request(
+                protocol.request("GET", key=key, epoch=self._epoch_clock.value)
+            )
+        except RemoteProtoMismatch:
+            return ("mismatch", None)
+        except RemoteStoreError:
+            return ("error", None)
+        if not response.get("hit"):
+            return ("miss", None)
+        record_epoch = response.get("record_epoch")
+        if (
+            isinstance(record_epoch, int)
+            and not isinstance(record_epoch, bool)
+            and record_epoch < self._epoch_clock.value
+        ):
+            return ("stale", None)
+        try:
+            # Never trust the daemon: full checksum + structural
+            # re-verification, exactly as if the envelope came off disk.
+            record = record_from_envelope(response.get("envelope"))
+        except RecordFormatError:
+            return ("error", None)
+        return ("hit", record)
+
+    def remote_put(
+        self, filename: str, source: str, record: ICRecord
+    ) -> "tuple[str, int | None]":
+        """One remote-only PUT.  Returns ``(outcome, evicted)``: outcome
+        is ``"stored"`` (evicted = daemon-side evictions it caused),
+        ``"rejected"`` (admission gate refused the record), ``"stale"``
+        (epoch fencing refused it), ``"mismatch"``, or ``"error"``."""
+        key = [filename, source_hash(source), ICRECORD_FORMAT_VERSION]
+        envelope = record_to_envelope(record)
+        try:
+            response = self._request(
+                protocol.request(
+                    "PUT",
+                    key=key,
+                    envelope=envelope,
+                    epoch=self._epoch_clock.value,
+                )
+            )
+        except RemoteProtoMismatch:
+            return ("mismatch", None)
+        except RemoteStoreError:
+            return ("error", None)
+        if response.get("stored"):
+            evicted = response.get("evicted")
+            if isinstance(evicted, int) and not isinstance(evicted, bool):
+                return ("stored", max(evicted, 0))
+            return ("stored", 0)
+        if response.get("stale_epoch"):
+            return ("stale", None)
+        return ("rejected", None)
+
+    def bump_epoch(self, epoch: "int | None" = None) -> "int | None":
+        """Raise the daemon's fleet epoch (the ``--bump-epoch`` admin
+        path).  With no explicit target, first learns the daemon's
+        current epoch via STAT and bumps to highest-known + 1.  Returns
+        the daemon's new epoch, or ``None`` if it was unreachable;
+        never raises."""
+        if epoch is None:
+            try:
+                self._request(protocol.request("STAT"))
+            except RemoteStoreError:
+                pass  # clock keeps whatever it already knew
+            epoch = self._epoch_clock.value + 1
+        try:
+            response = self._request(
+                protocol.request("EVICT_EPOCH", epoch=epoch)
+            )
+        except RemoteStoreError:
+            return None
+        new_epoch = response.get("epoch")
+        if isinstance(new_epoch, int) and not isinstance(new_epoch, bool):
+            return new_epoch
+        return None
 
     # -- the store interface -------------------------------------------------
 
@@ -233,45 +404,38 @@ class RemoteRecordStore:
     ) -> "tuple[ICRecord | None, str]":
         """One real GET; returns ``(record, stat_key)`` where the stat
         key names the outcome bucket (already counted for the caller)."""
-        key = [filename, source_hash(source), ICRECORD_FORMAT_VERSION]
-        try:
-            response = self._request(protocol.request("GET", key=key))
-        except RemoteStoreError:
-            self._count("fallbacks")
-            return self.fallback.get(filename, source), "fallbacks"
-        if not response.get("hit"):
+        outcome, record = self.remote_get(filename, source)
+        if outcome == "hit":
+            self._count("hits")
+            # Write-back: what the daemon taught us survives its death.
+            self.fallback.put(filename, source, record)
+            return record, "hits"
+        if outcome == "miss":
             self._count("misses")
             return self.fallback.get(filename, source), "misses"
-        try:
-            # Never trust the daemon: full checksum + structural
-            # re-verification, exactly as if the envelope came off disk.
-            record = record_from_envelope(response.get("envelope"))
-        except RecordFormatError:
-            self._count("fallbacks")
-            return self.fallback.get(filename, source), "fallbacks"
-        self._count("hits")
-        # Write-back: what the daemon taught us survives its death.
-        self.fallback.put(filename, source, record)
-        return record, "hits"
+        if outcome == "stale":
+            # The fleet invalidated this record's epoch; the local
+            # fallback's copy (written back pre-bump) is equally dead,
+            # so do NOT consult it — answer "no record".
+            self._count("stale_epoch")
+            return None, "stale_epoch"
+        # "error" and "mismatch": the local store absorbs the request.
+        self._count("fallbacks")
+        return self.fallback.get(filename, source), "fallbacks"
 
     def put(self, filename: str, source: str, record: ICRecord) -> None:
         self.fallback.put(filename, source, record)
-        key = [filename, source_hash(source), ICRECORD_FORMAT_VERSION]
-        envelope = record_to_envelope(record)
-        try:
-            response = self._request(
-                protocol.request("PUT", key=key, envelope=envelope)
-            )
-        except RemoteStoreError:
-            self._count("fallbacks")
-            return
-        if response.get("stored"):
+        outcome, evicted = self.remote_put(filename, source, record)
+        if outcome == "stored":
             self._count("puts")
-            evicted = response.get("evicted")
-            if isinstance(evicted, int) and not isinstance(evicted, bool):
-                self._count("evictions", max(evicted, 0))
-        else:
+            if evicted:
+                self._count("evictions", evicted)
+        elif outcome == "rejected":
             self._count("puts_rejected")
+        elif outcome == "stale":
+            self._count("stale_epoch")
+        else:
+            self._count("fallbacks")
 
     def records_for(self, scripts) -> list[ICRecord]:
         found = []
@@ -281,33 +445,41 @@ class RemoteRecordStore:
                 found.append(record)
         return found
 
-    def __len__(self) -> int:
+    def remote_stat(self) -> "dict | None":
+        """One STAT round-trip; ``None`` when the daemon is unreachable
+        (itself a useful status).  Advances the epoch clock via gossip."""
         try:
             response = self._request(protocol.request("STAT"))
         except RemoteStoreError:
-            return len(self.fallback)
-        cache = response.get("cache")
+            return None
+        return {
+            "cache": response.get("cache"),
+            "store": response.get("store"),
+            "health": response.get("health"),
+            "epoch": response.get("epoch"),
+        }
+
+    def remote_len(self) -> "int | None":
+        """The daemon's serving-tier record count; ``None`` if down."""
+        stat = self.remote_stat()
+        if stat is None:
+            return None
+        cache = stat.get("cache")
         if isinstance(cache, dict) and isinstance(cache.get("records"), int):
             return cache["records"]
-        return len(self.fallback)
+        return None
+
+    def __len__(self) -> int:
+        count = self.remote_len()
+        return count if count is not None else len(self.fallback)
 
     def status(self) -> dict:
         """Remote STAT plus the local fallback's status; shape documented
         in INTERNALS §9.  ``remote: None`` means the daemon is unreachable
         — itself a useful status."""
-        remote: dict | None = None
-        try:
-            response = self._request(protocol.request("STAT"))
-            remote = {
-                "cache": response.get("cache"),
-                "store": response.get("store"),
-                "health": response.get("health"),
-            }
-        except RemoteStoreError:
-            pass
         return {
             "socket": self.socket_path,
-            "remote": remote,
+            "remote": self.remote_stat(),
             "client": self.stats_snapshot(),
             "local": self.fallback.status(),
         }
@@ -344,22 +516,46 @@ class RemoteRecordStore:
 
 
 def make_record_store(
-    socket_path: "str | Path | None",
+    socket_path: "str | Path | list | tuple | None",
     directory: "str | Path | None" = None,
     timeout_s: float = 0.5,
     retry_after_s: float = 1.0,
     retries: int = 1,
     backoff_s: float = 0.05,
     request_deadline_s: float = 2.0,
-) -> "RemoteRecordStore | RecordStore":
-    """Store selection in one place: remote-with-fallback when a socket
-    is configured, plain local store otherwise."""
+    replication: int = 2,
+):
+    """Store selection in one place: plain local store when no endpoint
+    is configured, remote-with-fallback for one endpoint, and a
+    consistent-hash :class:`~repro.server.sharding.ShardedRecordStore`
+    for several (a list/tuple of specs or one comma-separated string).
+    """
     local = RecordStore(directory=directory)
     if socket_path is None:
         return local
-    return RemoteRecordStore(
-        socket_path,
+    if isinstance(socket_path, (list, tuple)):
+        endpoints = [str(spec) for spec in socket_path]
+    else:
+        endpoints = [part.strip() for part in str(socket_path).split(",")]
+    endpoints = [spec for spec in endpoints if spec]
+    if not endpoints:
+        return local
+    if len(endpoints) == 1:
+        return RemoteRecordStore(
+            endpoints[0],
+            fallback=local,
+            timeout_s=timeout_s,
+            retry_after_s=retry_after_s,
+            retries=retries,
+            backoff_s=backoff_s,
+            request_deadline_s=request_deadline_s,
+        )
+    from repro.server.sharding import ShardedRecordStore
+
+    return ShardedRecordStore(
+        endpoints,
         fallback=local,
+        replication=replication,
         timeout_s=timeout_s,
         retry_after_s=retry_after_s,
         retries=retries,

@@ -1,10 +1,12 @@
 """``ricd`` — the record-cache daemon behind ``ric-serve``.
 
 One daemon process serves ICRecords (and thereby the warm-start they
-buy) to many engine processes over a unix-domain socket.  Layering, top
-to bottom:
+buy) to many engine processes over a unix-domain socket, a TCP port, or
+both at once (``ric-serve --tcp HOST:PORT``) — same length-prefixed v1
+frames, same 32 MiB cap, same per-connection deadlines on either
+transport.  Layering, top to bottom:
 
-1. **Socket tier** — a threaded unix-stream server speaking the
+1. **Socket tier** — threaded stream servers speaking the
    length-prefixed JSON protocol of :mod:`repro.server.protocol`.  Each
    connection is one client engine; requests on a connection are handled
    sequentially, connections concurrently.  A malformed frame gets an
@@ -25,6 +27,17 @@ to bottom:
    :class:`~repro.ric.store.RecordStore`: admitted records survive
    daemon restarts and LRU eviction; on an LRU miss the store is
    consulted before answering ``hit: false``.
+
+Fleet epoch (``EVICT_EPOCH``): the daemon carries a monotonically
+increasing ``epoch`` (persisted to ``<dir>/.epoch`` when disk-backed).
+Every cached entry remembers the epoch it was admitted under, every
+response echoes the current epoch, and a bump — whether delivered by an
+explicit ``EVICT_EPOCH`` broadcast or gossiped in on a ``GET``/``PUT``
+from a client that learned a higher epoch elsewhere — drops every older
+record from memory *and* the write-through store.  A record is a bundle
+of code + execution state; when its source changes fleet-wide, it must
+die everywhere, including on a shard that was partitioned during the
+broadcast (the gossip path heals it on first contact).
 
 Operational hardening (the supervision contract, INTERNALS §10):
 
@@ -68,17 +81,32 @@ from repro.server.protocol import ProtocolError
 logger = logging.getLogger(__name__)
 
 
-class _Server(socketserver.ThreadingMixIn, socketserver.UnixStreamServer):
+class _RicdServerMixin(socketserver.ThreadingMixIn):
     daemon_threads = True
     allow_reuse_address = True
     #: Set by RecordCacheDaemon after construction.
     ricd: "RecordCacheDaemon"
 
 
+class _UnixServer(_RicdServerMixin, socketserver.UnixStreamServer):
+    pass
+
+
+class _TCPServer(_RicdServerMixin, socketserver.TCPServer):
+    pass
+
+
 class _Handler(socketserver.BaseRequestHandler):
     def handle(self) -> None:
         daemon = self.server.ricd  # type: ignore[attr-defined]
         sock: socket.socket = self.request
+        daemon._track_connection(sock)
+        try:
+            self._serve(daemon, sock)
+        finally:
+            daemon._untrack_connection(sock)
+
+    def _serve(self, daemon: "RecordCacheDaemon", sock: socket.socket) -> None:
         while True:
             if daemon.draining:
                 # Frame boundary during a drain: stop taking new work on
@@ -129,15 +157,29 @@ class RecordCacheDaemon:
 
     def __init__(
         self,
-        socket_path: str | Path,
+        socket_path: str | Path | None = None,
         directory: str | Path | None = None,
         max_records: int = 256,
         max_bytes: int = 64 * 1024 * 1024,
         connection_timeout_s: float = 30.0,
         read_timeout_s: float | None = None,
         write_timeout_s: float | None = None,
+        tcp: str | tuple | None = None,
     ):
-        self.socket_path = Path(socket_path)
+        self.socket_path = Path(socket_path) if socket_path is not None else None
+        #: TCP listen address as ``(host, port)``; accepted as a
+        #: ``"HOST:PORT"`` spec too.  Port 0 binds an ephemeral port —
+        #: read :attr:`tcp_endpoint` after :meth:`start` for the real one.
+        if isinstance(tcp, str):
+            kind, address = protocol.parse_endpoint(
+                tcp if "://" in tcp else f"tcp://{tcp}"
+            )
+            if kind != "tcp":
+                raise ValueError(f"not a tcp address: {tcp!r}")
+            tcp = address
+        self.tcp_address: "tuple[str, int] | None" = tuple(tcp) if tcp else None
+        if self.socket_path is None and self.tcp_address is None:
+            raise ValueError("daemon needs a unix socket path, a tcp address, or both")
         self.connection_timeout_s = connection_timeout_s
         #: Per-connection I/O deadlines; default to the legacy
         #: connection_timeout_s.  Writes get their own (usually shorter)
@@ -153,14 +195,24 @@ class RecordCacheDaemon:
         )
         self.cache = LRUCache(max_records=max_records, max_bytes=max_bytes)
         self.store = RecordStore(directory=directory) if directory else None
+        #: Fleet epoch: records admitted under an older epoch are dead.
+        #: Disk-backed daemons persist it so a restart cannot resurrect
+        #: pre-bump records from the write-through directory.
+        self.epoch = self._load_epoch()
         #: Request-level counters (the cache keeps its own hit/miss/eviction
         #: tallies; these count what crossed the wire).
         self.requests = 0
         self.puts_accepted = 0
         self.puts_rejected = 0
+        self.puts_stale_epoch = 0
+        self.epoch_bumps = 0
         self.store_fallback_hits = 0
-        self._server: _Server | None = None
-        self._thread: threading.Thread | None = None
+        self._servers: "list[socketserver.BaseServer]" = []
+        self._threads: "list[threading.Thread]" = []
+        #: Live client connections, so :meth:`kill` can sever them.
+        self._connections: "set[socket.socket]" = set()
+        self._conn_lock = threading.Lock()
+        self._stopped = threading.Event()
         self._lock = threading.Lock()
         #: Supervision state: monotonic birth time, inflight request
         #: count (condition-guarded so drain can wait on it), drain flag.
@@ -171,46 +223,100 @@ class RecordCacheDaemon:
 
     # -- lifecycle -----------------------------------------------------------
 
-    def start(self) -> None:
-        """Bind the socket and serve on a background thread."""
-        if self._server is not None:
+    def _bind(self) -> None:
+        """Create the listeners for every configured transport."""
+        if self._servers:
             raise RuntimeError("daemon already started")
-        if self.socket_path.exists():
-            self.socket_path.unlink()
-        self.socket_path.parent.mkdir(parents=True, exist_ok=True)
-        self._server = _Server(str(self.socket_path), _Handler)
-        self._server.ricd = self
-        self._thread = threading.Thread(
-            target=self._server.serve_forever, name="ricd", daemon=True
-        )
-        self._thread.start()
-
-    def serve_forever(self) -> None:
-        """Foreground variant for the ``ric-serve`` CLI."""
-        if self._server is None:
+        if self.socket_path is not None:
             if self.socket_path.exists():
                 self.socket_path.unlink()
             self.socket_path.parent.mkdir(parents=True, exist_ok=True)
-            self._server = _Server(str(self.socket_path), _Handler)
-            self._server.ricd = self
-        self._server.serve_forever()
+            server: socketserver.BaseServer = _UnixServer(
+                str(self.socket_path), _Handler
+            )
+            server.ricd = self  # type: ignore[attr-defined]
+            self._servers.append(server)
+        if self.tcp_address is not None:
+            tcp_server = _TCPServer(
+                (self.tcp_address[0], int(self.tcp_address[1])), _Handler
+            )
+            tcp_server.ricd = self  # type: ignore[attr-defined]
+            # Rebind to the kernel-assigned port so "--tcp HOST:0" is
+            # dialable (tests, parallel fleets on one box).
+            self.tcp_address = tcp_server.server_address[:2]
+            self._servers.append(tcp_server)
+
+    @property
+    def tcp_endpoint(self) -> "str | None":
+        """Dialable ``HOST:PORT`` spec of the TCP listener, if any."""
+        if self.tcp_address is None:
+            return None
+        return protocol.format_endpoint("tcp", self.tcp_address)
+
+    @property
+    def endpoints(self) -> "list[str]":
+        """Every spec this daemon is reachable at."""
+        specs = []
+        if self.socket_path is not None:
+            specs.append(str(self.socket_path))
+        if self.tcp_endpoint is not None:
+            specs.append(self.tcp_endpoint)
+        return specs
+
+    def start(self) -> None:
+        """Bind all listeners and serve each on a background thread."""
+        self._bind()
+        self._stopped.clear()
+        for server in self._servers:
+            thread = threading.Thread(
+                target=server.serve_forever, name="ricd", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def serve_forever(self) -> None:
+        """Foreground variant for the ``ric-serve`` CLI: serves until
+        :meth:`stop`/:meth:`drain` is called (from a signal handler)."""
+        if not self._servers:
+            self.start()
+        self._stopped.wait()
 
     def stop(self) -> None:
-        """Immediate stop: close the listener now; in-flight handler
+        """Immediate stop: close every listener now; in-flight handler
         threads are daemonic and die with the process.  For the graceful
         variant see :meth:`drain`."""
-        if self._server is not None:
-            self._server.shutdown()
-            self._server.server_close()
-            self._server = None
-        if self._thread is not None:
-            self._thread.join(timeout=5.0)
-            self._thread = None
-        if self.socket_path.exists():
+        servers, self._servers = self._servers, []
+        threads, self._threads = self._threads, []
+        for server in servers:
+            server.shutdown()
+            server.server_close()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        self._stopped.set()
+        if self.socket_path is not None and self.socket_path.exists():
             try:
                 self.socket_path.unlink()
             except OSError:  # pragma: no cover - raced removal
                 pass
+
+    def kill(self) -> None:
+        """Abrupt SIGKILL-equivalent stop for chaos testing: sever every
+        live client connection mid-whatever (they see a reset/EOF, not a
+        clean error response), then tear down the listeners.  Contrast
+        :meth:`drain` (graceful) and :meth:`stop` (listeners only —
+        existing in-process connections would keep being served)."""
+        with self._conn_lock:
+            connections, self._connections = list(self._connections), set()
+        for sock in connections:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover
+                pass
+        self.stop()
 
     def drain(self, timeout_s: float = 10.0) -> bool:
         """Graceful shutdown: stop accepting, finish in-flight requests,
@@ -224,10 +330,10 @@ class RecordCacheDaemon:
         with self._inflight_cond:
             already = self.draining
             self.draining = True
-        server = self._server
-        if server is not None and not already:
-            # Stops the accept loop; existing handler threads continue.
-            server.shutdown()
+        if not already:
+            # Stops the accept loops; existing handler threads continue.
+            for server in list(self._servers):
+                server.shutdown()
         deadline = time.monotonic() + timeout_s
         drained = True
         with self._inflight_cond:
@@ -242,6 +348,16 @@ class RecordCacheDaemon:
         # backing directory is durable; there is nothing left to flush.
         self.stop()
         return drained
+
+    # -- connection tracking (handler threads) -------------------------------
+
+    def _track_connection(self, sock: socket.socket) -> None:
+        with self._conn_lock:
+            self._connections.add(sock)
+
+    def _untrack_connection(self, sock: socket.socket) -> None:
+        with self._conn_lock:
+            self._connections.discard(sock)
 
     # -- inflight accounting (handler threads) --------------------------------
 
@@ -262,6 +378,58 @@ class RecordCacheDaemon:
     def __exit__(self, *exc_info) -> None:
         self.stop()
 
+    # -- epoch --------------------------------------------------------------
+
+    def _epoch_path(self) -> "Path | None":
+        if self.store is None or self.store.directory is None:
+            return None
+        return self.store.directory / ".epoch"
+
+    def _load_epoch(self) -> int:
+        path = self._epoch_path()
+        if path is None or not path.exists():
+            return 0
+        try:
+            payload = json.loads(path.read_text())
+            epoch = payload.get("epoch")
+            if isinstance(epoch, int) and not isinstance(epoch, bool) and epoch >= 0:
+                return epoch
+        except (OSError, ValueError):  # pragma: no cover - corrupt epoch file
+            pass
+        logger.warning("ricd: unreadable epoch file %s; starting at 0", path)
+        return 0
+
+    def _persist_epoch(self) -> None:
+        path = self._epoch_path()
+        if path is None:
+            return
+        try:
+            from repro.ric.atomicio import atomic_write_text
+
+            atomic_write_text(path, json.dumps({"epoch": self.epoch}))
+        except OSError:  # pragma: no cover - epoch persistence best-effort
+            logger.warning("ricd: could not persist epoch to %s", path)
+
+    def _maybe_adopt_epoch(self, epoch) -> int:
+        """Raise the fleet epoch to ``epoch`` if it is higher, dropping
+        every record admitted under an older one (memory *and* disk —
+        the write-through store would otherwise resurrect them after a
+        restart or an LRU miss).  Returns how many records died."""
+        if not isinstance(epoch, int) or isinstance(epoch, bool):
+            return 0
+        with self._lock:
+            if epoch <= self.epoch:
+                return 0
+            self.epoch = epoch
+            self.epoch_bumps += 1
+        # All cached entries were admitted under a lower epoch, so the
+        # clear is exact, not approximate.
+        evicted = self.cache.clear()
+        if self.store is not None:
+            evicted += self.store.clear()
+        self._persist_epoch()
+        return evicted
+
     # -- request dispatch ----------------------------------------------------
 
     def handle_request(self, message: dict) -> dict:
@@ -277,28 +445,68 @@ class RecordCacheDaemon:
             return self._handle_stat()
         if op == "EVICT":
             return self._handle_evict(message)
+        if op == "EVICT_EPOCH":
+            return self._handle_evict_epoch(message)
         if op == "PING":
-            return protocol.ok_response(pong=True)
+            return protocol.ok_response(pong=True, epoch=self.epoch)
         raise ProtocolError(f"unknown op {op!r}")
 
     def _handle_get(self, message: dict) -> dict:
+        # Gossip first: a client that knows a higher fleet epoch
+        # invalidates this shard before anything is looked up.
+        self._maybe_adopt_epoch(message.get("epoch"))
         filename, src_hash, version = protocol.key_fields(message)
         key = protocol.cache_key(filename, src_hash, version)
-        envelope = self.cache.get(key)
-        if envelope is None and self.store is not None:
+        entry = self.cache.get(key)
+        if entry is None and self.store is not None:
             # LRU miss: the backing store may still have it (written by a
             # previous daemon incarnation or evicted under pressure).
+            # Epoch bumps cleared the store too, so surviving disk
+            # records are current-epoch by construction.
             record = self.store.get_by_key(f"{filename}:{src_hash}")
             if record is not None:
                 envelope = record_to_envelope(record)
                 with self._lock:
                     self.store_fallback_hits += 1
-                self.cache.put(key, envelope, _envelope_bytes(envelope))
-        if envelope is None:
-            return protocol.ok_response(hit=False)
-        return protocol.ok_response(hit=True, envelope=envelope)
+                entry = (envelope, self.epoch)
+                self.cache.put(key, entry, _envelope_bytes(envelope))
+        if entry is None:
+            return protocol.ok_response(hit=False, epoch=self.epoch)
+        envelope, record_epoch = entry
+        if record_epoch < self.epoch:  # pragma: no cover - belt and braces
+            # Bumps clear eagerly; this lazy check only fires if an old
+            # entry somehow survived (e.g. a poked cache in tests).
+            self.cache.evict(key)
+            return protocol.ok_response(hit=False, epoch=self.epoch)
+        return protocol.ok_response(
+            hit=True,
+            envelope=envelope,
+            epoch=self.epoch,
+            record_epoch=record_epoch,
+        )
 
     def _handle_put(self, message: dict) -> dict:
+        client_epoch = message.get("epoch")
+        self._maybe_adopt_epoch(client_epoch)
+        if (
+            isinstance(client_epoch, int)
+            and not isinstance(client_epoch, bool)
+            and client_epoch < self.epoch
+        ):
+            # The record was extracted under source the fleet has since
+            # invalidated: refuse it so a slow publisher cannot
+            # resurrect pre-bump state.
+            with self._lock:
+                self.puts_stale_epoch += 1
+            return protocol.ok_response(
+                stored=False,
+                stale_epoch=True,
+                epoch=self.epoch,
+                error=(
+                    f"record epoch {client_epoch} predates fleet epoch "
+                    f"{self.epoch}"
+                ),
+            )
         filename, src_hash, version = protocol.key_fields(message)
         envelope = message.get("envelope")
         if not isinstance(envelope, dict):
@@ -312,43 +520,60 @@ class RecordCacheDaemon:
         except RecordFormatError as exc:
             with self._lock:
                 self.puts_rejected += 1
-            return protocol.ok_response(stored=False, error=str(exc))
+            return protocol.ok_response(
+                stored=False, error=str(exc), epoch=self.epoch
+            )
         problems = validate_record(record)
         if problems:
             with self._lock:
                 self.puts_rejected += 1
             return protocol.ok_response(
                 stored=False,
+                epoch=self.epoch,
                 error=f"invalid record ({len(problems)} problems): "
                 + "; ".join(problems[:3]),
             )
         key = protocol.cache_key(filename, src_hash, version)
-        evicted = self.cache.put(key, envelope, _envelope_bytes(envelope))
+        evicted = self.cache.put(
+            key, (envelope, self.epoch), _envelope_bytes(envelope)
+        )
         if evicted < 0:
             with self._lock:
                 self.puts_rejected += 1
             return protocol.ok_response(
-                stored=False, error="record larger than cache byte budget"
+                stored=False,
+                epoch=self.epoch,
+                error="record larger than cache byte budget",
             )
         if self.store is not None:
             self.store.put_by_key(f"{filename}:{src_hash}", record)
         with self._lock:
             self.puts_accepted += 1
-        return protocol.ok_response(stored=True, evicted=evicted)
+        return protocol.ok_response(stored=True, evicted=evicted, epoch=self.epoch)
 
     def _handle_stat(self) -> dict:
         return protocol.ok_response(
             cache=self.stats(),
             store=self.store_status(),
             health=self.health(),
+            epoch=self.epoch,
         )
 
     def _handle_evict(self, message: dict) -> dict:
         if message.get("all"):
-            return protocol.ok_response(evicted=self.cache.clear())
+            return protocol.ok_response(evicted=self.cache.clear(), epoch=self.epoch)
         filename, src_hash, version = protocol.key_fields(message)
         key = protocol.cache_key(filename, src_hash, version)
-        return protocol.ok_response(evicted=int(self.cache.evict(key)))
+        return protocol.ok_response(
+            evicted=int(self.cache.evict(key)), epoch=self.epoch
+        )
+
+    def _handle_evict_epoch(self, message: dict) -> dict:
+        epoch = message.get("epoch")
+        if not isinstance(epoch, int) or isinstance(epoch, bool) or epoch < 0:
+            raise ProtocolError(f"EVICT_EPOCH needs a non-negative int epoch, got {epoch!r}")
+        evicted = self._maybe_adopt_epoch(epoch)
+        return protocol.ok_response(epoch=self.epoch, evicted=evicted)
 
     # -- introspection -------------------------------------------------------
 
@@ -359,7 +584,10 @@ class RecordCacheDaemon:
                 requests=self.requests,
                 puts_accepted=self.puts_accepted,
                 puts_rejected=self.puts_rejected,
+                puts_stale_epoch=self.puts_stale_epoch,
                 store_fallback_hits=self.store_fallback_hits,
+                epoch=self.epoch,
+                epoch_bumps=self.epoch_bumps,
                 pid=os.getpid(),
             )
         return blob
@@ -373,8 +601,12 @@ class RecordCacheDaemon:
         ``ready`` is the readiness gate (serving and not draining);
         ``pressure`` is LRU occupancy as fractions of both bounds, the
         early-warning signal that the serving tier is about to start
-        evicting.
+        evicting.  ``version``/``protocol`` identify this daemon build
+        for mixed-fleet rolling upgrades: a client seeing an unexpected
+        pair knows *why* a verb just came back unknown.
         """
+        from repro import __version__
+
         cache = self.cache
         with self._inflight_cond:
             inflight = self._inflight
@@ -383,7 +615,11 @@ class RecordCacheDaemon:
             "uptime_s": time.monotonic() - self._started_monotonic,
             "inflight": inflight,
             "draining": draining,
-            "ready": self._server is not None and not draining,
+            "ready": bool(self._servers) and not draining,
+            "version": __version__,
+            "protocol": protocol.PROTOCOL_VERSION,
+            "epoch": self.epoch,
+            "endpoints": self.endpoints,
             "pressure": {
                 "records": len(cache),
                 "max_records": cache.max_records,

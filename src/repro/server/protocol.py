@@ -1,4 +1,4 @@
-"""The ricd wire protocol: length-prefixed JSON frames over a unix socket.
+"""The ricd wire protocol: length-prefixed JSON frames over a stream socket.
 
 A frame is a 4-byte big-endian unsigned length followed by exactly that
 many bytes of UTF-8 JSON::
@@ -6,6 +6,10 @@ many bytes of UTF-8 JSON::
     +----------------+---------------------------+
     | length (u32 BE)| JSON body (length bytes)  |
     +----------------+---------------------------+
+
+The framing is transport-agnostic: the same v1 frames flow over a unix
+domain socket (one box) or a TCP connection (a record-store fleet); see
+:func:`parse_endpoint` for how an endpoint spec selects the transport.
 
 Requests carry ``{"v": PROTOCOL_VERSION, "op": <verb>, ...}``; responses
 ``{"v": ..., "ok": true, ...}`` or ``{"v": ..., "ok": false, "error":
@@ -31,6 +35,19 @@ Requests carry ``{"v": PROTOCOL_VERSION, "op": <verb>, ...}``; responses
 ``EVICT``
     ``{"key": [...]}`` or ``{"all": true}`` → ``{"ok": true,
     "evicted": n}``.
+``EVICT_EPOCH``
+    ``{"epoch": n}`` → ``{"ok": true, "epoch": n', "evicted": m}``.
+    Fleet-wide invalidation: raises the daemon's epoch to ``n`` (if
+    higher) and drops every record admitted under an older epoch, in
+    memory *and* in the write-through store — a record is a bundle of
+    code + execution state and must die with its code.
+
+Epoch gossip: ``GET``/``PUT`` requests may carry ``"epoch": n`` (the
+client's known fleet epoch) and every response echoes the daemon's
+current ``"epoch"``; either side seeing a higher epoch adopts it, so a
+shard that missed an ``EVICT_EPOCH`` broadcast self-invalidates on the
+first request from an up-to-date client, and a client that talked to an
+up-to-date shard refuses stale hits from a lagging replica.
 
 Both sides treat every inbound frame as hostile: oversized lengths,
 short reads, non-JSON bodies, and schema surprises all raise the single
@@ -45,6 +62,10 @@ import socket
 import struct
 
 #: Bump when the frame schema changes; both sides refuse other versions.
+#: (New *verbs* and optional fields do not bump it — an old daemon
+#: answers an unknown verb with a clean error the client counts as a
+#: ``proto_mismatch``, which is what makes mixed-fleet rolling upgrades
+#: safe.)
 PROTOCOL_VERSION = 1
 
 #: Upper bound on one frame's body.  Generous for ICRecords (the §7.3
@@ -55,11 +76,72 @@ MAX_FRAME_BYTES = 32 * 1024 * 1024
 _LENGTH = struct.Struct(">I")
 
 #: The verbs the daemon understands.
-VERBS = ("GET", "PUT", "STAT", "EVICT", "PING")
+VERBS = ("GET", "PUT", "STAT", "EVICT", "EVICT_EPOCH", "PING")
 
 
 class ProtocolError(Exception):
     """Any violation of the frame format or message schema."""
+
+
+# -- endpoints ---------------------------------------------------------------
+#
+# One spec grammar covers both transports, so every CLI flag, config knob
+# and ring entry is just a string:
+#
+#   ``tcp://HOST:PORT``   explicit TCP
+#   ``unix://PATH``       explicit unix socket
+#   ``HOST:PORT``         TCP, when PORT is all digits and the spec has
+#                         no path separator (bare paths win ambiguity)
+#   anything else         a unix socket path
+
+
+def parse_endpoint(spec) -> "tuple[str, object]":
+    """Classify an endpoint spec: ``("tcp", (host, port))`` or
+    ``("unix", path)``.  Raises :class:`ProtocolError` on a malformed
+    explicit ``tcp://`` spec."""
+    text = str(spec)
+    if text.startswith("tcp://"):
+        host, sep, port = text[len("tcp://"):].rpartition(":")
+        if not sep or not port.isdigit():
+            raise ProtocolError(f"malformed tcp endpoint {text!r}")
+        return ("tcp", (host or "127.0.0.1", int(port)))
+    if text.startswith("unix://"):
+        return ("unix", text[len("unix://"):])
+    host, sep, port = text.rpartition(":")
+    if sep and host and port.isdigit() and "/" not in text and "\\" not in text:
+        return ("tcp", (host, int(port)))
+    return ("unix", text)
+
+
+def is_tcp_endpoint(spec) -> bool:
+    return parse_endpoint(spec)[0] == "tcp"
+
+
+def format_endpoint(kind: str, address) -> str:
+    """Render a parsed endpoint back to its canonical dialable spec."""
+    if kind == "tcp":
+        host, port = address[0], address[1]
+        return f"{host}:{port}"
+    return str(address)
+
+
+def connect_endpoint(spec, timeout_s: float | None = None) -> socket.socket:
+    """Dial an endpoint spec; returns a connected stream socket with the
+    timeout applied.  ``OSError`` propagates (the client's degradation
+    ladder owns transport trouble)."""
+    kind, address = parse_endpoint(spec)
+    if kind == "tcp":
+        return socket.create_connection(address, timeout=timeout_s)
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    try:
+        sock.settimeout(timeout_s)
+        sock.connect(str(address))
+    except BaseException:
+        # Never leak the half-made socket: a refused connect must not
+        # cost a file descriptor.
+        sock.close()
+        raise
+    return sock
 
 
 def cache_key(filename: str, src_hash: str, version: int) -> str:

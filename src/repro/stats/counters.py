@@ -89,6 +89,15 @@ class Counters:
     ric_remote_misses: int = 0
     ric_remote_fallbacks: int = 0
     ric_remote_evictions: int = 0
+    #: Fleet-mode extras (sharded stores only; all zero otherwise).
+    #: ``failovers`` counts GET replica hops after a dead/refusing
+    #: primary, ``proto_mismatch`` clean refusals from daemons speaking
+    #: another protocol dialect (mixed-fleet rolling upgrades), and
+    #: ``stale_epoch`` records refused by epoch fencing — a hit or PUT
+    #: that predates a fleet-wide ``--bump-epoch`` invalidation.
+    ric_remote_failovers: int = 0
+    ric_remote_proto_mismatch: int = 0
+    ric_remote_stale_epoch: int = 0
 
     #: Governance aborts: how this run was stopped, if it was.  At most
     #: one of these is 1 for a given run (a run aborts once); they are
@@ -195,6 +204,9 @@ class Counters:
             "ric_remote_misses": self.ric_remote_misses,
             "ric_remote_fallbacks": self.ric_remote_fallbacks,
             "ric_remote_evictions": self.ric_remote_evictions,
+            "ric_remote_failovers": self.ric_remote_failovers,
+            "ric_remote_proto_mismatch": self.ric_remote_proto_mismatch,
+            "ric_remote_stale_epoch": self.ric_remote_stale_epoch,
             "budget_aborts_steps": self.budget_aborts_steps,
             "budget_aborts_heap": self.budget_aborts_heap,
             "budget_aborts_depth": self.budget_aborts_depth,

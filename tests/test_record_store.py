@@ -408,3 +408,62 @@ class TestSweepQuarantine:
         from repro.harness.run_cli import EXIT_USAGE, main
 
         assert main(["--sweep-quarantine"]) == EXIT_USAGE
+
+
+class TestSweepQuarantineConcurrency:
+    """The sweep races real writers: publishes keep landing while several
+    sweepers prune — nothing raises, every corpse dies exactly once, and
+    live records are never collateral damage."""
+
+    def test_sweep_under_concurrent_writers(self, tmp_path):
+        import os
+        import threading
+        import time
+
+        engine = Engine(seed=7)
+        engine.run(APP_A, name="seed")
+        record = engine.extract_per_script_records()["lib.jsl"]
+
+        corpses = 12
+        for i in range(corpses):
+            path = tmp_path / f"dead{i}.icrecord.json.corrupt"
+            path.write_text("{ damaged")
+            stamp = time.time() - 3600
+            os.utime(path, (stamp, stamp))
+
+        store = RecordStore(directory=tmp_path)
+        errors: list = []
+        swept_counts: list = []
+        start = threading.Barrier(6)
+
+        def writer(n: int) -> None:
+            try:
+                start.wait()
+                for i in range(20):
+                    store.put(f"w{n}-{i}.jsl", f"var x = {i};", record)
+            except Exception as exc:  # pragma: no cover - the assertion
+                errors.append(exc)
+
+        def sweeper() -> None:
+            try:
+                start.wait()
+                for _ in range(10):
+                    summary = store.sweep_quarantine(max_age_s=60.0)
+                    swept_counts.append(summary["swept"])
+            except Exception as exc:  # pragma: no cover - the assertion
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(n,)) for n in range(3)]
+        threads += [threading.Thread(target=sweeper) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert not errors
+        # Every corpse died exactly once, whoever got there first.
+        assert sum(swept_counts) == corpses
+        assert not list(tmp_path.glob("*.corrupt"))
+        # The concurrently-written records all survived, readable.
+        fresh = RecordStore(directory=tmp_path)
+        assert fresh.get("w0-0.jsl", "var x = 0;") is not None
+        assert len(fresh.load_errors) == 0

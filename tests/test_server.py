@@ -279,7 +279,8 @@ class TestAdmissionGate:
         key = cache_key(
             "lib.jsl", source_hash(LIB_SOURCE), ICRECORD_FORMAT_VERSION
         )
-        daemon.cache.put(key, envelope, 100)  # poison the serving tier
+        # Poison the serving tier (entries are (envelope, epoch) pairs).
+        daemon.cache.put(key, (envelope, daemon.epoch), 100)
         store = remote(daemon)
         assert store.get("lib.jsl", LIB_SOURCE) is None
         assert store.stats["fallbacks"] == 1 and store.stats["hits"] == 0
@@ -510,3 +511,99 @@ class TestRecordStoreStatus:
         from repro.harness.run_cli import main
 
         assert main(["--store-status"]) == 2
+
+
+class TestClientRobustnessSatellites:
+    """Leak-freedom, breaker recovery, and mixed-fleet dialect safety."""
+
+    @staticmethod
+    def _open_fds() -> int:
+        import os
+
+        return len(os.listdir("/proc/self/fd"))
+
+    def test_failing_connects_leak_no_file_descriptors(self, tmp_path):
+        """Hammering a dead endpoint must not cost a single fd: every
+        failed connect closes its half-made socket."""
+        store = remote(
+            str(tmp_path / "nobody-home.sock"),
+            retries=0,
+            retry_after_s=0.0,  # breaker never short-circuits a connect
+            timeout_s=0.1,
+        )
+        store.get("lib.jsl", LIB_SOURCE)  # warm up lazy imports etc.
+        before = self._open_fds()
+        for _ in range(50):
+            store.get("lib.jsl", LIB_SOURCE)
+        assert self._open_fds() == before
+        assert store.stats["fallbacks"] == 51
+
+    def test_close_is_idempotent_after_failures(self, tmp_path):
+        store = remote(str(tmp_path / "nobody-home.sock"), retries=0)
+        store.get("lib.jsl", LIB_SOURCE)
+        store.close()
+        store.close()  # second close is a no-op, not an error
+        assert store.get("lib.jsl", LIB_SOURCE) is None  # still usable
+
+    def test_breaker_half_open_recovers_to_closed(self, tmp_path, extracted):
+        """Open (daemon dead) -> half-open probe after retry_after_s ->
+        closed (daemon back): remote answers flow again."""
+        path = tmp_path / "ricd.sock"
+        store = remote(
+            str(path), retries=0, retry_after_s=0.3, timeout_s=0.2
+        )
+        # Trip: endpoint dead, request surfaces a fallback, breaker opens.
+        assert store.get("lib.jsl", LIB_SOURCE) is None
+        assert store.stats["fallbacks"] == 1
+        # Open: inside the hold-off window requests don't even dial.
+        assert store.get("lib.jsl", LIB_SOURCE) is None
+        assert store.stats["fallbacks"] == 2
+        # Daemon comes back; after retry_after_s the next request is the
+        # half-open probe — it succeeds, so the breaker closes.
+        ricd = RecordCacheDaemon(path, directory=tmp_path / "records")
+        ricd.start()
+        try:
+            import time
+
+            time.sleep(0.35)
+            store.put("lib.jsl", LIB_SOURCE, extracted["lib.jsl"])
+            assert store.stats["puts"] == 1
+            assert store.get("lib.jsl", LIB_SOURCE) is not None
+            assert store.stats["hits"] == 1  # closed: remote serving again
+        finally:
+            store.close()
+            ricd.stop()
+
+    def test_unknown_verb_counts_proto_mismatch(self, daemon):
+        """A daemon from another fleet generation answers an unknown verb
+        with a clean error; the client logs-and-counts instead of
+        tripping the breaker or burning retries."""
+        from repro.server import RemoteProtoMismatch
+
+        store = remote(daemon, retries=2)
+        with pytest.raises(RemoteProtoMismatch):
+            store._request(protocol.request("FROBNICATE"))
+        assert store.stats["proto_mismatch"] == 1
+        assert store.stats["retries"] == 0  # clean refusal, no retry burn
+        # The breaker did not trip: normal verbs still flow.
+        assert store.ping() is True
+
+    def test_version_skew_counts_proto_mismatch(self, daemon):
+        from repro.server import RemoteProtoMismatch
+
+        store = remote(daemon, retries=0)
+        bad = dict(protocol.request("PING"))
+        bad["v"] = 99
+        with pytest.raises(RemoteProtoMismatch):
+            store._request(bad)
+        assert store.stats["proto_mismatch"] == 1
+
+    def test_stat_health_blob_names_build_and_protocol(self, daemon):
+        from repro import __version__
+
+        store = remote(daemon)
+        health = store.status()["remote"]["health"]
+        assert health["version"] == __version__
+        assert health["protocol"] == protocol.PROTOCOL_VERSION
+        assert health["epoch"] == 0
+        assert str(daemon.socket_path) in health["endpoints"]
