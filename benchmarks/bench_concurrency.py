@@ -1,7 +1,7 @@
 """Concurrency baseline: N isolated sessions over one warm artifact cache.
 
 Measures what the executor layer is for: many simultaneous runs of the
-eight workloads reusing one warmed :class:`~repro.core.artifacts
+nine workloads reusing one warmed :class:`~repro.core.artifacts
 .ArtifactCache` (and one extracted ICRecord per workload), comparing
 ``EngineExecutor.run_many(jobs=1)`` against ``jobs=N`` on
 

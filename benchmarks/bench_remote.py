@@ -53,7 +53,7 @@ _REUSE_FIELDS = (
 
 
 def bench_workloads() -> dict[str, list[tuple[str, str]]]:
-    """Same registry as the interp baseline (eight workloads)."""
+    """Same registry as the interp baseline (nine workloads)."""
     from repro.harness.bench import bench_workloads as _registry
 
     return _registry()

@@ -37,6 +37,18 @@ def test_reuse_beats_cold_on_misses(document):
     assert blob["reuse"]["ric_preloads"] > 0
 
 
+def test_polyshapes_reuse_beats_cold(document):
+    """The polymorphic tier sweep must profit from record reuse too: the
+    preloaded slot lists swallow the POLY-tier misses the cold run pays."""
+    doc = measure(workload_names=["polyshapes"], iterations=1, seed=1)
+    blob = doc["workloads"]["polyshapes"]
+    assert blob["reuse"]["ic_misses"] < blob["cold"]["ic_misses"]
+    assert blob["reuse"]["ric_preloads"] > 0
+    assert blob["cold"]["ic_hits_poly"] > 0
+    assert blob["reuse"]["ic_hits_poly"] > 0
+    assert blob["cold"]["ic_mega_transitions"] > 0
+
+
 def test_counter_fields_are_integers(document):
     for mode in ("cold", "reuse"):
         blob = document["workloads"]["synthetic"][mode]
@@ -62,9 +74,11 @@ def test_validator_reports_missing_modes():
     assert any("w.reuse" in p for p in problems)
 
 
-def test_bench_workload_registry_has_all_eight():
-    assert len(bench_workloads()) == 8
-    assert "synthetic" in bench_workloads()
+def test_bench_workload_registry_has_all_nine():
+    workloads = bench_workloads()
+    assert len(workloads) == 9
+    assert "synthetic" in workloads
+    assert "polyshapes" in workloads
 
 
 def test_checked_in_baseline_is_valid():
@@ -75,6 +89,12 @@ def test_checked_in_baseline_is_valid():
     assert path.exists(), "BENCH_interp.json missing from the repo root"
     doc = json.loads(path.read_text())
     assert validate_bench_json(doc) == []
-    assert len(doc["workloads"]) == 8
+    assert len(doc["workloads"]) == 9
     for name, entry in doc["workloads"].items():
         assert entry["reuse"]["ic_misses"] < entry["cold"]["ic_misses"], name
+    # The polymorphic sweep must actually exercise the tier machine: POLY
+    # slot hits in both modes, and the cold run crossing into MEGA.
+    poly = doc["workloads"]["polyshapes"]
+    assert poly["cold"]["ic_hits_poly"] > 0
+    assert poly["reuse"]["ic_hits_poly"] > 0
+    assert poly["cold"]["ic_mega_transitions"] > 0

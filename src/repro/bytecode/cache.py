@@ -19,7 +19,9 @@ from repro.bytecode.code import CodeObject, FeedbackSlotInfo, SiteKind
 from repro.lang.errors import SourcePosition
 
 #: Bump when the serialized form changes; mismatching entries are ignored.
-CACHE_FORMAT_VERSION = 4
+#: v5: the optimizer emits fused superinstructions, so cached streams
+#: from earlier versions would execute unfused and skew dispatch counts.
+CACHE_FORMAT_VERSION = 5
 
 
 def source_hash(source: str) -> str:

@@ -48,6 +48,11 @@ def disassemble(code: CodeObject, recursive: bool = False, indent: str = "") -> 
         elif op is Op.MAKE_FUNCTION:
             constant = code.constants[a]
             detail = f" <code {getattr(constant, 'name', '?')}>"
+        elif op in (Op.CMP_JUMP_IF_FALSE, Op.CMP_JUMP_IF_TRUE):
+            detail = f" {BinOp(b).name} -> {a}"
+        elif op is Op.INC_LOCAL_CONST:
+            local = code.local_names[a] if a < len(code.local_names) else a
+            detail = f" {local} += {code.constants[b]!r}"
         elif op in _JUMP_OPS:
             detail = f" -> {a}"
         elif op is Op.BINARY:

@@ -45,6 +45,9 @@ class Op(enum.IntEnum):
     UNARY                     UnOp value                   —
     SETUP_TRY                 catch target pc              —
     FOR_IN_NEXT               jump-when-done target pc     —
+    INC_LOCAL_CONST           local slot index             constant-pool index
+    CMP_JUMP_IF_FALSE         target pc                    BinOp value
+    CMP_JUMP_IF_TRUE          target pc                    BinOp value
     ========================= ============================ ==================
     """
 
@@ -108,6 +111,14 @@ class Op(enum.IntEnum):
     DUP = 71
     SWAP = 72
     DUP2 = 73  # duplicates the top two entries: a b -> a b a b
+
+    # Fused superinstructions.  The compiler never emits these; the
+    # peephole optimizer (bytecode/optimizer.py) collapses hot
+    # multi-instruction idioms into them, so a loop body pays one
+    # dispatch where it paid several.
+    INC_LOCAL_CONST = 80  # locals[a] = locals[a] + consts[b]; no stack effect
+    CMP_JUMP_IF_FALSE = 81  # pop rhs, lhs; jump to a unless BinOp(b) holds
+    CMP_JUMP_IF_TRUE = 82  # pop rhs, lhs; jump to a if BinOp(b) holds
 
 
 class BinOp(enum.IntEnum):

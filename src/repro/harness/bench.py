@@ -1,8 +1,9 @@
 """The interpreter performance baseline: cold vs reuse over every workload.
 
 This is the repo's first recorded perf trajectory.  It runs each of the
-eight workloads (the seven paper libraries plus the default synthetic
-library) through the full protocol — Initial ("cold") run, ICRecord
+nine workloads (the seven paper libraries, the default synthetic
+library, and the polymorphic-tier ``polyshapes`` sweep) through the full
+protocol — Initial ("cold") run, ICRecord
 extraction, RIC Reuse run — ``iterations`` times, and reports per mode:
 
 * host wall time (min and median across iterations; min is the stable
@@ -31,10 +32,13 @@ import typing
 from repro.core.config import RICConfig
 from repro.core.engine import Engine
 from repro.stats.profile import RunProfile
-from repro.workloads import WORKLOADS
+from repro.workloads import WORKLOADS, polyshapes
 from repro.workloads.synthetic import generate_library
 
-SCHEMA = "ric-bench-interp/v1"
+#: v2: per-tier IC counters (mono/poly/mega hits, poly/mega transitions)
+#: added to every mode blob, and the ``polyshapes`` workload joined the
+#: benchmarked set.
+SCHEMA = "ric-bench-interp/v2"
 
 #: Counter fields copied verbatim into each mode's JSON blob.
 _COUNTER_FIELDS = (
@@ -43,6 +47,11 @@ _COUNTER_FIELDS = (
     "ic_hits",
     "ic_misses",
     "ic_hits_on_preloaded",
+    "ic_hits_mono",
+    "ic_hits_poly",
+    "ic_hits_mega",
+    "ic_poly_transitions",
+    "ic_mega_transitions",
     "ric_preloads",
     "ric_validations",
     "hidden_classes_created",
@@ -52,9 +61,11 @@ _COUNTER_FIELDS = (
 
 def bench_workloads() -> dict[str, list[tuple[str, str]]]:
     """The benchmarked workloads: the seven libraries plus ``synthetic``
-    (the default parameterization of the generator)."""
+    (the default parameterization of the generator) plus ``polyshapes``
+    (the polymorphic/megamorphic tier sweep)."""
     scripts = {name: WORKLOADS[name].scripts() for name in WORKLOADS}
     scripts["synthetic"] = [("synthetic.jsl", generate_library())]
+    scripts["polyshapes"] = [("polyshapes.jsl", polyshapes.SOURCE)]
     return scripts
 
 

@@ -46,10 +46,22 @@ class ICSite:
         self.preloaded_addresses: set[int] = set()
 
     def lookup(self, hidden_class: "HiddenClass") -> "Handler | None":
-        """Fast-path probe: the dispatch the specialised site code does."""
-        for cached_hc, handler in self.slots:
-            if cached_hc is hidden_class:
-                return handler
+        """Fast-path probe: the dispatch the specialised site code does.
+
+        Linear scan over at most :data:`POLY_LIMIT` slots with
+        move-to-front (MRU) reordering: a polymorphic site keeps its
+        hottest shape first so the common case pays one compare.  The
+        VM's inline GET_PROP/SET_PROP fast paths mirror this exact scan
+        and reorder, so slot order evolves identically whether a site is
+        probed inline or through the generic :class:`ICRuntime` path.
+        """
+        slots = self.slots
+        for index, entry in enumerate(slots):
+            if entry[0] is hidden_class:
+                if index:
+                    del slots[index]
+                    slots.insert(0, entry)
+                return entry[1]
         return None
 
     def install(

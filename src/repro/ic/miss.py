@@ -124,16 +124,21 @@ class ICRuntime:
 
     def _install(self, site: ICSite, hc, handler: Handler) -> None:
         self.counters.charge(CATEGORY_IC_MISS, cost.IC_UPDATE)
-        was_megamorphic = site.state is ICState.MEGAMORPHIC
+        before = site.state
         site.install(hc, handler)
-        if (
-            self.tracer is not None
-            and not was_megamorphic
-            and site.state is ICState.MEGAMORPHIC
-        ):
-            from repro.stats.tracing import SITE_MEGAMORPHIC
+        after = site.state
+        if after is not before:
+            # Tier transitions are counted here (and in RIC preloading),
+            # never in the VM fast paths — which only probe, never
+            # install — so the counts match under both fast-path modes.
+            if after is ICState.POLYMORPHIC:
+                self.counters.ic_poly_transitions += 1
+            elif after is ICState.MEGAMORPHIC:
+                self.counters.ic_mega_transitions += 1
+                if self.tracer is not None:
+                    from repro.stats.tracing import SITE_MEGAMORPHIC
 
-            self.tracer.emit(SITE_MEGAMORPHIC, site_key=site.info.site_key)
+                    self.tracer.emit(SITE_MEGAMORPHIC, site_key=site.info.site_key)
 
     def _classify_miss(self, site: ICSite, hc) -> str:
         reason = (
@@ -183,6 +188,11 @@ class ICRuntime:
             result = handler.execute(obj)
             if result is not MISS:
                 counters.ic_hits += 1
+                # A slot hit implies MONO or POLY (MEGA holds no slots).
+                if site.state is ICState.MONOMORPHIC:
+                    counters.ic_hits_mono += 1
+                else:
+                    counters.ic_hits_poly += 1
                 if site.was_preloaded(hc):
                     counters.ic_hits_on_preloaded += 1
                     if self.tracer is not None:
@@ -205,6 +215,7 @@ class ICRuntime:
                 result = cached.execute(obj)
                 if result is not MISS:
                     counters.ic_hits += 1
+                    counters.ic_hits_mega += 1
                     counters.charge(CATEGORY_EXECUTE, cost.HANDLER_EXECUTE)
                     return result
                 del self.stub_cache[stub_key]
@@ -256,6 +267,10 @@ class ICRuntime:
             result = handler.execute(obj, value)
             if result is not MISS:
                 counters.ic_hits += 1
+                if site.state is ICState.MONOMORPHIC:
+                    counters.ic_hits_mono += 1
+                else:
+                    counters.ic_hits_poly += 1
                 if site.was_preloaded(hc):
                     counters.ic_hits_on_preloaded += 1
                 counters.charge(CATEGORY_EXECUTE, cost.HANDLER_EXECUTE)
@@ -271,6 +286,7 @@ class ICRuntime:
                 result = cached.execute(obj, value)
                 if result is not MISS:
                     counters.ic_hits += 1
+                    counters.ic_hits_mega += 1
                     counters.charge(CATEGORY_EXECUTE, cost.HANDLER_EXECUTE)
                     if isinstance(obj, JSFunction) and name == "prototype":
                         obj.invalidate_constructor_hc()

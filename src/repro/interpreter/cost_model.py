@@ -63,6 +63,16 @@ RIC_TOAST_LOOKUP = 12
 RIC_VALIDATE = 10
 RIC_PRELOAD_SLOT = 14
 
+#: Fused superinstructions (bytecode/optimizer.py).  A fused instruction
+#: charges exactly one DISPATCH through the VM's batched loop — no bespoke
+#: cost constant — so its modeled win is the (width - 1) dispatches the
+#: eliminated window instructions would have charged.  The widths below
+#: document that accounting; tests/test_optimizer.py holds fused and
+#: unfused twins to identical output while the dispatch counters differ
+#: by exactly these eliminated instructions.
+FUSED_INC_LOCAL_CONST_WIDTH = 6  # LOAD_LOCAL;LOAD_CONST;ADD;DUP;STORE_LOCAL;POP
+FUSED_CMP_JUMP_WIDTH = 2  # BINARY <cmp>;JUMP_IF_FALSE/TRUE
+
 #: Cycles-per-instruction by instruction category, for the modeled
 #: execution time (Figure 9).  The paper observes that the time reduction
 #: slightly exceeds the instruction reduction "because the instructions

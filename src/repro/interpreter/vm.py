@@ -12,16 +12,18 @@ The table is built by naming convention: opcode ``Op.FOO`` dispatches to
 construction (and in ``tests/test_dispatch_table.py``), never silently at
 runtime.
 
-``GET_PROP`` / ``SET_PROP`` carry an inline **monomorphic fast path**: when
-the access site's :class:`~repro.ic.icvector.ICSite` holds exactly one
-``(hidden class, handler)`` pair and the incoming object's hidden class
-matches, the handler runs directly in the dispatch handler — same IC hit
-accounting, same ``ICVector`` transitions, one less call layer than the
-generic ``ICRuntime`` path.  Any other situation (polymorphic site,
-megamorphic site, shape mismatch, handler bailout) falls back to the
-generic path untouched.  ``fastpaths=False`` disables the inline paths
-entirely (used by differential tests and the ``interp_fastpaths`` config
-knob).
+``GET_PROP`` / ``SET_PROP`` carry an inline **MONO/POLY fast path**: the
+access site's :class:`~repro.ic.icvector.ICSite` slot list (up to
+``POLY_LIMIT`` ``(hidden class, handler)`` pairs) is probed with the same
+linear scan + MRU move-to-front reorder as ``ICSite.lookup``, and a
+matching handler runs directly in the dispatch handler — same IC hit
+accounting (including per-tier attribution), same ``ICVector``
+transitions, one less call layer than the generic ``ICRuntime`` path.
+Any other situation (megamorphic site — its slots are empty and hits go
+to the shared stub cache — shape mismatch, handler bailout) falls back
+to the generic path untouched.  ``fastpaths=False`` disables the inline
+paths entirely (used by differential tests and the ``interp_fastpaths``
+config knob).
 
 Guest instruction accounting: each dispatched bytecode charges
 ``cost_model.DISPATCH`` (batched per frame for speed); everything heavier
@@ -56,7 +58,7 @@ from repro.bytecode.opcodes import BinOp, Op, UnOp
 from repro.core.budget import BudgetMeter, CancelToken, ExecutionBudget
 from repro.core.errors import DepthBudgetExceeded
 from repro.ic.handlers import MISS
-from repro.ic.icvector import FeedbackState
+from repro.ic.icvector import FeedbackState, ICState
 from repro.ic.miss import ICRuntime
 from repro.interpreter import cost_model as cost
 from repro.interpreter.frames import Environment, ForInIterator, Frame, GuestThrow
@@ -92,6 +94,10 @@ _RETURN_PC = -1
 #: Combined charge of an IC probe plus a handler execution — what a fast-path
 #: hit costs, identical in total to the generic path's two charges.
 _IC_HIT_COST = cost.IC_PROBE + cost.HANDLER_EXECUTE
+
+#: Hoisted for the fast-path tier check (module-level lookup is cheaper
+#: than the enum attribute access in the hot handlers).
+_MONOMORPHIC = ICState.MONOMORPHIC
 
 # Each guest call consumes several host frames; make sure the guest hits its
 # own MAX_CALL_DEPTH RangeError before Python's recursion limit.
@@ -558,10 +564,18 @@ class VM:
             )
 
     def _op_get_prop(self, frame: Frame, a: int, b: int, pc: int) -> int:
-        """GET_PROP with the monomorphic inline fast path.
+        """GET_PROP with the inline MONO/POLY fast path.
 
-        Invariants vs the generic path (checked by test_dispatch_table):
-        identical counter totals on a hit, identical ICVector transitions
+        The probe is the same linear scan + move-to-front reorder as
+        :meth:`ICSite.lookup`, inlined: up to POLY_LIMIT slots are
+        shape-checked in MRU order and a hit past the front is promoted,
+        so slot order evolves identically to the generic path.
+        Megamorphic sites hold no slots and fall straight through to the
+        generic path's shared stub cache.
+
+        Invariants vs the generic path (checked by test_dispatch_table
+        and the differential wall): identical counter totals on a hit
+        (including per-tier attribution), identical ICVector transitions
         (the fast path never installs or evicts slots), and fallback to
         the untouched generic path in every non-hit situation.
         """
@@ -570,20 +584,33 @@ class VM:
         if isinstance(obj, JSObject):
             site = frame.sites[b]
             slots = site.slots
-            if len(slots) == 1:
+            if slots:
                 hc = obj.hidden_class
-                entry = slots[0]
-                if entry[0] is hc:
-                    result = entry[1].execute(obj)
-                    if result is not MISS:
-                        counters = self.counters
-                        counters.ic_accesses += 1
-                        counters.ic_hits += 1
-                        counters.instructions[CATEGORY_EXECUTE] += _IC_HIT_COST
-                        if site.preloaded_addresses and site.was_preloaded(hc):
-                            self._note_preloaded_hit(site, hc)
-                        stack[-1] = result
-                        return pc
+                for index, entry in enumerate(slots):
+                    if entry[0] is hc:
+                        if index:
+                            # MRU promotion, mirroring ICSite.lookup.
+                            del slots[index]
+                            slots.insert(0, entry)
+                        result = entry[1].execute(obj)
+                        if result is not MISS:
+                            counters = self.counters
+                            counters.ic_accesses += 1
+                            counters.ic_hits += 1
+                            if site.state is _MONOMORPHIC:
+                                counters.ic_hits_mono += 1
+                            else:
+                                counters.ic_hits_poly += 1
+                            counters.instructions[CATEGORY_EXECUTE] += (
+                                _IC_HIT_COST
+                            )
+                            if site.preloaded_addresses and site.was_preloaded(
+                                hc
+                            ):
+                                self._note_preloaded_hit(site, hc)
+                            stack[-1] = result
+                            return pc
+                        break
             stack[-1] = self.ic.named_load(site, obj, frame.names[a])
             return pc
         stack.pop()
@@ -597,32 +624,44 @@ class VM:
         return pc
 
     def _op_set_prop(self, frame: Frame, a: int, b: int, pc: int) -> int:
-        """SET_PROP with the monomorphic inline fast path (see _op_get_prop)."""
+        """SET_PROP with the inline MONO/POLY fast path (see _op_get_prop)."""
         stack = frame.stack
         obj = stack[-2]
         if isinstance(obj, JSObject):
             site = frame.sites[b]
             slots = site.slots
-            if len(slots) == 1:
+            if slots:
                 hc = obj.hidden_class
-                entry = slots[0]
-                if entry[0] is hc:
-                    value = stack[-1]
-                    result = entry[1].execute(obj, value)
-                    if result is not MISS:
-                        counters = self.counters
-                        counters.ic_accesses += 1
-                        counters.ic_hits += 1
-                        counters.instructions[CATEGORY_EXECUTE] += _IC_HIT_COST
-                        if site.preloaded_addresses and site.was_preloaded(hc):
-                            self._note_preloaded_hit(site, hc)
-                        if frame.names[a] == "prototype" and isinstance(
-                            obj, JSFunction
-                        ):
-                            obj.invalidate_constructor_hc()
-                        stack.pop()
-                        stack[-1] = value
-                        return pc
+                for index, entry in enumerate(slots):
+                    if entry[0] is hc:
+                        if index:
+                            del slots[index]
+                            slots.insert(0, entry)
+                        value = stack[-1]
+                        result = entry[1].execute(obj, value)
+                        if result is not MISS:
+                            counters = self.counters
+                            counters.ic_accesses += 1
+                            counters.ic_hits += 1
+                            if site.state is _MONOMORPHIC:
+                                counters.ic_hits_mono += 1
+                            else:
+                                counters.ic_hits_poly += 1
+                            counters.instructions[CATEGORY_EXECUTE] += (
+                                _IC_HIT_COST
+                            )
+                            if site.preloaded_addresses and site.was_preloaded(
+                                hc
+                            ):
+                                self._note_preloaded_hit(site, hc)
+                            if frame.names[a] == "prototype" and isinstance(
+                                obj, JSFunction
+                            ):
+                                obj.invalidate_constructor_hc()
+                            stack.pop()
+                            stack[-1] = value
+                            return pc
+                        break
         return self._op_set_prop_generic(frame, a, b, pc)
 
     def _op_set_prop_generic(self, frame: Frame, a: int, b: int, pc: int) -> int:
@@ -802,6 +841,35 @@ class VM:
     def _op_unary(self, frame: Frame, a: int, b: int, pc: int) -> int:
         stack = frame.stack
         stack[-1] = self._unary(a, stack[-1])
+        return pc
+
+    # fused superinstructions (emitted by bytecode/optimizer.py only)
+
+    def _op_inc_local_const(self, frame: Frame, a: int, b: int, pc: int) -> int:
+        """INC_LOCAL_CONST: ``locals[a] = locals[a] + consts[b]``.
+
+        Fused form of LOAD_LOCAL;LOAD_CONST;BINARY ADD;DUP;STORE_LOCAL;
+        POP — same ``_binary`` semantics (number add or string concat),
+        zero net stack effect, one dispatch instead of six.
+        """
+        slots = frame.slots
+        slots[a] = self._binary(BinOp.ADD, slots[a], frame.consts[b])
+        return pc
+
+    def _op_cmp_jump_if_false(self, frame: Frame, a: int, b: int, pc: int) -> int:
+        """CMP_JUMP_IF_FALSE: fused BINARY ``b``; JUMP_IF_FALSE ``a``."""
+        stack = frame.stack
+        right = stack.pop()
+        if not to_boolean(self._binary(b, stack.pop(), right)):
+            return a
+        return pc
+
+    def _op_cmp_jump_if_true(self, frame: Frame, a: int, b: int, pc: int) -> int:
+        """CMP_JUMP_IF_TRUE: fused BINARY ``b``; JUMP_IF_TRUE ``a``."""
+        stack = frame.stack
+        right = stack.pop()
+        if to_boolean(self._binary(b, stack.pop(), right)):
+            return a
         return pc
 
     def _op_typeof(self, frame: Frame, a: int, b: int, pc: int) -> int:

@@ -25,7 +25,13 @@ from repro.bytecode.code import SiteKind
 from repro.core.config import RICConfig
 from repro.ic.handlers import StoreTransitionHandler
 from repro.ic.icvector import FeedbackState
-from repro.ric.icrecord import DependentEntry, HCVTRow, ICRecord, ToastPair
+from repro.ric.icrecord import (
+    DependentEntry,
+    HCVTRow,
+    ICRecord,
+    SiteSlot,
+    ToastPair,
+)
 from repro.runtime.context import Runtime
 
 #: Creation-key prefixes that are never reusable across executions.
@@ -117,6 +123,11 @@ def extract_icrecord(
         info = site.info
         if info.kind not in (SiteKind.NAMED_LOAD, SiteKind.NAMED_STORE):
             continue  # keyed + global sites are not linked (paper §6)
+        # site.slots is in final probe (MRU) order; persist it in that
+        # order so a Reuse run's warmed site probes hottest-shape-first
+        # (record.site_slots, format v4).  Megamorphic sites hold no
+        # slots and thus persist nothing — they re-learn, by design.
+        slot_entries: list[SiteSlot] = []
         for hc, handler in site.slots:
             if hc.index in excluded_hcids or hc.index >= len(record.hcvt):
                 continue
@@ -124,11 +135,15 @@ def extract_icrecord(
             if handler.is_context_independent:
                 serialized = handler.serialize()
                 assert serialized is not None
+                handler_id = intern_handler(serialized)
                 row.dependents.append(
                     DependentEntry(
                         site_key=info.site_key,
-                        handler_id=intern_handler(serialized),
+                        handler_id=handler_id,
                     )
+                )
+                slot_entries.append(
+                    SiteSlot(hcid=hc.index, handler_id=handler_id)
                 )
             elif not isinstance(handler, StoreTransitionHandler):
                 # Context-dependent non-transitioning handler: RIC cannot
@@ -136,6 +151,8 @@ def extract_icrecord(
                 # "Handler" bucket of Table 4.  Transitioning stores are the
                 # Triggering sites themselves ("Other" by construction).
                 row.cd_dependent_sites.append(info.site_key)
+        if slot_entries:
+            record.site_slots[info.site_key] = slot_entries
 
     record.extraction_time_ms = (time.perf_counter() - start) * 1000.0
     return record

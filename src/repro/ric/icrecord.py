@@ -66,6 +66,21 @@ class HCVTRow:
 
 
 @dataclass(frozen=True)
+class SiteSlot:
+    """One persisted ICVector slot: ``(hidden class, handler)`` by id.
+
+    ``hcid`` is record-local (an HCVT row index), ``handler_id`` indexes
+    the record's handler store.  A site's slot list is stored in the
+    probe (MRU) order the Initial run converged on, capped at
+    ``POLY_LIMIT`` entries — the persisted form of a MONO or POLY
+    ICVector site (format v4; see ``ICRecord.site_slots``).
+    """
+
+    hcid: int
+    handler_id: int
+
+
+@dataclass(frozen=True)
 class ToastPair:
     """One (incoming, outgoing) entry of a TOAST row (Figure 6b).
 
@@ -92,6 +107,15 @@ class ICRecord:
     toast: dict[str, list[ToastPair]] = field(default_factory=dict)
     #: Deduplicated context-independent handlers (serialized form).
     handlers: list[dict] = field(default_factory=list)
+    #: Per-site ordered slot sets (format v4): ``site_key -> [SiteSlot,
+    #: ...]`` for every named load/store site that ended the Initial run
+    #: with at least one context-independent slot.  ``hcvt[...].dependents``
+    #: remains the per-hidden-class preload index (each (site, hc,
+    #: handler) link appears there too); this table adds the *per-site*
+    #: view — polymorphic degree and converged probe order — which reuse
+    #: applies after preloading so a warmed site probes in the same order
+    #: it did at extraction time.
+    site_slots: dict[str, list[SiteSlot]] = field(default_factory=dict)
     #: Extraction wall-clock time in milliseconds (paper §7.3).
     extraction_time_ms: float = 0.0
 
@@ -117,5 +141,12 @@ class ICRecord:
                 len(row.cd_dependent_sites) for row in self.hcvt
             ),
             "handlers": len(self.handlers),
+            "slot_sites": len(self.site_slots),
+            "poly_slot_sites": sum(
+                1 for slots in self.site_slots.values() if len(slots) > 1
+            ),
+            "site_slot_entries": sum(
+                len(slots) for slots in self.site_slots.values()
+            ),
             "extraction_time_ms": self.extraction_time_ms,
         }

@@ -49,6 +49,7 @@ class ReuseSession:
         "validated",
         "_handler_cache",
         "_cd_sites_by_hcid",
+        "_slot_plan",
     )
 
     def __init__(
@@ -96,6 +97,20 @@ class ReuseSession:
             row.hcid: set(row.cd_dependent_sites)
             for row in record.hcvt
             if row.cd_dependent_sites
+        }
+        #: Recorded probe order per site (format v4 ``site_slots``):
+        #: site_key -> {hcid: position}.  As a polymorphic site's slots
+        #: preload one hidden class at a time (in whatever order this
+        #: run happens to validate them), :meth:`_preload` re-sorts the
+        #: preloaded slots to this recorded order, so a warmed site
+        #: starts probing hottest-shape-first exactly as the Initial run
+        #: left it.  Slot order never affects results or counters (the
+        #: probe charge is flat) — only which compare hits first.
+        self._slot_plan: dict[str, dict[int, int]] = {
+            site_key: {
+                slot.hcid: position for position, slot in enumerate(slots)
+            }
+            for site_key, slots in record.site_slots.items()
         }
 
     # -- hook wired into HiddenClassRegistry.on_created ------------------------
@@ -181,7 +196,18 @@ class ReuseSession:
             self._preload(site, hc, dependent.handler_id)
 
     def _preload(self, site: ICSite, hc: HiddenClass, handler_id: int) -> None:
-        """Fill one Dependent site's ICVector slot (the paper's key step)."""
+        """Fill one Dependent site's ICVector slot (the paper's key step).
+
+        Polymorphic slot sets preload in full: each validated hidden
+        class fills its own slot, one install per Dependent link, up to
+        all ``POLY_LIMIT`` slots of a POLY site.  The capacity guard
+        below only refuses installs *beyond* the limit — a preload must
+        never be the install that dumps a site to MEGA (that would make
+        record reuse degrade a site the Reuse run might have kept
+        polymorphic).  Megamorphic sites likewise stay untouched: the
+        record stores no slots for them and they re-learn through the
+        stub cache.
+        """
         if site.state is ICState.MEGAMORPHIC or len(site.slots) >= POLY_LIMIT:
             return
         if site.lookup(hc) is not None:
@@ -193,8 +219,12 @@ class ReuseSession:
             # preloaded but the handler must be regenerated, paying the
             # generation cost the full design avoids.
             self.counters.charge(CATEGORY_RIC, cost.HANDLER_GENERATE)
+        before = site.state
         site.install(hc, handler, preloaded=True)
+        if site.state is ICState.POLYMORPHIC and before is not ICState.POLYMORPHIC:
+            self.counters.ic_poly_transitions += 1
         self.counters.ric_preloads += 1
+        self._apply_slot_plan(site)
         if self.tracer is not None:
             from repro.stats.tracing import RIC_PRELOADED
 
@@ -204,6 +234,27 @@ class ReuseSession:
                 hc_index=hc.index,
                 detail=handler.describe(),
             )
+
+    def _apply_slot_plan(self, site: ICSite) -> None:
+        """Restore the recorded probe order on a fully-preloaded site.
+
+        Only applied while *every* slot is a preload: once the run
+        installs anything organically, MRU reordering owns the site and
+        imposing extraction-time order would fight it.
+        """
+        plan = self._slot_plan.get(site.info.site_key)
+        slots = site.slots
+        if plan is None or len(slots) < 2:
+            return
+        preloaded = site.preloaded_addresses
+        if any(entry[0].address not in preloaded for entry in slots):
+            return
+        hcid_of = self.hcid_by_address
+        slots.sort(
+            key=lambda entry: plan.get(
+                hcid_of.get(entry[0].address, -1), POLY_LIMIT
+            )
+        )
 
     def _materialize_handler(self, handler_id: int) -> Handler:
         handler = self._handler_cache.get(handler_id)

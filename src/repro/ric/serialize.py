@@ -9,7 +9,7 @@ Because a *later* execution acts on this artifact, the on-disk form is a
 hardened envelope around the payload::
 
     {"checksum": "<sha256 of canonical payload JSON>",
-     "record": {"version": 3, "script_keys": [...], ...}}
+     "record": {"version": 4, "script_keys": [...], ...}}
 
 * the **checksum** rejects truncation, bit-flips, and hand-edits;
 * the **format version** (inside the payload, covered by the checksum)
@@ -32,11 +32,19 @@ from pathlib import Path
 
 from repro.ric.atomicio import atomic_write_text
 from repro.ric.errors import CorruptRecord, RecordFormatError
-from repro.ric.icrecord import DependentEntry, HCVTRow, ICRecord, ToastPair
+from repro.ric.icrecord import (
+    DependentEntry,
+    HCVTRow,
+    ICRecord,
+    SiteSlot,
+    ToastPair,
+)
 
 #: Bump when the on-disk format changes.  v3: integrity envelope
-#: (payload checksum) and structural validation on load.
-ICRECORD_FORMAT_VERSION = 3
+#: (payload checksum) and structural validation on load.  v4: per-site
+#: ordered slot sets (``site_slots``) — persisted polymorphic ICVector
+#: state, ``site_key -> [[hcid, handler_id], ...]`` capped at POLY_LIMIT.
+ICRECORD_FORMAT_VERSION = 4
 
 
 def record_to_json(record: ICRecord) -> dict:
@@ -65,6 +73,10 @@ def record_to_json(record: ICRecord) -> dict:
         # injectors, envelope extras) and must never reach back into the
         # live record through the serialized form.
         "handlers": [dict(handler) for handler in record.handlers],
+        "site_slots": {
+            site_key: [[slot.hcid, slot.handler_id] for slot in slots]
+            for site_key, slots in record.site_slots.items()
+        },
         "extraction_time_ms": record.extraction_time_ms,
     }
 
@@ -108,6 +120,13 @@ def record_from_json(data: dict) -> ICRecord:
             for key, pairs in data["toast"].items()
         }
         record.handlers = [dict(handler) for handler in data["handlers"]]
+        record.site_slots = {
+            site_key: [
+                SiteSlot(hcid=hcid, handler_id=handler_id)
+                for hcid, handler_id in slots
+            ]
+            for site_key, slots in data["site_slots"].items()
+        }
         record.extraction_time_ms = float(data.get("extraction_time_ms", 0.0))
     except RecordFormatError:
         raise

@@ -43,6 +43,7 @@ from repro.ric.icrecord import (
     DependentEntry,
     HCVTRow,
     ICRecord,
+    SiteSlot,
     ToastPair,
     filename_of_creation_key,
 )
@@ -184,6 +185,12 @@ def _extract_for_file(
             continue
         if info.position.filename != filename:
             continue
+        # Per-site slot sets (format v4), in final probe order, with hcids
+        # remapped to this record's local row numbering.  Shapes created
+        # by other files are simply absent from the local map and drop
+        # out — the per-file record persists the polymorphic degree this
+        # file can re-validate on its own.
+        slot_entries: list[SiteSlot] = []
         for hc, handler in site.slots:
             local = local_id.get(hc.index)
             if local is None:
@@ -192,11 +199,15 @@ def _extract_for_file(
             if handler.is_context_independent:
                 serialized = handler.serialize()
                 assert serialized is not None
+                handler_id = intern_handler(serialized)
                 row.dependents.append(
-                    DependentEntry(info.site_key, intern_handler(serialized))
+                    DependentEntry(info.site_key, handler_id)
                 )
+                slot_entries.append(SiteSlot(local, handler_id))
             elif not isinstance(handler, StoreTransitionHandler):
                 row.cd_dependent_sites.append(info.site_key)
+        if slot_entries:
+            record.site_slots[info.site_key] = slot_entries
 
     return record
 

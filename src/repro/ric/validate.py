@@ -16,6 +16,7 @@ problem list): the <10% load-overhead budget is asserted by
 
 from __future__ import annotations
 
+from repro.ic.icvector import POLY_LIMIT
 from repro.ric.errors import RecordFormatError
 from repro.ric.icrecord import ICRecord
 
@@ -137,6 +138,53 @@ def validate_record(record: ICRecord) -> list[str]:
                     )
     else:
         problems.append("toast must be a dict")
+
+    # -- site_slots (v4): bounded, duplicate-free, in-range slot lists ------
+    if isinstance(record.site_slots, dict):
+        for site_key, slots in record.site_slots.items():
+            if not isinstance(site_key, str):
+                problems.append(f"site_slots key {site_key!r} is not a string")
+                continue
+            if not isinstance(slots, list):
+                problems.append(f"site_slots[{site_key!r}] is not a list")
+                continue
+            if not slots:
+                problems.append(f"site_slots[{site_key!r}] is empty")
+            if len(slots) > POLY_LIMIT:
+                problems.append(
+                    f"site_slots[{site_key!r}] holds {len(slots)} slots "
+                    f"(POLY_LIMIT is {POLY_LIMIT})"
+                )
+            seen_hcids = set()
+            for slot in slots:
+                hcid = getattr(slot, "hcid", None)
+                handler_id = getattr(slot, "handler_id", None)
+                if (
+                    not isinstance(hcid, int)
+                    or isinstance(hcid, bool)
+                    or not 0 <= hcid < num_rows
+                ):
+                    problems.append(
+                        f"site_slots[{site_key!r}] hcid {hcid!r} "
+                        f"outside [0, {num_rows})"
+                    )
+                else:
+                    if hcid in seen_hcids:
+                        problems.append(
+                            f"site_slots[{site_key!r}] duplicates hcid {hcid}"
+                        )
+                    seen_hcids.add(hcid)
+                if (
+                    not isinstance(handler_id, int)
+                    or isinstance(handler_id, bool)
+                    or not 0 <= handler_id < num_handlers
+                ):
+                    problems.append(
+                        f"site_slots[{site_key!r}] references handler "
+                        f"{handler_id!r} outside [0, {num_handlers})"
+                    )
+    else:
+        problems.append("site_slots must be a dict")
 
     if (
         not isinstance(record.extraction_time_ms, (int, float))

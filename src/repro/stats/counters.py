@@ -49,6 +49,24 @@ class Counters:
     #: Hits on slots RIC preloaded = misses averted by RIC.
     ic_hits_on_preloaded: int = 0
 
+    #: Per-tier hit attribution for *named* property sites (GET_PROP /
+    #: SET_PROP).  ``mono``/``poly`` split ICVector slot hits by the
+    #: site's state at hit time; ``mega`` counts megamorphic stub-cache
+    #: hits.  Keyed-element and global sites keep their own untiered
+    #: accounting (they always take the generic path in both fast-path
+    #: modes), so these three do *not* sum to ``ic_hits``.
+    ic_hits_mono: int = 0
+    ic_hits_poly: int = 0
+    ic_hits_mega: int = 0
+    #: IC tier transitions: ``poly`` counts MONO→POLY (a second shape
+    #: installed at a site), ``mega`` counts →MEGA (the slot list
+    #: overflowed POLY_LIMIT and was dumped).  Counted wherever slots are
+    #: installed — the generic miss path and RIC preloading — never in
+    #: the VM fast paths (which only probe), so the counts are identical
+    #: under ``interp_fastpaths`` True and False by construction.
+    ic_poly_transitions: int = 0
+    ic_mega_transitions: int = 0
+
     #: Miss attribution (populated during Reuse runs).
     misses_by_reason: dict[str, int] = field(
         default_factory=lambda: {MISS_HANDLER: 0, MISS_GLOBAL: 0, MISS_OTHER: 0}
@@ -185,6 +203,11 @@ class Counters:
             "ic_hits": self.ic_hits,
             "ic_misses": self.ic_misses,
             "ic_hits_on_preloaded": self.ic_hits_on_preloaded,
+            "ic_hits_mono": self.ic_hits_mono,
+            "ic_hits_poly": self.ic_hits_poly,
+            "ic_hits_mega": self.ic_hits_mega,
+            "ic_poly_transitions": self.ic_poly_transitions,
+            "ic_mega_transitions": self.ic_mega_transitions,
             "ic_miss_rate": self.ic_miss_rate,
             "misses_by_reason": dict(self.misses_by_reason),
             "hidden_classes_created": self.hidden_classes_created,

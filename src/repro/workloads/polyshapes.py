@@ -1,0 +1,93 @@
+'''Polyshapes workload: polymorphic and megamorphic IC-tier exercise.
+
+Unlike the seven library workloads (each mimicking one paper library's
+initialization pattern), this one is built to sweep the IC tier machine:
+five constructor families produce five distinct hidden classes that all
+carry ``x``/``y``/``tag`` at *different* slot offsets, and a set of
+accessor functions is partitioned by polymorphic degree — ``read2``/
+``write2`` only ever see two shapes (POLY), ``read4``/``write4`` see
+exactly ``POLY_LIMIT`` shapes (the deepest POLY tier), and ``read5``/
+``write5`` see five and tip megamorphic.  The hot loops re-visit the
+same shapes thousands of times, so the run's profile is dominated by
+POLY-tier slot hits (and MEGA stub-cache hits at the 5-shape sites) —
+exactly the feedback the v4 record's ``site_slots`` persists and a
+Reuse run preloads.
+'''
+
+NAME = "polyshapes"
+DESCRIPTION = "IC tier sweep: 2/3/4-shape POLY sites plus a 5-shape MEGA site"
+
+# Each constructor pads with a different number of leading fields so x/y
+# land at distinct offsets per shape — a shared accessor site then needs
+# one ICVector slot (one load_field handler) per family.
+_CTORS = """
+function S0(i) { this.tag = 0; this.x = i; this.y = i + 1; }
+function S1(i) { this.p0 = 1; this.tag = 1; this.x = i * 2; this.y = i; }
+function S2(i) { this.p0 = 1; this.p1 = 2; this.tag = 2; this.x = i + 3; this.y = i * 2; }
+function S3(i) { this.p0 = 1; this.p1 = 2; this.p2 = 3; this.tag = 3; this.x = i - 1; this.y = i + 4; }
+function S4(i) { this.p0 = 1; this.p1 = 2; this.p2 = 3; this.p3 = 4; this.tag = 4; this.x = i + 5; this.y = i - 2; }
+"""
+
+# One read site and one write site per polymorphic degree.  Keeping them
+# in separate functions keeps each site's shape population exact: readN
+# probes an N-shape ICVector, writeN stores through an N-shape ICVector.
+_ACCESSORS = """
+function read2(o) { return o.x + o.y; }
+function read3(o) { return o.x + o.y; }
+function read4(o) { return o.x + o.y; }
+function read5(o) { return o.x + o.y; }
+function write2(o, v) { o.y = v + o.tag; }
+function write3(o, v) { o.y = v + o.tag; }
+function write4(o, v) { o.y = v + o.tag; }
+function write5(o, v) { o.y = v + o.tag; }
+"""
+
+_DRIVER = """
+function makePool(degree, size) {
+  var pool = [];
+  for (var i = 0; i < size; i = i + 1) {
+    var k = i % degree;
+    if (k === 0) { pool.push(new S0(i)); }
+    else if (k === 1) { pool.push(new S1(i)); }
+    else if (k === 2) { pool.push(new S2(i)); }
+    else if (k === 3) { pool.push(new S3(i)); }
+    else { pool.push(new S4(i)); }
+  }
+  return pool;
+}
+
+var pool2 = makePool(2, 16);
+var pool3 = makePool(3, 18);
+var pool4 = makePool(4, 16);
+var pool5 = makePool(5, 20);
+
+var sum2 = 0;
+var sum3 = 0;
+var sum4 = 0;
+var sum5 = 0;
+for (var round = 0; round < 40; round = round + 1) {
+  for (var i = 0; i < pool2.length; i = i + 1) {
+    write2(pool2[i], round);
+    sum2 = sum2 + read2(pool2[i]);
+  }
+  for (var i = 0; i < pool3.length; i = i + 1) {
+    write3(pool3[i], round);
+    sum3 = sum3 + read3(pool3[i]);
+  }
+  for (var i = 0; i < pool4.length; i = i + 1) {
+    write4(pool4[i], round);
+    sum4 = sum4 + read4(pool4[i]);
+  }
+  for (var i = 0; i < pool5.length; i = i + 1) {
+    write5(pool5[i], round);
+    sum5 = sum5 + read5(pool5[i]);
+  }
+}
+
+console.log("poly2:" + sum2);
+console.log("poly3:" + sum3);
+console.log("poly4:" + sum4);
+console.log("mega5:" + sum5);
+"""
+
+SOURCE = _CTORS + _ACCESSORS + _DRIVER

@@ -41,6 +41,7 @@ WORKLOAD_NAMES = (
     "camanlike",
     "jsfeatlike",
     "synthetic",
+    "polyshapes",
 )
 
 
@@ -81,6 +82,134 @@ class TestColdVsReuseDifferential:
         assert runs.reused.counters.ric_preloads > 0
         assert runs.reused.counters.ic_hits_on_preloaded > 0
         assert runs.reused.counters.ic_misses < runs.cold.counters.ic_misses
+
+
+class TestPolymorphicColdVsReuse:
+    """The wall extended to POLY/MEGA sites (INTERNALS §13): a record
+    persisted from a polymorphic run preloads full slot *sets*, reuse
+    stays observationally invisible at every tier, and corrupt slot data
+    degrades per-record instead of crashing."""
+
+    @pytest.fixture(scope="class")
+    def poly_runs(self) -> ColdReuseRuns:
+        scripts = bench_workloads()["polyshapes"]
+        return run_cold_and_reused(scripts, seed=11, name="polyshapes")
+
+    def test_record_persists_polymorphic_slot_sets(self, poly_runs):
+        from repro.ic.icvector import POLY_LIMIT
+
+        stats = poly_runs.record.stats()
+        assert stats["poly_slot_sites"] > 0
+        for slots in poly_runs.record.site_slots.values():
+            assert 1 <= len(slots) <= POLY_LIMIT
+
+    def test_poly_reuse_is_observationally_invisible(self, poly_runs):
+        assert poly_runs.cold.console_output == poly_runs.reused.console_output
+        cold_blob = json.dumps(poly_runs.cold_state, sort_keys=True)
+        reused_blob = json.dumps(poly_runs.reused_state, sort_keys=True)
+        assert cold_blob == reused_blob
+
+    def test_poly_reuse_engages_every_tier(self, poly_runs):
+        cold, reused = poly_runs.cold.counters, poly_runs.reused.counters
+        assert reused.ric_preloads > 0
+        assert cold.ic_hits_poly > 0 and reused.ic_hits_poly > 0
+        assert cold.ic_hits_mega > 0 and reused.ic_hits_mega > 0
+        assert reused.ic_misses < cold.ic_misses
+        # MEGA sites persist nothing (their slots were cleared at the
+        # transition), so the reuse run re-learns them organically and
+        # crosses into MEGA exactly as often as the cold run did.
+        assert cold.ic_mega_transitions > 0
+        assert reused.ic_mega_transitions == cold.ic_mega_transitions
+
+    def test_invalid_slot_plan_is_rejected_per_record(self, poly_runs):
+        """A slot list pointing at a nonexistent hidden-class row fails
+        validation: the record is refused (``ric_records_rejected``), the
+        run silently degrades to cold, output stays identical."""
+        import dataclasses
+
+        from repro.ric.icrecord import SiteSlot
+
+        bad_slots = dict(poly_runs.record.site_slots)
+        site_key = next(iter(bad_slots))
+        bad_slots[site_key] = [SiteSlot(hcid=10**6, handler_id=0)]
+        bad_record = dataclasses.replace(poly_runs.record, site_slots=bad_slots)
+
+        scripts = bench_workloads()["polyshapes"]
+        runs = run_cold_and_reused(
+            scripts, seed=11, name="polyshapes", icrecord=bad_record
+        )
+        assert runs.reused.counters.ric_records_rejected == 1
+        assert runs.reused.counters.ric_preloads == 0
+        assert runs.cold.console_output == runs.reused.console_output
+
+    def test_truncated_slot_wire_data_is_corrupt_not_fatal(self, poly_runs):
+        """Mangled ``site_slots`` wire data fails the parse (a
+        RecordFormatError, never an arbitrary crash) and the CorruptRecord
+        path degrades the run with ``ric_records_corrupt`` moving."""
+        from repro.ric.errors import CorruptRecord, RecordFormatError
+        from repro.ric.serialize import record_from_json, record_to_json
+
+        blob = record_to_json(poly_runs.record)
+        assert blob["site_slots"]  # the wire format carries the slot sets
+        truncated = json.loads(json.dumps(blob))
+        site_key = next(iter(truncated["site_slots"]))
+        truncated["site_slots"][site_key] = "garbage"
+        with pytest.raises(RecordFormatError):
+            record_from_json(truncated)
+
+        scripts = bench_workloads()["polyshapes"]
+        corrupt = CorruptRecord(source="polyshapes.jsl", error="truncated slots")
+        runs = run_cold_and_reused(
+            scripts, seed=11, name="polyshapes", icrecord=corrupt
+        )
+        assert runs.reused.counters.ric_records_corrupt == 1
+        assert runs.cold.console_output == runs.reused.console_output
+
+
+class TestPolymorphicStoreRoundTrip:
+    """Acceptance criterion: a record persisted from a polymorphic run
+    round-trips through a RecordStore and preloads slot sets in a second
+    engine; corrupt slot data on disk is quarantined, never fatal."""
+
+    def _scripts(self):
+        return bench_workloads()["polyshapes"]
+
+    def test_two_engines_share_polymorphic_records(self, tmp_path):
+        scripts = self._scripts()
+        store_a = RecordStore(directory=tmp_path)
+        a = Engine(seed=21, record_store=store_a)
+        cold = a.run(scripts, name="warm", use_store=True)
+        assert cold.mode == "initial"  # store empty: truly cold
+        assert a.publish_records(counters=cold.counters) > 0
+
+        store_b = RecordStore(directory=tmp_path)
+        assert store_b.load_errors == []
+        b = Engine(seed=22, record_store=store_b)
+        reused = b.run(scripts, name="reuse", use_store=True)
+        assert reused.mode == "reuse-ric"
+        assert reused.console_output == cold.console_output
+        assert reused.counters.ric_preloads > 0
+        assert reused.counters.ic_hits_poly > 0
+        assert reused.counters.ic_misses < cold.counters.ic_misses
+
+    def test_corrupt_store_entry_is_quarantined(self, tmp_path):
+        scripts = self._scripts()
+        a = Engine(seed=21, record_store=RecordStore(directory=tmp_path))
+        cold = a.run(scripts, name="warm", use_store=True)
+        a.publish_records()
+
+        # Rot every persisted record on disk.
+        paths = list(tmp_path.glob("*.icrecord.json"))
+        assert paths
+        for path in paths:
+            path.write_text(path.read_text()[: len(path.read_text()) // 2])
+
+        store = RecordStore(directory=tmp_path)
+        assert store.load_errors  # quarantined, surfaced, not raised
+        assert len(store) == 0
+        c = Engine(seed=23, record_store=store)
+        degraded = c.run(scripts, name="degraded", use_store=True)
+        assert degraded.console_output == cold.console_output
 
 
 @pytest.mark.parametrize("name", WORKLOAD_NAMES)

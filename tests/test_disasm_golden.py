@@ -29,6 +29,7 @@ import pytest
 from repro.bytecode.compiler import compile_source
 from repro.bytecode.disasm import disassemble
 from repro.bytecode.opcodes import Op
+from repro.bytecode.optimizer import optimize_code
 
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples" / "jsl"
 GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
@@ -65,6 +66,9 @@ def test_opcode_registry_golden():
 def test_disassembly_golden(name):
     source = (EXAMPLES_DIR / f"{name}.jsl").read_text()
     code = compile_source(source, f"{name}.jsl")
+    # Goldens pin the *optimized* stream — the one the VM executes and
+    # the code cache persists — so fused superinstructions are covered.
+    optimize_code(code)
     actual = disassemble(code, recursive=True)
     if not actual.endswith("\n"):
         actual += "\n"

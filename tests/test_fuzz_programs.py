@@ -279,31 +279,34 @@ def property_heavy_program(rng: random.Random) -> str:
     return "\n".join(lines)
 
 
+def run_fastpath_protocol(source: str, fastpaths: bool, seed: int = 9) -> dict:
+    """Full protocol (cold -> extract -> reuse) under one fast-path mode,
+    fingerprinted: output, counters and address-free heap for both runs."""
+    engine = Engine(config=RICConfig(interp_fastpaths=fastpaths), seed=seed)
+    cold = engine.run(source, name="fuzz")
+    cold_state = serialize_user_globals(engine.last_run.runtime)
+    record = engine.extract_icrecord()
+    reused = engine.run(source, name="fuzz", icrecord=record)
+    reused_state = serialize_user_globals(engine.last_run.runtime)
+    return {
+        "cold_output": cold.console_output,
+        "cold_counters": cold.counters.as_dict(),
+        "cold_state": cold_state,
+        "reused_output": reused.console_output,
+        "reused_counters": reused.counters.as_dict(),
+        "reused_state": reused_state,
+    }
+
+
 class TestFastPathCrossCheck:
     """The GET_PROP/SET_PROP fast paths must be invisible: identical output,
     identical heap, identical counters — cold *and* under RIC reuse."""
 
-    def _run_protocol(self, source: str, fastpaths: bool):
-        engine = Engine(config=RICConfig(interp_fastpaths=fastpaths), seed=9)
-        cold = engine.run(source, name="fuzz")
-        cold_state = serialize_user_globals(engine.last_run.runtime)
-        record = engine.extract_icrecord()
-        reused = engine.run(source, name="fuzz", icrecord=record)
-        reused_state = serialize_user_globals(engine.last_run.runtime)
-        return {
-            "cold_output": cold.console_output,
-            "cold_counters": cold.counters.as_dict(),
-            "cold_state": cold_state,
-            "reused_output": reused.console_output,
-            "reused_counters": reused.counters.as_dict(),
-            "reused_state": reused_state,
-        }
-
     @pytest.mark.parametrize("seed", range(12))
     def test_fast_path_matches_generic_path(self, seed):
         source = property_heavy_program(random.Random(1000 + seed))
-        fast = self._run_protocol(source, fastpaths=True)
-        generic = self._run_protocol(source, fastpaths=False)
+        fast = run_fastpath_protocol(source, fastpaths=True)
+        generic = run_fastpath_protocol(source, fastpaths=False)
         assert fast == generic
         # The corpus must actually lean on the IC machinery to mean anything.
         assert fast["cold_counters"]["ic_accesses"] > 20
@@ -313,3 +316,128 @@ class TestFastPathCrossCheck:
         assert property_heavy_program(random.Random(7)) == property_heavy_program(
             random.Random(7)
         )
+
+
+# -- polymorphic-shape generator (seeded, tier-aware) ----------------------------
+#
+# Programs whose accessor sites see an *exact, chosen* number of hidden
+# classes: one constructor family per shape (x/y/tag at distinct offsets
+# thanks to per-family pad fields), one read and one write accessor per
+# polymorphic degree, pools striped round-robin across the families.  A
+# degree-2 site exercises the shallow POLY tier, degree-POLY_LIMIT the
+# deepest, degree-(POLY_LIMIT+1) tips megamorphic — the MEGA boundary is
+# a generator *parameter*, not an accident of the random draw.
+
+
+def polymorphic_shape_program(rng: random.Random, degrees) -> str:
+    """One deterministic program with one read site and one write site per
+    polymorphic degree in ``degrees`` (each seeing exactly that many shapes).
+
+    All globals are var-hoisted before any hot loop runs, so every named
+    property site's shape population is exactly its pool's stripe count.
+    """
+    degrees = sorted(set(degrees))
+    max_degree = max(degrees)
+    lines = []
+    for family in range(max_degree):
+        pads = "".join(f"this.pad{p} = {p}; " for p in range(family))
+        lines.append(
+            f"function Shape{family}(i) {{ {pads}this.x = i + {family}; "
+            f"this.y = i * 2; this.tag = {family}; }}"
+        )
+    for degree in degrees:
+        lines.append(f"function read{degree}(o) {{ return o.x + o.y + o.tag; }}")
+        lines.append(f"function write{degree}(o, v) {{ o.y = v + o.x; }}")
+        size = rng.randint(2 * degree, 4 * degree)
+        members = ", ".join(
+            f"new Shape{i % degree}({rng.randint(0, 9)})" for i in range(size)
+        )
+        lines.append(f"var pool{degree} = [{members}];")
+
+    lines.append("var sink = 0;")
+    for _ in range(rng.randint(4, 9)):
+        degree = rng.choice(degrees)
+        mix = rng.randint(0, 2)
+        i = f"i{len(lines)}"
+        if mix == 0:  # read sweep
+            lines.append(
+                f"for (var {i} = 0; {i} < pool{degree}.length; {i}++) "
+                f"{{ sink = sink + read{degree}(pool{degree}[{i}]); }}"
+            )
+        elif mix == 1:  # write sweep
+            lines.append(
+                f"for (var {i} = 0; {i} < pool{degree}.length; {i}++) "
+                f"{{ write{degree}(pool{degree}[{i}], {i} + {rng.randint(-9, 9)}); }}"
+            )
+        else:  # read-modify-write
+            o = f"o{len(lines)}"
+            lines.append(
+                f"for (var {i} = 0; {i} < pool{degree}.length; {i}++) "
+                f"{{ var {o} = pool{degree}[{i}]; "
+                f"write{degree}({o}, read{degree}({o})); }}"
+            )
+
+    for degree in degrees:
+        t = f"t{degree}"
+        lines.append(f"var digest{degree} = 0;")
+        lines.append(
+            f"for (var {t} = 0; {t} < pool{degree}.length; {t}++) "
+            f"{{ digest{degree} = digest{degree} + read{degree}(pool{degree}[{t}]); }}"
+        )
+        lines.append(f'console.log("d{degree}:", digest{degree});')
+    lines.append('console.log("sink:", sink);')
+    return "\n".join(lines)
+
+
+class TestPolymorphicShapeCrossCheck:
+    """The POLY/MEGA tier fast paths under the same invisibility contract:
+    for chosen shape populations, fast-path and generic execution agree on
+    output, heap and every counter — and the MEGA boundary sits exactly at
+    POLY_LIMIT shapes."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_poly_fast_path_matches_generic_path(self, seed):
+        rng = random.Random(5000 + seed)
+        degrees = rng.sample([2, 3, 4, 5, 6], rng.randint(2, 4))
+        source = polymorphic_shape_program(rng, degrees)
+        fast = run_fastpath_protocol(source, fastpaths=True)
+        generic = run_fastpath_protocol(source, fastpaths=False)
+        assert fast == generic
+        # The corpus must actually reach the POLY tier to mean anything.
+        assert fast["cold_counters"]["ic_hits_poly"] > 0
+
+    @pytest.mark.parametrize("degree", [2, 3, 4, 5, 7])
+    def test_each_degree_cross_checks(self, degree):
+        source = polymorphic_shape_program(random.Random(degree), [degree])
+        fast = run_fastpath_protocol(source, fastpaths=True)
+        generic = run_fastpath_protocol(source, fastpaths=False)
+        assert fast == generic
+
+    def test_mega_boundary_at_poly_limit(self):
+        """Exactly POLY_LIMIT shapes: the deepest POLY tier, no MEGA."""
+        from repro.ic.icvector import POLY_LIMIT
+
+        source = polymorphic_shape_program(random.Random(42), [POLY_LIMIT])
+        result = run_fastpath_protocol(source, fastpaths=True)
+        counters = result["cold_counters"]
+        assert counters["ic_hits_poly"] > 0
+        assert counters["ic_poly_transitions"] > 0
+        assert counters["ic_mega_transitions"] == 0
+        assert counters["ic_hits_mega"] == 0
+
+    def test_mega_boundary_past_poly_limit(self):
+        """POLY_LIMIT + 1 shapes: the same program shape now tips MEGA."""
+        from repro.ic.icvector import POLY_LIMIT
+
+        source = polymorphic_shape_program(random.Random(42), [POLY_LIMIT + 1])
+        result = run_fastpath_protocol(source, fastpaths=True)
+        counters = result["cold_counters"]
+        assert counters["ic_mega_transitions"] >= 1
+        assert counters["ic_hits_mega"] > 0
+        # And it still cross-checks against the generic interpreter.
+        assert result == run_fastpath_protocol(source, fastpaths=False)
+
+    def test_polymorphic_generator_is_deterministic(self):
+        assert polymorphic_shape_program(
+            random.Random(3), [2, 5]
+        ) == polymorphic_shape_program(random.Random(3), [2, 5])

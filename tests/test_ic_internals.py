@@ -5,7 +5,7 @@ from repro.bytecode.compiler import compile_source
 from repro.core.config import RICConfig
 from repro.ic.handlers import LoadFieldHandler
 from repro.ic.icvector import POLY_LIMIT, FeedbackState, ICState
-from repro.ric.icrecord import DependentEntry, HCVTRow, ICRecord, ToastPair
+from repro.ric.icrecord import DependentEntry, HCVTRow, ICRecord, SiteSlot, ToastPair
 from repro.ric.reuse import ReuseSession
 from repro.runtime.heap import Heap
 from repro.runtime.hidden_class import HiddenClassRegistry
@@ -198,6 +198,168 @@ class TestReuseSessionPreloading:
         session.on_hidden_class_created(outgoing)
         assert counters.ric_preloads == 0
         assert len(site.slots) == 1
+
+
+_STATE_ORDER = [
+    ICState.UNINITIALIZED,
+    ICState.MONOMORPHIC,
+    ICState.POLYMORPHIC,
+    ICState.MEGAMORPHIC,
+]
+
+
+class TestICStateMachine:
+    """Property tests for the UNINITIALIZED → MONO → POLY → MEGA machine
+    driven directly on an :class:`ICSite` (INTERNALS §13)."""
+
+    LOAD_KEY = "u.jsl:1:11:named_load"
+
+    def fresh_site(self):
+        _, feedback = make_feedback()
+        return feedback.site_by_key(self.LOAD_KEY)
+
+    def shapes(self, count):
+        reg = registry()
+        return [
+            reg.create_root("builtin", f"builtin:S{i}", None) for i in range(count)
+        ]
+
+    def test_transitions_are_monotone(self):
+        """Installs only ever move the state rightwards along
+        UNINIT → MONO → POLY → MEGA, one shape at a time."""
+        site = self.fresh_site()
+        seen = [site.state]
+        for hc in self.shapes(POLY_LIMIT + 1):
+            site.install(hc, LoadFieldHandler(0))
+            seen.append(site.state)
+        ranks = [_STATE_ORDER.index(state) for state in seen]
+        assert ranks == sorted(ranks)
+        assert seen[0] is ICState.UNINITIALIZED
+        assert seen[1] is ICState.MONOMORPHIC
+        assert all(s is ICState.POLYMORPHIC for s in seen[2:-1])
+        assert seen[-1] is ICState.MEGAMORPHIC
+
+    def test_never_leaves_megamorphic(self):
+        site = self.fresh_site()
+        shapes = self.shapes(POLY_LIMIT + 3)
+        for hc in shapes:
+            site.install(hc, LoadFieldHandler(0))
+        assert site.state is ICState.MEGAMORPHIC
+        assert site.slots == []
+        # Neither new nor previously-seen shapes reanimate the site.
+        for hc in shapes:
+            assert site.install(hc, LoadFieldHandler(0)) is False
+            assert site.state is ICState.MEGAMORPHIC
+            assert site.slots == []
+            assert site.lookup(hc) is None
+
+    def test_slots_never_shrink_before_mega(self):
+        site = self.fresh_site()
+        shapes = self.shapes(POLY_LIMIT)
+        sizes = []
+        for hc in shapes:
+            site.install(hc, LoadFieldHandler(0))
+            sizes.append(len(site.slots))
+            # Re-installing a seen shape replaces in place, never shrinks.
+            site.install(hc, LoadFieldHandler(1))
+            sizes.append(len(site.slots))
+        assert sizes == sorted(sizes)
+        assert len(site.slots) == POLY_LIMIT
+        assert site.state is ICState.POLYMORPHIC
+
+    def test_mru_reorder_preserves_the_slot_set(self):
+        site = self.fresh_site()
+        shapes = self.shapes(3)
+        handlers = {hc.address: LoadFieldHandler(i) for i, hc in enumerate(shapes)}
+        for hc in shapes:
+            site.install(hc, handlers[hc.address])
+        before = {entry[0].address: entry[1] for entry in site.slots}
+
+        # A hit moves its entry to the front and changes nothing else.
+        assert site.lookup(shapes[2]) is handlers[shapes[2].address]
+        assert site.slots[0][0] is shapes[2]
+        assert {entry[0].address: entry[1] for entry in site.slots} == before
+        assert site.state is ICState.POLYMORPHIC
+
+        # A miss leaves the order alone entirely.
+        order = [entry[0].address for entry in site.slots]
+        stranger = registry().create_root("builtin", "builtin:stranger", None)
+        assert site.lookup(stranger) is None
+        assert [entry[0].address for entry in site.slots] == order
+
+    def _poly_record_session(self, plan_order):
+        """A record with three builtin rows, all Dependents of LOAD_KEY,
+        whose persisted slot order is ``plan_order`` (a permutation of
+        hcids)."""
+        record = ICRecord()
+        record.handlers = [{"kind": "load_field", "offset": 0}]
+        record.hcvt = [
+            HCVTRow(hcid=i, dependents=[DependentEntry(self.LOAD_KEY, 0)])
+            for i in range(3)
+        ]
+        record.toast = {
+            f"builtin:S{i}": [ToastPair(None, None, i)] for i in range(3)
+        }
+        record.site_slots = {
+            self.LOAD_KEY: [SiteSlot(hcid, 0) for hcid in plan_order]
+        }
+        _, feedback = make_feedback()
+        counters = Counters()
+        session = ReuseSession(record, feedback, counters, RICConfig())
+        return record, feedback, counters, session
+
+    def test_preloaded_slots_follow_the_persisted_order(self):
+        """Whatever order validation happens in, a fully-preloaded POLY
+        site ends up probing in the extraction-time (MRU) order."""
+        _, feedback, counters, session = self._poly_record_session([2, 0, 1])
+        reg = registry()
+        shapes = [
+            reg.create_root("builtin", f"builtin:S{i}", None) for i in range(3)
+        ]
+        for hc in shapes:  # validate in hcid order: 0, 1, 2
+            session.on_hidden_class_created(hc)
+        site = feedback.site_by_key(self.LOAD_KEY)
+        assert counters.ric_preloads == 3
+        assert site.state is ICState.POLYMORPHIC
+        assert [entry[0] for entry in site.slots] == [
+            shapes[2],
+            shapes[0],
+            shapes[1],
+        ]
+        assert all(site.was_preloaded(hc) for hc in shapes)
+
+    def test_preloaded_site_equivalent_to_organically_warmed(self):
+        """A persisted-then-preloaded vector behaves exactly like one the
+        run warmed itself: same slot set, same handlers, same state, and
+        the same MRU evolution under a common probe sequence."""
+        _, feedback, _, session = self._poly_record_session([2, 0, 1])
+        reg = registry()
+        shapes = [
+            reg.create_root("builtin", f"builtin:S{i}", None) for i in range(3)
+        ]
+        for hc in shapes:
+            session.on_hidden_class_created(hc)
+        preloaded = feedback.site_by_key(self.LOAD_KEY)
+
+        organic = self.fresh_site()
+        for hc in shapes:
+            organic.install(hc, LoadFieldHandler(0))
+
+        assert preloaded.state is organic.state is ICState.POLYMORPHIC
+        assert {e[0].address for e in preloaded.slots} == {
+            e[0].address for e in organic.slots
+        }
+        for hc in shapes:
+            got_a, got_b = preloaded.lookup(hc), organic.lookup(hc)
+            assert type(got_a) is type(got_b)
+            assert got_a.offset == got_b.offset
+
+        # Initial orders may differ (plan vs install order) but MRU
+        # converges them under any shared access sequence.
+        for hc in (shapes[1], shapes[0], shapes[1]):
+            preloaded.lookup(hc)
+            organic.lookup(hc)
+        assert [e[0] for e in preloaded.slots] == [e[0] for e in organic.slots]
 
 
 class TestMissClassification:

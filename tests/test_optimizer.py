@@ -152,3 +152,123 @@ class TestOptimizedSemantics:
         ric = engine.run(source, name="t", icrecord=record)
         assert ric.console_output == initial.console_output == ["4"]
         assert ric.counters.ic_hits_on_preloaded > 0
+
+
+class TestSuperinstructionFusion:
+    """The fusion pass: windows collapse to fused opcodes, never across a
+    jump target, and fused execution is observationally invisible."""
+
+    def test_increment_window_fuses_in_function_scope(self):
+        source = """
+        function f() {
+          var i = 0;
+          while (i < 10) { i = i + 1; }
+          return i;
+        }
+        console.log(f());
+        """
+        code = compile_source(source)
+        result = optimize_code(code)
+        assert result.fused_inc_locals >= 1
+        assert result.fused_cmp_jumps >= 1
+        inner = next(c for c in code.iter_code_objects() if c.name == "f")
+        inner_ops = ops_of(inner)
+        assert Op.INC_LOCAL_CONST in inner_ops
+        assert Op.CMP_JUMP_IF_FALSE in inner_ops
+        assert Engine(seed=1).run(source, name="t").console_output == ["10"]
+
+    def test_cmp_branch_fuses_for_if_conditions(self):
+        source = """
+        function g(a, b) { if (a < b) { return "lt"; } return "ge"; }
+        console.log(g(1, 2), g(2, 1));
+        """
+        code = compile_source(source)
+        result = optimize_code(code)
+        assert result.fused_cmp_jumps >= 1
+        assert Engine(seed=1).run(source, name="t").console_output == ["lt ge"]
+
+    def test_fused_semantics_match_unoptimized_with_fewer_dispatches(self):
+        source = """
+        function count() {
+          var total = 0;
+          for (var i = 0; i < 50; i = i + 1) { total = total + 2; }
+          return total;
+        }
+        console.log(count());
+        """
+        plain = Engine(seed=3, optimize=False).run(source, name="p")
+        fused = Engine(seed=3, optimize=True).run(source, name="o")
+        assert plain.console_output == fused.console_output == ["100"]
+        # The fused opcodes' whole point: (width - 1) dispatches per
+        # window execution disappear, output stays bit-identical.
+        assert fused.counters.dispatches < plain.counters.dispatches
+
+    # -- the jump-target guard, on hand-built instruction streams --------
+
+    _INC_WINDOW = [
+        (int(Op.LOAD_LOCAL), 0, 0),
+        (int(Op.LOAD_CONST), 0, 0),
+        (int(Op.BINARY), 0, 0),  # BinOp patched in _hand_code
+        (int(Op.DUP), 0, 0),
+        (int(Op.STORE_LOCAL), 0, 0),
+        (int(Op.POP), 0, 0),
+    ]
+
+    def _hand_code(self, instructions):
+        from repro.bytecode.code import CodeObject
+        from repro.bytecode.opcodes import BinOp
+        from repro.lang.errors import SourcePosition
+
+        patched = [
+            (op, int(BinOp.ADD), b) if op == Op.BINARY else (op, a, b)
+            for op, a, b in instructions
+        ]
+        return CodeObject(
+            name="hand",
+            filename="hand.jsl",
+            params=[],
+            position=SourcePosition("hand.jsl", 1, 1),
+            instructions=patched,
+            positions=[(1, 1)] * len(patched),
+            constants=[1.0],
+            names=[],
+            local_names=["s"],
+            feedback_slots=[],
+            decl_key="hand",
+        )
+
+    def test_fusion_never_fires_across_jump_targets(self):
+        from repro.bytecode.optimizer import OptimizeResult, _fuse_superinstructions
+
+        # A jump landing mid-window (on the BINARY, old pc 3) blocks it.
+        blocked = self._hand_code([(int(Op.JUMP), 3, 0)] + self._INC_WINDOW)
+        frozen = list(blocked.instructions)
+        result = OptimizeResult()
+        _fuse_superinstructions(blocked, result)
+        assert result.fused_inc_locals == 0
+        assert blocked.instructions == frozen
+
+        # The same window with the jump landing ON its start fuses fine.
+        allowed = self._hand_code([(int(Op.JUMP), 1, 0)] + self._INC_WINDOW)
+        result = OptimizeResult()
+        _fuse_superinstructions(allowed, result)
+        assert result.fused_inc_locals == 1
+        assert allowed.instructions[1][0] == Op.INC_LOCAL_CONST
+        assert allowed.instructions[0] == (int(Op.JUMP), 1, 0)
+
+    def test_cmp_fusion_respects_jump_targets(self):
+        from repro.bytecode.opcodes import BinOp
+        from repro.bytecode.optimizer import OptimizeResult, _fuse_superinstructions
+
+        blocked = self._hand_code(
+            [
+                (int(Op.JUMP), 2, 0),  # lands on the JUMP_IF_FALSE
+                (int(Op.BINARY), int(BinOp.LT), 0),
+                (int(Op.JUMP_IF_FALSE), 0, 0),
+            ]
+        )
+        frozen = list(blocked.instructions)
+        result = OptimizeResult()
+        _fuse_superinstructions(blocked, result)
+        assert result.fused_cmp_jumps == 0
+        assert blocked.instructions == frozen

@@ -291,6 +291,9 @@ class TestSerialization:
             "dependent_links",
             "cd_dependent_links",
             "handlers",
+            "slot_sites",
+            "poly_slot_sites",
+            "site_slot_entries",
             "extraction_time_ms",
         }
 
