@@ -74,11 +74,40 @@ def test_validator_reports_missing_modes():
     assert any("w.reuse" in p for p in problems)
 
 
-def test_bench_workload_registry_has_all_nine():
+def test_bench_workload_registry_has_all_ten():
     workloads = bench_workloads()
-    assert len(workloads) == 9
+    assert len(workloads) == 10
     assert "synthetic" in workloads
     assert "polyshapes" in workloads
+    assert "typedarith" in workloads
+
+
+def test_typedarith_quickened_reuse_beats_unquickened():
+    """The specialization smoke gate: on the type-stable workload the
+    quickened reuse run executes typed opcodes without a single deopt,
+    pays less modeled cost than generic reuse, and still books fewer IC
+    misses than cold."""
+    from repro.core.config import RICConfig
+
+    doc = measure(workload_names=["typedarith"], iterations=1, seed=1)
+    blob = doc["workloads"]["typedarith"]
+    assert blob["reuse"]["specialized_hits"] > 0
+    assert blob["reuse"]["deopts"] == 0
+    assert blob["cold"]["specialized_hits"] == 0
+    assert blob["reuse"]["ic_misses"] < blob["cold"]["ic_misses"]
+
+    generic = measure(
+        workload_names=["typedarith"],
+        iterations=1,
+        seed=1,
+        config=RICConfig(specialize=False),
+    )
+    generic_blob = generic["workloads"]["typedarith"]
+    assert generic_blob["reuse"]["specialized_hits"] == 0
+    assert blob["reuse"]["ic_misses"] == generic_blob["reuse"]["ic_misses"]
+    quickened_cost = sum(blob["reuse"]["instructions"].values())
+    generic_cost = sum(generic_blob["reuse"]["instructions"].values())
+    assert quickened_cost < generic_cost
 
 
 def test_checked_in_baseline_is_valid():
@@ -89,7 +118,7 @@ def test_checked_in_baseline_is_valid():
     assert path.exists(), "BENCH_interp.json missing from the repo root"
     doc = json.loads(path.read_text())
     assert validate_bench_json(doc) == []
-    assert len(doc["workloads"]) == 9
+    assert len(doc["workloads"]) == 10
     for name, entry in doc["workloads"].items():
         assert entry["reuse"]["ic_misses"] < entry["cold"]["ic_misses"], name
     # The polymorphic sweep must actually exercise the tier machine: POLY
@@ -98,3 +127,9 @@ def test_checked_in_baseline_is_valid():
     assert poly["cold"]["ic_hits_poly"] > 0
     assert poly["reuse"]["ic_hits_poly"] > 0
     assert poly["cold"]["ic_mega_transitions"] > 0
+    # The type-stable showcase must show the quickening win: typed hits
+    # on reuse, none cold (there is no feedback to spend yet), no deopts.
+    typed = doc["workloads"]["typedarith"]
+    assert typed["reuse"]["specialized_hits"] > 0
+    assert typed["reuse"]["deopts"] == 0
+    assert typed["cold"]["specialized_hits"] == 0

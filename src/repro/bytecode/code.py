@@ -78,6 +78,14 @@ class CodeObject:
     #: Stable identity of this function across executions: the declaration
     #: position.  Used to key constructor hidden classes in the TOAST.
     decl_key: str = ""
+    #: Specialization side table, populated only on quickened clones
+    #: (repro/specialize/quicken.py): GET_PROP_SLOT/SET_PROP_SLOT carry an
+    #: index into this list, each entry a ``(name_index, offset)`` pair —
+    #: the original name-pool operand (for deopt back to the generic
+    #: opcode) and the monomorphic field offset the guard authorizes.
+    #: Always empty on compiler/optimizer output and on cached bytecode;
+    #: quickened clones never enter the code cache.
+    spec_table: list[tuple[int, int]] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if not self.decl_key:

@@ -26,6 +26,18 @@ _JUMP_OPS = {
     Op.FOR_IN_NEXT,
 }
 
+#: Typed arithmetic (quickened) opcodes: operand `a` is the BinOp, as in
+#: the generic BINARY they specialize.
+_TYPED_ARITH_OPS = {Op.ADD_INT, Op.ADD_NUM, Op.SUB_NUM, Op.MUL_NUM}
+
+#: Typed fused compare-and-branch: operands as in CMP_JUMP_IF_*.
+_TYPED_CMP_OPS = {
+    Op.CMP_INT_JUMP_IF_FALSE,
+    Op.CMP_INT_JUMP_IF_TRUE,
+    Op.CMP_NUM_JUMP_IF_FALSE,
+    Op.CMP_NUM_JUMP_IF_TRUE,
+}
+
 
 def disassemble(code: CodeObject, recursive: bool = False, indent: str = "") -> str:
     """Render ``code`` as human-readable text."""
@@ -50,6 +62,13 @@ def disassemble(code: CodeObject, recursive: bool = False, indent: str = "") -> 
             detail = f" <code {getattr(constant, 'name', '?')}>"
         elif op in (Op.CMP_JUMP_IF_FALSE, Op.CMP_JUMP_IF_TRUE):
             detail = f" {BinOp(b).name} -> {a}"
+        elif op in _TYPED_CMP_OPS:
+            detail = f" {BinOp(b).name} -> {a}"
+        elif op in _TYPED_ARITH_OPS:
+            detail = f" {BinOp(a).name}"
+        elif op in (Op.GET_PROP_SLOT, Op.SET_PROP_SLOT):
+            name_index, offset = code.spec_table[a]
+            detail = f" name={code.names[name_index]!r} slot={offset} fb={b}"
         elif op is Op.INC_LOCAL_CONST:
             local = code.local_names[a] if a < len(code.local_names) else a
             detail = f" {local} += {code.constants[b]!r}"

@@ -48,6 +48,14 @@ class Op(enum.IntEnum):
     INC_LOCAL_CONST           local slot index             constant-pool index
     CMP_JUMP_IF_FALSE         target pc                    BinOp value
     CMP_JUMP_IF_TRUE          target pc                    BinOp value
+    ADD_INT / ADD_NUM         BinOp value (always ADD)     —
+    SUB_NUM / MUL_NUM         BinOp value (SUB / MUL)      —
+    CMP_INT_JUMP_IF_FALSE     target pc                    BinOp value
+    CMP_INT_JUMP_IF_TRUE      target pc                    BinOp value
+    CMP_NUM_JUMP_IF_FALSE     target pc                    BinOp value
+    CMP_NUM_JUMP_IF_TRUE      target pc                    BinOp value
+    GET_PROP_SLOT             spec-table index             feedback slot
+    SET_PROP_SLOT             spec-table index             feedback slot
     ========================= ============================ ==================
     """
 
@@ -119,6 +127,23 @@ class Op(enum.IntEnum):
     INC_LOCAL_CONST = 80  # locals[a] = locals[a] + consts[b]; no stack effect
     CMP_JUMP_IF_FALSE = 81  # pop rhs, lhs; jump to a unless BinOp(b) holds
     CMP_JUMP_IF_TRUE = 82  # pop rhs, lhs; jump to a if BinOp(b) holds
+
+    # Type-specialized (quickened) opcodes.  Neither the compiler nor the
+    # optimizer emits these; the quickening pass (repro/specialize/) rewrites
+    # generic opcodes into them at artifact-build time, driven by the
+    # ``site_feedback`` section of a persisted ICRecord.  Every one carries
+    # an inline guard and deoptimizes — rewriting itself back to its generic
+    # form in place — the first time the guard fails.
+    ADD_INT = 90  # both operands integral numbers, else deopt to BINARY
+    ADD_NUM = 91  # both operands numbers, else deopt to BINARY
+    SUB_NUM = 92
+    MUL_NUM = 93
+    CMP_INT_JUMP_IF_FALSE = 94  # typed CMP_JUMP_IF_FALSE (integral operands)
+    CMP_INT_JUMP_IF_TRUE = 95
+    CMP_NUM_JUMP_IF_FALSE = 96  # typed CMP_JUMP_IF_FALSE (numeric operands)
+    CMP_NUM_JUMP_IF_TRUE = 97
+    GET_PROP_SLOT = 98  # direct-offset load via spec_table[a], else deopt
+    SET_PROP_SLOT = 99  # direct-offset overwrite store, else deopt
 
 
 class BinOp(enum.IntEnum):

@@ -60,6 +60,13 @@ _JUMP_OPS = {
     int(Op.FOR_IN_NEXT),
     int(Op.CMP_JUMP_IF_FALSE),
     int(Op.CMP_JUMP_IF_TRUE),
+    # Typed (quickened) variants never reach the optimizer — quickening
+    # runs on already-optimized, cached code — but keep them retargetable
+    # so a hypothetical re-optimization of a quickened tree stays sound.
+    int(Op.CMP_INT_JUMP_IF_FALSE),
+    int(Op.CMP_INT_JUMP_IF_TRUE),
+    int(Op.CMP_NUM_JUMP_IF_FALSE),
+    int(Op.CMP_NUM_JUMP_IF_TRUE),
 }
 
 #: Comparison operators eligible for compare+branch fusion.  All are

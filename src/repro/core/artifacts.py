@@ -71,6 +71,13 @@ class ScriptArtifact:
     #: Whether a store fetch was attempted (distinguishes "no record
     #: exists" from "never asked").
     record_fetched: bool = False
+    #: When ``code`` is a quickened clone (built against a trusted
+    #: record's ``site_feedback``), the original generic tree it was
+    #: derived from.  Record-upgrade flights rebuild from *this*, never
+    #: from the stale specialization.  None when ``code`` is generic.
+    generic_code: CodeObject | None = None
+    #: Typed opcodes in ``code`` at publication time (0 when generic).
+    specialized_sites: int = 0
 
     @property
     def bytecode_heap_bytes(self) -> int:
@@ -96,10 +103,12 @@ class ArtifactBuilder:
         code_cache: CodeCache,
         optimize: bool = True,
         record_store=None,
+        specialize: bool = True,
     ):
         self.code_cache = code_cache
         self.optimize = optimize
         self.record_store = record_store
+        self.specialize = specialize
 
     def compile(self, filename: str, source: str) -> "tuple[CodeObject, bool]":
         """Compile through the code cache; returns ``(code, hit)`` where
@@ -138,16 +147,53 @@ class ArtifactBuilder:
             record = self.record_store.get(filename, source)
             fetched = True
         digest = source_hash(source)
+        key = f"{filename}:{digest}"
+        exec_code, generic_code, specialized = code, None, 0
+        if self.specialize and record is not None:
+            exec_code, generic_code, specialized = quicken_artifact_code(
+                code, key, record
+            )
         artifact = ScriptArtifact(
             filename=filename,
             source=source,
             source_hash=digest,
-            key=f"{filename}:{digest}",
-            code=code,
+            key=key,
+            code=exec_code,
             record=record,
             record_fetched=fetched,
+            generic_code=generic_code,
+            specialized_sites=specialized,
         )
         return artifact, hit
+
+
+def quicken_artifact_code(
+    code: CodeObject, key: str, record: "ICRecord"
+) -> "tuple[CodeObject, CodeObject | None, int]":
+    """Quicken one script's tree against a store-fetched record.
+
+    Returns ``(exec code, generic code or None, sites specialized)``.
+    The record must be structurally valid *and* trust-matched (the
+    artifact key appears in its ``script_keys``) — the same gate session
+    admission applies — else the generic tree is returned untouched.
+    Sessions consuming a pre-quickened artifact skip their own
+    quickening pass, so concurrent sessions share one immutable clone.
+    """
+    from repro.ric.icrecord import ICRecord
+    from repro.ric.validate import validate_record
+    from repro.specialize.quicken import quicken_code
+
+    if (
+        not isinstance(record, ICRecord)
+        or key not in record.script_keys
+        or not record.site_feedback
+        or validate_record(record)
+    ):
+        return code, None, 0
+    quickened, count = quicken_code(code, record.site_feedback)
+    if count == 0:
+        return code, None, 0
+    return quickened, code, count
 
 
 class _Flight:
@@ -189,14 +235,21 @@ class ArtifactCache:
         self.builder = builder
         self._entries: dict[str, ScriptArtifact] = {}
         self._flights: dict[str, _Flight] = {}
+        #: Keys whose pinned record went stale (a fresher one was
+        #: published); the next ``fetch_record`` get re-asks the store
+        #: under a record-upgrade flight instead of serving the entry.
+        self._stale_records: set[str] = set()
         self._lock = threading.Lock()
         self._hits = 0
         self._builds = 0
         self._joins = 0
         self._record_fetches = 0
 
-    @staticmethod
-    def _satisfies(artifact: ScriptArtifact, want_record: bool) -> bool:
+    def _satisfies(
+        self, artifact: ScriptArtifact, want_record: bool, key: str
+    ) -> bool:
+        if want_record and key in self._stale_records:
+            return False
         return artifact.record_fetched or not want_record
 
     def get_or_build(
@@ -216,7 +269,9 @@ class ArtifactCache:
         while True:
             with self._lock:
                 artifact = self._entries.get(key)
-                if artifact is not None and self._satisfies(artifact, want_record):
+                if artifact is not None and self._satisfies(
+                    artifact, want_record, key
+                ):
                     self._hits += 1
                     self.builder.code_cache.note_hit()
                     return artifact, True
@@ -231,7 +286,9 @@ class ArtifactCache:
             if flight.error is not None:
                 raise flight.error
             published = flight.artifact
-            if published is not None and self._satisfies(published, want_record):
+            if published is not None and self._satisfies(
+                published, want_record, key
+            ):
                 with self._lock:
                     self._joins += 1
                 self.builder.code_cache.note_hit()
@@ -252,19 +309,26 @@ class ArtifactCache:
     ) -> "tuple[ScriptArtifact, bool]":
         # Invariant on entry: either base is None (cold start: compile)
         # or base lacks a fetched record and want_record is True
-        # (record-upgrade: reuse base.code, fetch only).
+        # (record-upgrade: reuse base's *generic* code, fetch only —
+        # re-specializing base's quickened clone against a newer record
+        # would stack stale typed ops under the new record's feedback).
         try:
             artifact, hit = self.builder.build(
                 filename,
                 source,
                 fetch_record=want_record,
-                code=base.code if base is not None else None,
+                code=(
+                    (base.generic_code or base.code)
+                    if base is not None
+                    else None
+                ),
             )
             with self._lock:
                 self._entries[key] = artifact
                 self._builds += 1
                 if artifact.record_fetched:
                     self._record_fetches += 1
+                    self._stale_records.discard(key)
                 flight.artifact = artifact
                 self._flights.pop(key, None)
                 flight.event.set()
@@ -288,11 +352,27 @@ class ArtifactCache:
         ]
 
     def invalidate(self, filename: str, source: str) -> bool:
-        """Drop one artifact (e.g. after publishing a fresher record so
-        the next fetch re-asks the store).  Returns True if present."""
+        """Drop one artifact entirely (source semantics changed, or tests
+        forcing a rebuild).  Returns True if present."""
         key = f"{filename}:{source_hash(source)}"
         with self._lock:
+            self._stale_records.discard(key)
             return self._entries.pop(key, None) is not None
+
+    def refresh_record(self, filename: str, source: str) -> bool:
+        """Mark one artifact's pinned record stale — a fresher record was
+        published — without dropping the compiled artifact.  The next
+        ``fetch_record`` get runs a record-upgrade flight: one store GET,
+        no recompile, and any quickened code is rebuilt from the
+        artifact's *generic* tree against the new record (reapplying the
+        stale specialization would let demoted sites keep their typed
+        opcodes).  Returns True if an entry was marked."""
+        key = f"{filename}:{source_hash(source)}"
+        with self._lock:
+            if key not in self._entries:
+                return False
+            self._stale_records.add(key)
+            return True
 
     def stats(self) -> ArtifactCacheStats:
         with self._lock:

@@ -2,7 +2,16 @@
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
+
+
+def _specialize_default() -> bool:
+    """Default for ``RICConfig.specialize``: on, unless the environment
+    forces it off.  ``RIC_SPECIALIZE=0`` lets CI run whole suites (the
+    differential wall in particular) with quickening disabled without
+    threading a config through every fixture."""
+    return os.environ.get("RIC_SPECIALIZE", "1") != "0"
 
 
 @dataclass(frozen=True)
@@ -43,6 +52,13 @@ class RICConfig:
       observationally identical (tests/test_dispatch_table.py and the
       differential suite enforce it); the knob exists for those tests and
       for isolating fast-path effects in benchmarks.
+    * ``specialize=False`` — disable the bytecode quickening pass
+      (repro/specialize/): persisted ``site_feedback`` is still recorded
+      and extracted, but never spent rewriting opcodes, so every run
+      executes the generic instruction stream.  Specialized and generic
+      runs must be observationally identical (the differential wall
+      enforces it); the knob is the ``ric-run --no-specialize`` flag and
+      the CI forced-off sweep (``RIC_SPECIALIZE=0``).
 
     Remote record-store knobs (the cross-process sharing daemon,
     :mod:`repro.server`):
@@ -94,6 +110,7 @@ class RICConfig:
     strict_validation: bool = False
     quarantine_corrupt: bool = True
     interp_fastpaths: bool = True
+    specialize: bool = _specialize_default()
     remote_socket: "str | tuple | None" = None
     remote_replication: int = 2
     remote_timeout_s: float = 0.5

@@ -106,6 +106,7 @@ class Engine:
                 self.code_cache,
                 optimize=optimize,
                 record_store=record_store,
+                specialize=self.config.specialize,
             )
         )
         # Every execution gets a distinct sub-seed, so heap addresses differ
@@ -296,6 +297,10 @@ class Engine:
                 if source is None:
                     continue
                 self.record_store.put(filename, source, record)
+                # A cached artifact pinning the now-stale record must
+                # re-fetch (and re-quicken from its generic code) on the
+                # next record-wanting build.
+                self.artifacts.refresh_record(filename, source)
                 published += 1
             return published
 

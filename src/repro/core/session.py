@@ -42,6 +42,11 @@ from repro.ric.reuse import MultiReuseSession, ReuseSession
 from repro.ric.validate import validate_record
 from repro.runtime.builtins import install_builtins
 from repro.runtime.context import Runtime
+from repro.specialize.quicken import (
+    count_specialized_sites,
+    merge_site_feedback,
+    quicken_code,
+)
 from repro.stats.counters import Counters
 from repro.stats.profile import RunProfile
 
@@ -147,32 +152,70 @@ class RunSession:
 
         self.mode = "reuse-ric" if icrecord is not None else "initial"
 
+        # Candidate records are admitted (structurally validated) first:
+        # both the quickening pass and the reuse preloader below may only
+        # consume trusted records.  A corrupt or invalid record degrades
+        # to cold-start for that record only.
+        admitted: list[ICRecord] = []
+        if icrecord is not None:
+            if isinstance(icrecord, (ICRecord, CorruptRecord)):
+                candidates = [icrecord]
+            else:
+                candidates = list(icrecord)
+            admitted = [
+                record
+                for candidate in candidates
+                if (record := admit_record(candidate, config, counters_))
+                is not None
+            ]
+
+        # Pick each script's executable tree.  Artifacts quickened at
+        # build time (``generic_code`` set) are shared as-is across every
+        # consuming session; otherwise, when specialization is on and a
+        # trusted record carries feedback for this script, quicken a
+        # session-local clone now.  The generic tree always survives
+        # untouched — it is what deopt patches back, one site at a time.
+        self.script_keys: list[str] = [a.key for a in self.artifacts]
+        self.exec_codes = []
+        for artifact in self.artifacts:
+            code = artifact.code
+            if artifact.generic_code is not None:
+                if not config.specialize:
+                    code = artifact.generic_code
+            elif config.specialize and admitted:
+                trusted_records = [
+                    record
+                    for record in admitted
+                    if artifact.key in record.script_keys
+                ]
+                if trusted_records:
+                    feedback_map = merge_site_feedback(trusted_records)
+                    code, _ = quicken_code(artifact.code, feedback_map)
+            self.exec_codes.append(code)
+
         # Register every script's feedback vectors *before* builtins are
         # created: builtin validation may preload sites anywhere in the
-        # workload.  Heap charges mirror what compilation would book.
-        self.script_keys: list[str] = []
-        for artifact in self.artifacts:
-            self.feedback.register_script(artifact.code)
-            self.script_keys.append(artifact.key)
-            for nested in artifact.code.iter_code_objects():
+        # workload.  Heap charges mirror what compilation would book
+        # (quickening is 1:1, so the charge is identical either way).
+        for code in self.exec_codes:
+            self.feedback.register_script(code)
+            for nested in code.iter_code_objects():
                 self.runtime.heap.charge(
                     "bytecode",
                     16 * len(nested.instructions)
                     + 8 * len(nested.constants)
                     + 24 * len(nested.feedback_slots),
                 )
+        counters_.specialized_sites = sum(
+            count_specialized_sites(code) for code in self.exec_codes
+        )
 
-        # Reuse sessions are created only now that this run's script keys
-        # are known: a record's file-bound state only applies to files
-        # whose content matches what it was extracted from.  Every
-        # candidate passes structural validation; a corrupt or invalid
-        # record degrades to cold-start for that record only.
-        if icrecord is not None:
+        # Reuse sessions consume the admitted records, now that this
+        # run's script keys are known: a record's file-bound state only
+        # applies to files whose content matches what it was extracted
+        # from.
+        if admitted:
             trusted = set(self.script_keys)
-            if isinstance(icrecord, (ICRecord, CorruptRecord)):
-                candidates = [icrecord]
-            else:
-                candidates = list(icrecord)
             sessions = [
                 ReuseSession(
                     record,
@@ -182,13 +225,11 @@ class RunSession:
                     tracer=tracer,
                     trusted_script_keys=trusted,
                 )
-                for candidate in candidates
-                if (record := admit_record(candidate, config, counters_))
-                is not None
+                for record in admitted
             ]
             if len(sessions) == 1:
                 self._reuse_session = sessions[0]
-            elif sessions:
+            else:
                 # Per-script records (see repro.ric.store): one session
                 # per record, each in its own HCID namespace.
                 self._reuse_session = MultiReuseSession(sessions)
@@ -233,10 +274,10 @@ class RunSession:
             cancel_token=self.cancel_token,
         )
         try:
-            for artifact in self.artifacts:
+            for code in self.exec_codes:
                 # Uncaught guest exceptions surface from run_code as
                 # JSLRuntimeError with a guest stack trace attached.
-                vm.run_code(artifact.code)
+                vm.run_code(code)
         except ExecutionAborted as aborted:
             counters.record_abort(aborted.reason)
             counters.bytecode_cache_hits = self.code_cache_hits

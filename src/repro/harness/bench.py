@@ -32,13 +32,14 @@ import typing
 from repro.core.config import RICConfig
 from repro.core.engine import Engine
 from repro.stats.profile import RunProfile
-from repro.workloads import WORKLOADS, polyshapes
+from repro.workloads import WORKLOADS, polyshapes, typedarith
 from repro.workloads.synthetic import generate_library
 
-#: v2: per-tier IC counters (mono/poly/mega hits, poly/mega transitions)
-#: added to every mode blob, and the ``polyshapes`` workload joined the
-#: benchmarked set.
-SCHEMA = "ric-bench-interp/v2"
+#: v3: ``specialized_hits``/``deopts`` (bytecode specialization) joined
+#: every mode blob, and the type-stable ``typedarith`` workload joined
+#: the benchmarked set.  v2 added per-tier IC counters (mono/poly/mega
+#: hits, poly/mega transitions) and ``polyshapes``.
+SCHEMA = "ric-bench-interp/v3"
 
 #: Counter fields copied verbatim into each mode's JSON blob.
 _COUNTER_FIELDS = (
@@ -56,16 +57,20 @@ _COUNTER_FIELDS = (
     "ric_validations",
     "hidden_classes_created",
     "handlers_generated",
+    "specialized_hits",
+    "deopts",
 )
 
 
 def bench_workloads() -> dict[str, list[tuple[str, str]]]:
     """The benchmarked workloads: the seven libraries plus ``synthetic``
     (the default parameterization of the generator) plus ``polyshapes``
-    (the polymorphic/megamorphic tier sweep)."""
+    (the polymorphic/megamorphic tier sweep) plus ``typedarith`` (the
+    type-stable specialization showcase)."""
     scripts = {name: WORKLOADS[name].scripts() for name in WORKLOADS}
     scripts["synthetic"] = [("synthetic.jsl", generate_library())]
     scripts["polyshapes"] = [("polyshapes.jsl", polyshapes.SOURCE)]
+    scripts["typedarith"] = [("typedarith.jsl", typedarith.SOURCE)]
     return scripts
 
 

@@ -44,6 +44,7 @@ from pathlib import Path
 from repro.bytecode.compiler import compile_source
 from repro.bytecode.disasm import disassemble
 from repro.core.budget import ExecutionBudget
+from repro.core.config import RICConfig
 from repro.core.engine import Engine
 from repro.core.errors import Cancelled, ExecutionAborted
 from repro.lang.errors import JSLCompileError, JSLError, JSLSyntaxError
@@ -128,6 +129,12 @@ def main(argv: list[str] | None = None) -> int:
         "--no-optimize",
         action="store_true",
         help="disable the peephole bytecode optimizer",
+    )
+    parser.add_argument(
+        "--no-specialize",
+        action="store_true",
+        help="disable feedback-driven bytecode specialization (quickening) "
+        "on reuse runs",
     )
     parser.add_argument(
         "--bench-json",
@@ -345,11 +352,13 @@ def main(argv: list[str] | None = None) -> int:
             print(f"ric-run: {error}", file=sys.stderr)
             return EXIT_USAGE
 
+    config = RICConfig(specialize=not args.no_specialize) if args.no_specialize else None
     engine = Engine(
         seed=args.seed,
         cache_dir=args.cache_dir,
         optimize=not args.no_optimize,
         record_store=store,
+        config=config,
     )
     if args.jobs != 1:
         return _run_jobs(args, engine, scripts, store, budget)
@@ -421,6 +430,10 @@ def main(argv: list[str] | None = None) -> int:
             f"{counters.ic_hits_on_preloaded} hits on preloaded slots\n"
             f"RIC degradation:    {counters.ric_records_corrupt} corrupt, "
             f"{counters.ric_records_rejected} rejected records\n"
+            f"specialization:     {counters.specialized_sites} quickened sites, "
+            f"{counters.specialized_hits} typed hits, "
+            f"{counters.deopts} deopts "
+            f"({counters.despecialized_sites} sites demoted)\n"
             f"bytecode cache:     {counters.bytecode_cache_hits} hits, "
             f"{counters.bytecode_cache_misses} misses\n"
             f"remote store:       {counters.ric_remote_hits} hits, "

@@ -107,11 +107,16 @@ class ICSite:
 class ICVector:
     """All IC sites of one function (paper Figure 3)."""
 
-    __slots__ = ("code", "sites")
+    __slots__ = ("code", "sites", "arith")
 
     def __init__(self, code: CodeObject):
         self.code = code
         self.sites = [ICSite(info) for info in code.feedback_slots]
+        #: Per-pc operand-type bitmask accumulated by the VM's arithmetic
+        #: handlers (repro/specialize/feedback.py defines the bits).  Like
+        #: the sites, this is per-execution feedback — recorded cheaply on
+        #: the hot path, read only at extraction time.
+        self.arith: list[int] = [0] * len(code.instructions)
 
     def __getitem__(self, slot_index: int) -> ICSite:
         return self.sites[slot_index]
@@ -129,12 +134,16 @@ class FeedbackState:
     preloads can always find their target site.
     """
 
-    __slots__ = ("_vectors", "_vector_list", "_sites_by_key")
+    __slots__ = ("_vectors", "_vector_list", "_sites_by_key", "demoted_sites")
 
     def __init__(self) -> None:
         self._vectors: dict[int, ICVector] = {}
         self._vector_list: list[ICVector] = []
         self._sites_by_key: dict[str, ICSite] = {}
+        #: Persisted-feedback keys of sites whose typed-opcode guard failed
+        #: this run (repro/specialize/).  Extraction turns each into a
+        #: ``site_feedback`` tombstone so the demotion outlives the run.
+        self.demoted_sites: set[str] = set()
 
     def register_script(self, toplevel_code: CodeObject) -> None:
         """Create ICVectors for a script's top level and every nested

@@ -73,6 +73,25 @@ RIC_PRELOAD_SLOT = 14
 FUSED_INC_LOCAL_CONST_WIDTH = 6  # LOAD_LOCAL;LOAD_CONST;ADD;DUP;STORE_LOCAL;POP
 FUSED_CMP_JUMP_WIDTH = 2  # BINARY <cmp>;JUMP_IF_FALSE/TRUE
 
+#: Type-specialized (quickened) opcodes — repro/specialize/.  The typed
+#: arithmetic/compare variants (ADD_INT, ADD_NUM, CMP_*_JUMP_*) are
+#: width-neutral: their inline type guard rides inside the one DISPATCH
+#: every bytecode already charges, so their modeled cost equals the
+#: generic opcode's and their win is host-level (no operator dispatch
+#: chain).  The specialized property opcodes are *cheaper* than the IC
+#: hit they replace: a generic monomorphic GET_PROP/SET_PROP fast-path
+#: hit pays IC_PROBE + HANDLER_EXECUTE (9) on top of its dispatch, while
+#: GET_PROP_SLOT/SET_PROP_SLOT pay SPECIALIZED_PROP (one hidden-class
+#: identity compare plus a direct slot access) — the quickening win the
+#: bench's modeled-cost gate measures.
+SPECIALIZED_PROP = 2
+
+#: In-place demotion of a typed opcode after a guard failure: patch the
+#: instruction (and the VM's threaded dispatch entry) back to the generic
+#: form.  Charged to the "ric" category — deoptimization is specialization
+#: machinery, not guest work — once per demoted site.
+DEOPT_PATCH = 40
+
 #: Cycles-per-instruction by instruction category, for the modeled
 #: execution time (Figure 9).  The paper observes that the time reduction
 #: slightly exceeds the instruction reduction "because the instructions

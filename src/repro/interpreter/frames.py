@@ -84,6 +84,7 @@ class Frame:
         "pc",
         "try_stack",
         "sites",
+        "arith",
         "consts",
         "names",
         "slots",
@@ -96,6 +97,7 @@ class Frame:
         env: Environment,
         this_value: object,
         sites: "list[ICSite]",
+        arith: "list[int]",
     ):
         self.code = code
         self.env = env
@@ -105,6 +107,10 @@ class Frame:
         #: (handler pc, stack depth) pairs for active try regions.
         self.try_stack: list[tuple[int, int]] = []
         self.sites = sites
+        #: The ICVector's per-pc operand-type masks (type-feedback
+        #: recorder; cached here like ``sites`` so the arithmetic hot
+        #: path pays one attribute load).
+        self.arith = arith
         #: Cached pool references (see class docstring).
         self.consts = code.constants
         self.names = code.names

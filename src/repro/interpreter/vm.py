@@ -78,8 +78,10 @@ from repro.runtime.values import (
     to_uint32,
     type_of,
 )
+from repro.specialize.feedback import operand_type_bits
 from repro.stats.counters import (
     CATEGORY_EXECUTE,
+    CATEGORY_RIC,
     CATEGORY_RUNTIME_OTHER,
     Counters,
 )
@@ -98,6 +100,23 @@ _IC_HIT_COST = cost.IC_PROBE + cost.HANDLER_EXECUTE
 #: Hoisted for the fast-path tier check (module-level lookup is cheaper
 #: than the enum attribute access in the hot handlers).
 _MONOMORPHIC = ICState.MONOMORPHIC
+
+#: Comparison semantics of the typed CMP_*_JUMP_IF_* opcodes.  Their
+#: guards admit only float pairs, for which Python's comparisons match
+#: jsl's exactly (NaN compares false to everything and unequal to
+#: itself; -0.0 == 0.0) and loose/strict equality coincide.
+import operator as _operator
+
+_CMP_FUNCS = {
+    int(BinOp.EQ): _operator.eq,
+    int(BinOp.NEQ): _operator.ne,
+    int(BinOp.STRICT_EQ): _operator.eq,
+    int(BinOp.STRICT_NEQ): _operator.ne,
+    int(BinOp.LT): _operator.lt,
+    int(BinOp.GT): _operator.gt,
+    int(BinOp.LE): _operator.le,
+    int(BinOp.GE): _operator.ge,
+}
 
 # Each guest call consumes several host frames; make sure the guest hits its
 # own MAX_CALL_DEPTH RangeError before Python's recursion limit.
@@ -189,9 +208,8 @@ class VM:
         the thrown value's string form.
         """
         env = Environment(code.num_locals, parent=None)
-        frame = Frame(
-            code, env, UNDEFINED, self.feedback.vector_for(code).sites
-        )
+        vector = self.feedback.vector_for(code)
+        frame = Frame(code, env, UNDEFINED, vector.sites, vector.arith)
         try:
             return self._execute(frame)
         except GuestThrow as thrown:
@@ -230,7 +248,8 @@ class VM:
         self.runtime.heap.charge("environment", 32 + 8 * code.num_locals)
         for index in range(len(code.params)):
             env.slots[index] = args[index] if index < len(args) else UNDEFINED
-        frame = Frame(code, env, this_value, self.feedback.vector_for(code).sites)
+        vector = self.feedback.vector_for(code)
+        frame = Frame(code, env, this_value, vector.sites, vector.arith)
         self._call_depth += 1
         try:
             return self._execute(frame)
@@ -835,7 +854,11 @@ class VM:
     def _op_binary(self, frame: Frame, a: int, b: int, pc: int) -> int:
         stack = frame.stack
         right = stack.pop()
-        stack[-1] = self._binary(a, stack[-1], right)
+        left = stack[-1]
+        # Type-feedback recorder: one mask OR per dispatch (both loops
+        # share this handler, so governed runs record too).
+        frame.arith[pc - 1] |= operand_type_bits(left, right)
+        stack[-1] = self._binary(a, left, right)
         return pc
 
     def _op_unary(self, frame: Frame, a: int, b: int, pc: int) -> int:
@@ -860,7 +883,9 @@ class VM:
         """CMP_JUMP_IF_FALSE: fused BINARY ``b``; JUMP_IF_FALSE ``a``."""
         stack = frame.stack
         right = stack.pop()
-        if not to_boolean(self._binary(b, stack.pop(), right)):
+        left = stack.pop()
+        frame.arith[pc - 1] |= operand_type_bits(left, right)
+        if not to_boolean(self._binary(b, left, right)):
             return a
         return pc
 
@@ -868,9 +893,264 @@ class VM:
         """CMP_JUMP_IF_TRUE: fused BINARY ``b``; JUMP_IF_TRUE ``a``."""
         stack = frame.stack
         right = stack.pop()
-        if to_boolean(self._binary(b, stack.pop(), right)):
+        left = stack.pop()
+        frame.arith[pc - 1] |= operand_type_bits(left, right)
+        if to_boolean(self._binary(b, left, right)):
             return a
         return pc
+
+    # typed (quickened) opcodes — emitted only by repro/specialize/quicken.py
+    #
+    # Each carries an inline guard over the profile the persisted record
+    # promised.  A guard failure deoptimizes: the site's instruction is
+    # patched back to its generic opcode (in the shared code object *and*
+    # this VM's threaded cache), the site is demoted in the feedback
+    # state so the next extraction persists a tombstone, and the generic
+    # handler then executes the access — so a deopting dispatch is
+    # observably identical to the generic opcode having been there all
+    # along, modulo the specialized_*/deopt_* counters and the
+    # DEOPT_PATCH cost charge.
+
+    def _deopt(
+        self,
+        frame: Frame,
+        pc: int,
+        generic_op: int,
+        a: int,
+        b: int,
+        feedback_key: str,
+    ) -> int:
+        """Despecialize the site at ``pc - 1`` and run its generic form."""
+        site_pc = pc - 1
+        code = frame.code
+        # In-place single-element patches; safe under concurrent sharing
+        # (another VM mid-run keeps its own threaded snapshot and, if its
+        # guard also fails, re-applies the identical patch).
+        code.instructions[site_pc] = (int(generic_op), a, b)
+        handler = self._dispatch[generic_op]
+        threaded = self._threaded_cache.get(id(code))
+        if threaded is not None:
+            threaded[site_pc] = (handler, a, b)
+        counters = self.counters
+        counters.deopts += 1
+        counters.despecialized_sites += 1
+        counters.charge(CATEGORY_RIC, cost.DEOPT_PATCH)
+        self.feedback.demoted_sites.add(feedback_key)
+        return handler(frame, a, b, pc)
+
+    def _arith_site_key(self, frame: Frame, pc: int) -> str:
+        return f"{frame.code.decl_key}@{pc - 1}:arith"
+
+    def _op_add_int(self, frame: Frame, a: int, b: int, pc: int) -> int:
+        """ADD_INT: BINARY ADD whose operands stayed integral numbers."""
+        stack = frame.stack
+        right = stack[-1]
+        left = stack[-2]
+        if (
+            type(left) is float
+            and type(right) is float
+            and left.is_integer()
+            and right.is_integer()
+        ):
+            stack.pop()
+            stack[-1] = left + right
+            self.counters.specialized_hits += 1
+            return pc
+        return self._deopt(
+            frame, pc, Op.BINARY, a, b, self._arith_site_key(frame, pc)
+        )
+
+    def _op_add_num(self, frame: Frame, a: int, b: int, pc: int) -> int:
+        """ADD_NUM: BINARY ADD whose operands stayed numbers."""
+        stack = frame.stack
+        right = stack[-1]
+        left = stack[-2]
+        if type(left) is float and type(right) is float:
+            stack.pop()
+            stack[-1] = left + right
+            self.counters.specialized_hits += 1
+            return pc
+        return self._deopt(
+            frame, pc, Op.BINARY, a, b, self._arith_site_key(frame, pc)
+        )
+
+    def _op_sub_num(self, frame: Frame, a: int, b: int, pc: int) -> int:
+        stack = frame.stack
+        right = stack[-1]
+        left = stack[-2]
+        if type(left) is float and type(right) is float:
+            stack.pop()
+            stack[-1] = left - right
+            self.counters.specialized_hits += 1
+            return pc
+        return self._deopt(
+            frame, pc, Op.BINARY, a, b, self._arith_site_key(frame, pc)
+        )
+
+    def _op_mul_num(self, frame: Frame, a: int, b: int, pc: int) -> int:
+        stack = frame.stack
+        right = stack[-1]
+        left = stack[-2]
+        if type(left) is float and type(right) is float:
+            stack.pop()
+            stack[-1] = left * right
+            self.counters.specialized_hits += 1
+            return pc
+        return self._deopt(
+            frame, pc, Op.BINARY, a, b, self._arith_site_key(frame, pc)
+        )
+
+    def _op_cmp_int_jump_if_false(self, frame: Frame, a: int, b: int, pc: int) -> int:
+        """Typed CMP_JUMP_IF_FALSE for integral operands."""
+        stack = frame.stack
+        right = stack[-1]
+        left = stack[-2]
+        if (
+            type(left) is float
+            and type(right) is float
+            and left.is_integer()
+            and right.is_integer()
+        ):
+            del stack[-2:]
+            self.counters.specialized_hits += 1
+            if not _CMP_FUNCS[b](left, right):
+                return a
+            return pc
+        return self._deopt(
+            frame, pc, Op.CMP_JUMP_IF_FALSE, a, b, self._arith_site_key(frame, pc)
+        )
+
+    def _op_cmp_int_jump_if_true(self, frame: Frame, a: int, b: int, pc: int) -> int:
+        stack = frame.stack
+        right = stack[-1]
+        left = stack[-2]
+        if (
+            type(left) is float
+            and type(right) is float
+            and left.is_integer()
+            and right.is_integer()
+        ):
+            del stack[-2:]
+            self.counters.specialized_hits += 1
+            if _CMP_FUNCS[b](left, right):
+                return a
+            return pc
+        return self._deopt(
+            frame, pc, Op.CMP_JUMP_IF_TRUE, a, b, self._arith_site_key(frame, pc)
+        )
+
+    def _op_cmp_num_jump_if_false(self, frame: Frame, a: int, b: int, pc: int) -> int:
+        """Typed CMP_JUMP_IF_FALSE for numeric operands."""
+        stack = frame.stack
+        right = stack[-1]
+        left = stack[-2]
+        if type(left) is float and type(right) is float:
+            del stack[-2:]
+            self.counters.specialized_hits += 1
+            if not _CMP_FUNCS[b](left, right):
+                return a
+            return pc
+        return self._deopt(
+            frame, pc, Op.CMP_JUMP_IF_FALSE, a, b, self._arith_site_key(frame, pc)
+        )
+
+    def _op_cmp_num_jump_if_true(self, frame: Frame, a: int, b: int, pc: int) -> int:
+        stack = frame.stack
+        right = stack[-1]
+        left = stack[-2]
+        if type(left) is float and type(right) is float:
+            del stack[-2:]
+            self.counters.specialized_hits += 1
+            if _CMP_FUNCS[b](left, right):
+                return a
+            return pc
+        return self._deopt(
+            frame, pc, Op.CMP_JUMP_IF_TRUE, a, b, self._arith_site_key(frame, pc)
+        )
+
+    def _op_get_prop_slot(self, frame: Frame, a: int, b: int, pc: int) -> int:
+        """GET_PROP_SLOT: direct-offset load at a persistently-mono site.
+
+        One hidden-class identity compare against the site's front slot,
+        then a raw ``obj.slots[offset]`` — no handler object, no probe
+        loop.  IC accounting is byte-identical to the generic fast path's
+        hit (accesses, hits, tier, preloaded attribution) so quickening
+        never perturbs IC statistics; only the modeled cost differs
+        (SPECIALIZED_PROP instead of IC_PROBE + HANDLER_EXECUTE).
+        """
+        stack = frame.stack
+        obj = stack[-1]
+        if isinstance(obj, JSObject):
+            site = frame.sites[b]
+            slots = site.slots
+            if slots:
+                hc = obj.hidden_class
+                if slots[0][0] is hc:
+                    counters = self.counters
+                    counters.ic_accesses += 1
+                    counters.ic_hits += 1
+                    if site.state is _MONOMORPHIC:
+                        counters.ic_hits_mono += 1
+                    else:
+                        counters.ic_hits_poly += 1
+                    counters.specialized_hits += 1
+                    counters.instructions[CATEGORY_EXECUTE] += (
+                        cost.SPECIALIZED_PROP
+                    )
+                    if site.preloaded_addresses and site.was_preloaded(hc):
+                        self._note_preloaded_hit(site, hc)
+                    stack[-1] = obj.slots[frame.code.spec_table[a][1]]
+                    return pc
+        return self._deopt(
+            frame,
+            pc,
+            Op.GET_PROP,
+            frame.code.spec_table[a][0],
+            b,
+            frame.sites[b].info.site_key,
+        )
+
+    def _op_set_prop_slot(self, frame: Frame, a: int, b: int, pc: int) -> int:
+        """SET_PROP_SLOT: direct-offset overwrite store (see GET_PROP_SLOT).
+
+        Only non-transitioning stores to existing fields are ever
+        quickened, and never stores to ``prototype`` — so no transition,
+        no shape-dependent invalidation, no constructor-cache check.
+        """
+        stack = frame.stack
+        obj = stack[-2]
+        if isinstance(obj, JSObject):
+            site = frame.sites[b]
+            slots = site.slots
+            if slots:
+                hc = obj.hidden_class
+                if slots[0][0] is hc:
+                    value = stack[-1]
+                    counters = self.counters
+                    counters.ic_accesses += 1
+                    counters.ic_hits += 1
+                    if site.state is _MONOMORPHIC:
+                        counters.ic_hits_mono += 1
+                    else:
+                        counters.ic_hits_poly += 1
+                    counters.specialized_hits += 1
+                    counters.instructions[CATEGORY_EXECUTE] += (
+                        cost.SPECIALIZED_PROP
+                    )
+                    if site.preloaded_addresses and site.was_preloaded(hc):
+                        self._note_preloaded_hit(site, hc)
+                    obj.slots[frame.code.spec_table[a][1]] = value
+                    stack.pop()
+                    stack[-1] = value
+                    return pc
+        return self._deopt(
+            frame,
+            pc,
+            Op.SET_PROP,
+            frame.code.spec_table[a][0],
+            b,
+            frame.sites[b].info.site_key,
+        )
 
     def _op_typeof(self, frame: Frame, a: int, b: int, pc: int) -> int:
         stack = frame.stack

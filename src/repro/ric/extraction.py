@@ -21,18 +21,26 @@ from __future__ import annotations
 import json
 import time
 
-from repro.bytecode.code import SiteKind
+from repro.bytecode.code import FeedbackSlotInfo, SiteKind
 from repro.core.config import RICConfig
-from repro.ic.handlers import StoreTransitionHandler
-from repro.ic.icvector import FeedbackState
+from repro.ic.handlers import (
+    LoadFieldHandler,
+    StoreFieldHandler,
+    StoreTransitionHandler,
+)
+from repro.ic.icvector import FeedbackState, ICSite, ICState
 from repro.ric.icrecord import (
+    FEEDBACK_PROP_LOAD,
+    FEEDBACK_PROP_STORE,
     DependentEntry,
     HCVTRow,
     ICRecord,
+    SiteFeedback,
     SiteSlot,
     ToastPair,
 )
 from repro.runtime.context import Runtime
+from repro.specialize.feedback import collect_arith_feedback, demotion_tombstones
 
 #: Creation-key prefixes that are never reusable across executions.
 _EXCLUDED_KEY_PREFIXES = ("builtin:thrown:", "builtin:Dictionary")
@@ -153,9 +161,65 @@ def extract_icrecord(
                 row.cd_dependent_sites.append(info.site_key)
         if slot_entries:
             record.site_slots[info.site_key] = slot_entries
+        feedback_entry = prop_site_feedback(site, slot_entries)
+        if feedback_entry is not None:
+            record.site_feedback[info.site_key] = feedback_entry
+
+    # ---- site_feedback (v5): arithmetic profiles + demotions ---------------
+    # Property entries were emitted site-by-site above; arithmetic masks
+    # come from the ICVectors' recorder lists, and sites whose typed
+    # guard failed during this run override everything with a tombstone.
+    record.site_feedback.update(collect_arith_feedback(feedback))
+    for key, tombstone in demotion_tombstones(feedback.demoted_sites):
+        record.site_feedback[key] = tombstone
 
     record.extraction_time_ms = (time.perf_counter() - start) * 1000.0
     return record
+
+
+def prop_site_feedback(
+    site: ICSite, slot_entries: list[SiteSlot]
+) -> "SiteFeedback | None":
+    """The ``site_feedback`` entry one named load/store site deserves.
+
+    Persistently monomorphic sites whose single handler is a plain field
+    access become positive entries — ``hcid`` is taken from the already
+    record-local ``slot_entries``, so the whole-run and per-file
+    extractors remap identically to their ``site_slots``.  Megamorphic
+    sites become tombstones (the site thrashed; quickening it would
+    guarantee deopts).  Polymorphic, uninitialized, excluded-class and
+    exotic-handler sites yield nothing: they are not specializable, but
+    not proven hostile either.  Stores to ``prototype`` are never
+    specialized (the typed store skips constructor-cache invalidation).
+    """
+    info: FeedbackSlotInfo = site.info
+    kind = (
+        FEEDBACK_PROP_LOAD
+        if info.kind is SiteKind.NAMED_LOAD
+        else FEEDBACK_PROP_STORE
+    )
+    if site.state is ICState.MEGAMORPHIC:
+        return SiteFeedback(kind=kind, mega=True)
+    if (
+        site.state is ICState.MONOMORPHIC
+        and len(slot_entries) == 1
+        and len(site.slots) == 1
+    ):
+        handler = site.slots[0][1]
+        wanted = (
+            LoadFieldHandler
+            if info.kind is SiteKind.NAMED_LOAD
+            else StoreFieldHandler
+        )
+        if isinstance(handler, wanted) and not (
+            info.kind is SiteKind.NAMED_STORE and info.name == "prototype"
+        ):
+            return SiteFeedback(
+                kind=kind,
+                hcid=slot_entries[0].hcid,
+                offset=handler.offset,
+            )
+    return None
 
 
 def _global_site_keys(feedback: FeedbackState, config: RICConfig) -> set[str]:

@@ -80,6 +80,60 @@ class SiteSlot:
     handler_id: int
 
 
+#: ``SiteFeedback.types`` bitmask values (operand classes observed at an
+#: arithmetic site).  Mirrored by repro/specialize/feedback.py, which owns
+#: the classification; persisted here so the record format is
+#: self-contained.
+FEEDBACK_INT = 1
+FEEDBACK_FLOAT = 2
+FEEDBACK_STR = 4
+FEEDBACK_BOOL = 8
+FEEDBACK_OBJ = 16
+FEEDBACK_OTHER = 32
+FEEDBACK_TYPE_MASK = (
+    FEEDBACK_INT
+    | FEEDBACK_FLOAT
+    | FEEDBACK_STR
+    | FEEDBACK_BOOL
+    | FEEDBACK_OBJ
+    | FEEDBACK_OTHER
+)
+
+#: ``SiteFeedback.kind`` values.
+FEEDBACK_ARITH = "arith"
+FEEDBACK_PROP_LOAD = "prop_load"
+FEEDBACK_PROP_STORE = "prop_store"
+FEEDBACK_KINDS = (FEEDBACK_ARITH, FEEDBACK_PROP_LOAD, FEEDBACK_PROP_STORE)
+
+
+@dataclass(frozen=True)
+class SiteFeedback:
+    """One persisted type-feedback entry (format v5; ``site_feedback``).
+
+    For ``arith`` entries the key is ``{decl_key}@{pc}:arith`` (the code
+    object's declaration key plus the instruction's pc in the optimized
+    stream — stable because compilation and optimization are
+    deterministic for a given source, and the record is only trusted for
+    content-matched scripts) and ``types`` is the observed operand-class
+    bitmask.  For ``prop_load``/``prop_store`` entries the key is the
+    site's IC ``site_key`` and ``hcid``/``offset`` pin the persistently
+    monomorphic hidden class (record-local id, remapped per file exactly
+    like ``site_slots``) and its field offset.
+
+    ``mega`` is the tombstone: the site thrashed (megamorphic, mixed
+    operand types, or demoted by a guard failure) and must never be
+    re-specialized — persisting the *negative* result is what stops a
+    reuse chain from re-learning a deopt every execution.
+    """
+
+    kind: str
+    op: int = 0  # BinOp value for arith entries, 0 otherwise
+    types: int = 0  # operand-class bitmask for arith entries
+    hcid: int = -1  # record-local hidden-class id for mono prop entries
+    offset: int = -1  # field offset for mono prop entries
+    mega: bool = False  # tombstone: never re-specialize this site
+
+
 @dataclass(frozen=True)
 class ToastPair:
     """One (incoming, outgoing) entry of a TOAST row (Figure 6b).
@@ -116,6 +170,12 @@ class ICRecord:
     #: applies after preloading so a warmed site probes in the same order
     #: it did at extraction time.
     site_slots: dict[str, list[SiteSlot]] = field(default_factory=dict)
+    #: Per-site type feedback (format v5): ``feedback key ->``
+    #: :class:`SiteFeedback` for arithmetic sites with a stable operand
+    #: profile, persistently monomorphic property sites, and tombstoned
+    #: thrash sites.  Spent by the quickening pass (repro/specialize/) at
+    #: artifact build; ignored by everything else.
+    site_feedback: dict[str, SiteFeedback] = field(default_factory=dict)
     #: Extraction wall-clock time in milliseconds (paper §7.3).
     extraction_time_ms: float = 0.0
 
@@ -147,6 +207,10 @@ class ICRecord:
             ),
             "site_slot_entries": sum(
                 len(slots) for slots in self.site_slots.values()
+            ),
+            "feedback_sites": len(self.site_feedback),
+            "feedback_tombstones": sum(
+                1 for fb in self.site_feedback.values() if fb.mega
             ),
             "extraction_time_ms": self.extraction_time_ms,
         }

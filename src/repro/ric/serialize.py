@@ -33,9 +33,13 @@ from pathlib import Path
 from repro.ric.atomicio import atomic_write_text
 from repro.ric.errors import CorruptRecord, RecordFormatError
 from repro.ric.icrecord import (
+    FEEDBACK_ARITH,
+    FEEDBACK_PROP_LOAD,
+    FEEDBACK_PROP_STORE,
     DependentEntry,
     HCVTRow,
     ICRecord,
+    SiteFeedback,
     SiteSlot,
     ToastPair,
 )
@@ -44,11 +48,116 @@ from repro.ric.icrecord import (
 #: (payload checksum) and structural validation on load.  v4: per-site
 #: ordered slot sets (``site_slots``) — persisted polymorphic ICVector
 #: state, ``site_key -> [[hcid, handler_id], ...]`` capped at POLY_LIMIT.
-ICRECORD_FORMAT_VERSION = 4
+#: v5: per-site type feedback (``site_feedback``) — spent by the
+#: quickening pass; v4 records (pre-feedback) are refused like any other
+#: version mismatch and re-extracted.  The wire form is deduplicated and
+#: compact (§7.3 bounds the record at <5% of the workload heap, and the
+#: naive 6-tuple-per-site encoding blew that budget on reactlike):
+#:
+#: * monomorphic property feedback is *not* written at all when it is
+#:   byte-for-byte derivable from ``site_slots`` + the handler table
+#:   (exactly one persisted slot whose handler is a field load/store);
+#:   :func:`derived_prop_feedback` reconstructs it on load;
+#: * ``null`` marks a derivable site the extractor deliberately left
+#:   without feedback (e.g. ``X.prototype = ...`` stores) so derivation
+#:   must not resurrect it;
+#: * everything else is a short list: ``[k]`` is a kind-``k`` tombstone,
+#:   ``[0, op, types]`` an arith entry, ``[1|2, hcid, offset]`` a
+#:   non-derivable property entry (kinds are small ints on the wire:
+#:   0=arith, 1=prop_load, 2=prop_store).
+ICRECORD_FORMAT_VERSION = 5
+
+#: Wire encoding of feedback kinds (strings in memory, ints on disk).
+_FEEDBACK_KIND_TO_WIRE = {
+    FEEDBACK_ARITH: 0,
+    FEEDBACK_PROP_LOAD: 1,
+    FEEDBACK_PROP_STORE: 2,
+}
+_WIRE_TO_FEEDBACK_KIND = {v: k for k, v in _FEEDBACK_KIND_TO_WIRE.items()}
+
+#: Handler kinds whose feedback is derivable, keyed by the site-key
+#: suffix they must sit behind.  A direct-offset rewrite is only ever
+#: justified by a plain field handler at a matching named site.
+_DERIVABLE_HANDLERS = {
+    "load_field": (":named_load", FEEDBACK_PROP_LOAD),
+    "store_field": (":named_store", FEEDBACK_PROP_STORE),
+}
+
+
+def derived_prop_feedback(record: ICRecord) -> dict:
+    """Feedback entries implied by ``site_slots`` + the handler table.
+
+    A persistently-monomorphic named property site — exactly one
+    persisted slot, backed by a plain field handler — carries the same
+    ``(hcid, offset)`` pair in ``site_slots`` that its ``site_feedback``
+    entry would repeat, so the entry is reconstructed here instead of
+    serialized.  Sites with polymorphic slot sets, exotic handlers, or a
+    handler/site-kind mismatch derive nothing.
+    """
+    derived = {}
+    for site_key, slots in record.site_slots.items():
+        if len(slots) != 1:
+            continue
+        slot = slots[0]
+        if not 0 <= slot.handler_id < len(record.handlers):
+            continue
+        handler = record.handlers[slot.handler_id]
+        if not isinstance(handler, dict):
+            continue
+        rule = _DERIVABLE_HANDLERS.get(handler.get("kind"))
+        if rule is None or not site_key.endswith(rule[0]):
+            continue
+        offset = handler.get("offset")
+        if not isinstance(offset, int):
+            continue
+        derived[site_key] = SiteFeedback(kind=rule[1], hcid=slot.hcid, offset=offset)
+    return derived
+
+
+def _feedback_to_wire(fb: SiteFeedback) -> list:
+    """Compact wire form of one explicit (non-derivable) feedback entry."""
+    kind = _FEEDBACK_KIND_TO_WIRE.get(fb.kind)
+    if kind is None:
+        # Unknown kind: keep the legacy self-describing 6-tuple so the
+        # round trip stays lossless; validate_record is the wall that
+        # rejects it, not the serializer.
+        return [fb.kind, fb.op, fb.types, fb.hcid, fb.offset, fb.mega]
+    if fb.mega:
+        return [kind]
+    if fb.kind == FEEDBACK_ARITH:
+        return [kind, fb.op, fb.types]
+    return [kind, fb.hcid, fb.offset]
+
+
+def _feedback_from_wire(entry: list) -> SiteFeedback:
+    """Inverse of :func:`_feedback_to_wire` (raises on malformed shapes)."""
+    head = entry[0]
+    if isinstance(head, str):
+        kind, op, types, hcid, offset, mega = entry
+        return SiteFeedback(
+            kind=kind, op=op, types=types, hcid=hcid, offset=offset, mega=bool(mega)
+        )
+    kind = _WIRE_TO_FEEDBACK_KIND[head]
+    if len(entry) == 1:
+        return SiteFeedback(kind=kind, mega=True)
+    if kind == FEEDBACK_ARITH:
+        _, op, types = entry
+        return SiteFeedback(kind=kind, op=op, types=types)
+    _, hcid, offset = entry
+    return SiteFeedback(kind=kind, hcid=hcid, offset=offset)
 
 
 def record_to_json(record: ICRecord) -> dict:
     """Serialize an ICRecord to JSON-compatible plain data (the payload)."""
+    derived = derived_prop_feedback(record)
+    site_feedback = {
+        key: _feedback_to_wire(fb)
+        for key, fb in record.site_feedback.items()
+        if derived.get(key) != fb
+    }
+    for key in derived:
+        if key not in record.site_feedback:
+            site_feedback[key] = None
     return {
         "version": ICRECORD_FORMAT_VERSION,
         "script_keys": record.script_keys,
@@ -77,6 +186,7 @@ def record_to_json(record: ICRecord) -> dict:
             site_key: [[slot.hcid, slot.handler_id] for slot in slots]
             for site_key, slots in record.site_slots.items()
         },
+        "site_feedback": site_feedback,
         "extraction_time_ms": record.extraction_time_ms,
     }
 
@@ -127,10 +237,19 @@ def record_from_json(data: dict) -> ICRecord:
             ]
             for site_key, slots in data["site_slots"].items()
         }
+        site_feedback = derived_prop_feedback(record)
+        for key, entry in data["site_feedback"].items():
+            if entry is None:
+                # Explicit suppression: derivable site the extractor
+                # deliberately left without feedback (prototype stores).
+                site_feedback.pop(key, None)
+            else:
+                site_feedback[key] = _feedback_from_wire(entry)
+        record.site_feedback = site_feedback
         record.extraction_time_ms = float(data.get("extraction_time_ms", 0.0))
     except RecordFormatError:
         raise
-    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+    except (KeyError, IndexError, TypeError, ValueError, AttributeError) as exc:
         raise RecordFormatError(
             f"malformed ICRecord payload: {type(exc).__name__}: {exc}"
         ) from exc

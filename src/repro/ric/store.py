@@ -38,7 +38,7 @@ from repro.ic.handlers import StoreTransitionHandler
 from repro.ic.icvector import FeedbackState
 from repro.ric.atomicio import atomic_write_text, file_lock
 from repro.ric.errors import RecordFormatError
-from repro.ric.extraction import _global_site_keys
+from repro.ric.extraction import _global_site_keys, prop_site_feedback
 from repro.ric.icrecord import (
     DependentEntry,
     HCVTRow,
@@ -208,6 +208,27 @@ def _extract_for_file(
                 row.cd_dependent_sites.append(info.site_key)
         if slot_entries:
             record.site_slots[info.site_key] = slot_entries
+        # v5 site feedback, hcid-remapped via the (already record-local)
+        # slot entries exactly like site_slots.
+        feedback_entry = prop_site_feedback(site, slot_entries)
+        if feedback_entry is not None:
+            record.site_feedback[info.site_key] = feedback_entry
+
+    # Arithmetic profiles of code declared in this file, plus tombstones
+    # for this file's demoted sites (both key shapes start with the
+    # declaring filename, which is what the filters cut on).
+    from repro.specialize.feedback import (
+        collect_arith_feedback,
+        demotion_tombstones,
+    )
+
+    record.site_feedback.update(
+        collect_arith_feedback(feedback, filename=filename)
+    )
+    for key, tombstone in demotion_tombstones(
+        feedback.demoted_sites, filename=filename
+    ):
+        record.site_feedback[key] = tombstone
 
     return record
 

@@ -18,7 +18,13 @@ from __future__ import annotations
 
 from repro.ic.icvector import POLY_LIMIT
 from repro.ric.errors import RecordFormatError
-from repro.ric.icrecord import ICRecord
+from repro.ric.icrecord import (
+    FEEDBACK_ARITH,
+    FEEDBACK_KINDS,
+    FEEDBACK_TYPE_MASK,
+    ICRecord,
+)
+from repro.bytecode.opcodes import BinOp
 
 #: Schema of every handler kind that may legally appear in a persisted
 #: handler store: kind -> required extra fields.  Context-dependent kinds
@@ -185,6 +191,69 @@ def validate_record(record: ICRecord) -> list[str]:
                     )
     else:
         problems.append("site_slots must be a dict")
+
+    # -- site_feedback (v5): known kinds, legal masks, in-range hcids -------
+    if isinstance(record.site_feedback, dict):
+        valid_ops = {int(op) for op in BinOp}
+        for key, fb in record.site_feedback.items():
+            if not isinstance(key, str):
+                problems.append(f"site_feedback key {key!r} is not a string")
+                continue
+            kind = getattr(fb, "kind", None)
+            if kind not in FEEDBACK_KINDS:
+                problems.append(
+                    f"site_feedback[{key!r}] has unknown kind {kind!r}"
+                )
+                continue
+            if not isinstance(fb.mega, bool):
+                problems.append(
+                    f"site_feedback[{key!r}] mega flag is not a bool"
+                )
+            if kind == FEEDBACK_ARITH:
+                if fb.mega:
+                    continue  # tombstone: op/types are advisory
+                if (
+                    not isinstance(fb.op, int)
+                    or isinstance(fb.op, bool)
+                    or fb.op not in valid_ops
+                ):
+                    problems.append(
+                        f"site_feedback[{key!r}] has invalid BinOp {fb.op!r}"
+                    )
+                if (
+                    not isinstance(fb.types, int)
+                    or isinstance(fb.types, bool)
+                    or fb.types <= 0
+                    or fb.types & ~FEEDBACK_TYPE_MASK
+                ):
+                    problems.append(
+                        f"site_feedback[{key!r}] type mask {fb.types!r} "
+                        f"outside known bits"
+                    )
+            else:  # prop_load / prop_store
+                if fb.mega:
+                    continue  # tombstone: hcid/offset are advisory
+                hcid = fb.hcid
+                if (
+                    not isinstance(hcid, int)
+                    or isinstance(hcid, bool)
+                    or not 0 <= hcid < num_rows
+                ):
+                    problems.append(
+                        f"site_feedback[{key!r}] hcid {hcid!r} "
+                        f"outside [0, {num_rows})"
+                    )
+                if (
+                    not isinstance(fb.offset, int)
+                    or isinstance(fb.offset, bool)
+                    or fb.offset < 0
+                ):
+                    problems.append(
+                        f"site_feedback[{key!r}] offset {fb.offset!r} "
+                        f"must be a non-negative int"
+                    )
+    else:
+        problems.append("site_feedback must be a dict")
 
     if (
         not isinstance(record.extraction_time_ms, (int, float))

@@ -207,6 +207,11 @@ class RecordCacheDaemon:
         self.puts_stale_epoch = 0
         self.epoch_bumps = 0
         self.store_fallback_hits = 0
+        #: Specialization-feedback aggregates over accepted PUTs (what the
+        #: fleet's records would let a consumer quicken); see health().
+        self.feedback_records = 0
+        self.feedback_sites = 0
+        self.feedback_tombstones = 0
         self._servers: "list[socketserver.BaseServer]" = []
         self._threads: "list[threading.Thread]" = []
         #: Live client connections, so :meth:`kill` can sever them.
@@ -547,8 +552,16 @@ class RecordCacheDaemon:
             )
         if self.store is not None:
             self.store.put_by_key(f"{filename}:{src_hash}", record)
+        feedback_sites = len(record.site_feedback)
+        feedback_tombstones = sum(
+            1 for fb in record.site_feedback.values() if fb.mega
+        )
         with self._lock:
             self.puts_accepted += 1
+            if feedback_sites:
+                self.feedback_records += 1
+                self.feedback_sites += feedback_sites
+                self.feedback_tombstones += feedback_tombstones
         return protocol.ok_response(stored=True, evicted=evicted, epoch=self.epoch)
 
     def _handle_stat(self) -> dict:
@@ -627,6 +640,11 @@ class RecordCacheDaemon:
                 "bytes": cache.bytes_used,
                 "max_bytes": cache.max_bytes,
                 "bytes_frac": cache.bytes_used / cache.max_bytes,
+            },
+            "specialize": {
+                "records_with_feedback": self.feedback_records,
+                "feedback_sites": self.feedback_sites,
+                "feedback_tombstones": self.feedback_tombstones,
             },
         }
 

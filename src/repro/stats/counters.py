@@ -117,6 +117,21 @@ class Counters:
     ric_remote_proto_mismatch: int = 0
     ric_remote_stale_epoch: int = 0
 
+    #: Bytecode specialization (repro/specialize/).  ``specialized_sites``
+    #: is how many instructions the quickening pass rewrote in the code
+    #: this run executed; ``specialized_hits`` counts typed-opcode guard
+    #: successes; ``deopts`` counts guard failures and
+    #: ``despecialized_sites`` the in-place demotions they triggered
+    #: (equal unless a site deopts after the instruction was already
+    #: patched by another session sharing the artifact).  These are the
+    #: only counters allowed to differ — along with the execute/ric
+    #: instruction charges they discount — between ``specialize`` on and
+    #: off (the differential wall in tests/test_differential.py).
+    specialized_sites: int = 0
+    specialized_hits: int = 0
+    deopts: int = 0
+    despecialized_sites: int = 0
+
     #: Governance aborts: how this run was stopped, if it was.  At most
     #: one of these is 1 for a given run (a run aborts once); they are
     #: separate counters rather than a single tag so report aggregation
@@ -221,6 +236,10 @@ class Counters:
             "ric_records_corrupt": self.ric_records_corrupt,
             "ric_records_rejected": self.ric_records_rejected,
             "ric_records_degraded": self.ric_records_degraded,
+            "specialized_sites": self.specialized_sites,
+            "specialized_hits": self.specialized_hits,
+            "deopts": self.deopts,
+            "despecialized_sites": self.despecialized_sites,
             "bytecode_cache_hits": self.bytecode_cache_hits,
             "bytecode_cache_misses": self.bytecode_cache_misses,
             "ric_remote_hits": self.ric_remote_hits,

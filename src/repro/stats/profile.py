@@ -84,5 +84,8 @@ class RunProfile:
             "ric_preloads": counters.ric_preloads,
             "ric_validations": counters.ric_validations,
             "preloaded_hits": counters.ic_hits_on_preloaded,
+            "specialized_sites": counters.specialized_sites,
+            "specialized_hits": counters.specialized_hits,
+            "deopts": counters.deopts,
             "heap_bytes": self.heap_bytes,
         }

@@ -42,6 +42,25 @@ WORKLOAD_NAMES = (
     "jsfeatlike",
     "synthetic",
     "polyshapes",
+    "typedarith",
+)
+
+#: Counters allowed to differ between a quickened and a generic reuse run
+#: of the same workload: the specialization tallies themselves, plus the
+#: modeled instruction costs (typed property hits charge SPECIALIZED_PROP
+#: instead of the IC fast-path cost — that discount is the whole point).
+#: Everything else — IC hit/miss/tier counts included — must be *exactly*
+#: equal: specialization may change how fast a site is serviced, never
+#: how often it hits or what it observes.
+SPECIALIZE_VARIANT_COUNTERS = frozenset(
+    (
+        "instructions",
+        "total_instructions",
+        "specialized_sites",
+        "specialized_hits",
+        "deopts",
+        "despecialized_sites",
+    )
 )
 
 
@@ -210,6 +229,101 @@ class TestPolymorphicStoreRoundTrip:
         c = Engine(seed=23, record_store=store)
         degraded = c.run(scripts, name="degraded", use_store=True)
         assert degraded.console_output == cold.console_output
+
+
+@pytest.fixture(scope="module")
+def specialize_runs_by_workload() -> dict[str, tuple[ColdReuseRuns, ColdReuseRuns]]:
+    """Every registry workload, run through the full protocol twice: once
+    with bytecode specialization (the default) and once with it forced
+    off.  Same seed, so everything observable must coincide."""
+    from repro.core.config import RICConfig
+
+    scripts_by_name = bench_workloads()
+    out = {}
+    for name in WORKLOAD_NAMES:
+        on = run_cold_and_reused(
+            scripts_by_name[name],
+            seed=17,
+            name=name,
+            config=RICConfig(specialize=True),
+        )
+        off = run_cold_and_reused(
+            scripts_by_name[name],
+            seed=17,
+            name=name,
+            config=RICConfig(specialize=False),
+        )
+        out[name] = (on, off)
+    return out
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+class TestSpecializeDifferential:
+    """The specialization wall (INTERNALS §14): quickened reuse must be
+    observationally identical to generic reuse over every registry
+    workload — byte-identical output, byte-identical user-visible heap,
+    and exactly-equal counters outside the specialization tallies and
+    the modeled instruction costs they discount."""
+
+    def test_outputs_identical(self, specialize_runs_by_workload, name):
+        on, off = specialize_runs_by_workload[name]
+        assert on.reused.console_output == off.reused.console_output
+        assert on.reused.console_output, f"{name} produced no output"
+
+    def test_heap_observable_state_identical(
+        self, specialize_runs_by_workload, name
+    ):
+        on, off = specialize_runs_by_workload[name]
+        on_blob = json.dumps(on.reused_state, sort_keys=True)
+        off_blob = json.dumps(off.reused_state, sort_keys=True)
+        assert on_blob == off_blob
+
+    def test_counters_equal_outside_specialization(
+        self, specialize_runs_by_workload, name
+    ):
+        on, off = specialize_runs_by_workload[name]
+        on_dict = on.reused.counters.as_dict()
+        off_dict = off.reused.counters.as_dict()
+        divergent = {
+            key
+            for key in on_dict
+            if on_dict[key] != off_dict[key]
+            and key not in SPECIALIZE_VARIANT_COUNTERS
+        }
+        assert not divergent, f"{name}: unexpected counter drift: {divergent}"
+        # The IC layer in particular is untouched: typed property hits
+        # book the same accesses/hits/tier counts the generic fast path
+        # would have.
+        for key in ("ic_accesses", "ic_hits", "ic_misses",
+                    "ic_hits_mono", "ic_hits_poly", "ic_hits_mega",
+                    "ic_hits_on_preloaded"):
+            assert on_dict[key] == off_dict[key], f"{name}: {key} diverged"
+
+    def test_cold_runs_are_unaffected(self, specialize_runs_by_workload, name):
+        """Quickening only happens on reuse runs (there is no feedback to
+        spend before a record exists), so cold runs are counter-identical
+        bit for bit, specialization tallies included."""
+        on, off = specialize_runs_by_workload[name]
+        assert on.cold.counters.as_dict() == off.cold.counters.as_dict()
+        assert on.cold.counters.specialized_sites == 0
+
+    def test_specialization_engages_where_applicable(
+        self, specialize_runs_by_workload, name
+    ):
+        """The wall must not hold vacuously: on the type-stable showcase
+        workload the quickened reuse run actually executes typed opcodes
+        (with zero deopts) and its modeled cost beats generic reuse."""
+        if name != "typedarith":
+            pytest.skip("engagement gate runs on the showcase workload")
+        on, off = specialize_runs_by_workload[name]
+        counters = on.reused.counters
+        assert counters.specialized_sites > 0
+        assert counters.specialized_hits > 0
+        assert counters.deopts == 0
+        assert off.reused.counters.specialized_sites == 0
+        assert (
+            on.reused.modeled_time_ms < off.reused.modeled_time_ms
+        ), "quickened reuse should cost less than generic reuse"
 
 
 @pytest.mark.parametrize("name", WORKLOAD_NAMES)

@@ -41,7 +41,7 @@ def _fingerprint(outcome):
 class TestDifferentialOracle:
     @pytest.mark.slow
     def test_concurrent_counters_bit_identical_to_sequential(self):
-        """The acceptance oracle: jobs=4 over the nine workloads (one
+        """The acceptance oracle: jobs=4 over the ten workloads (one
         warmed reuse run each) against their jobs=1 twins."""
         engine = Engine(seed=11)
         executor = EngineExecutor(engine)
@@ -62,7 +62,7 @@ class TestDifferentialOracle:
         sequential = executor.run_many(requests, jobs=1)
         concurrent = executor.run_many(requests, jobs=4)
 
-        assert len(sequential) == len(concurrent) == 9
+        assert len(sequential) == len(concurrent) == 10
         for seq, conc in zip(sequential, concurrent):
             assert seq.ok and conc.ok
             assert _fingerprint(seq) == _fingerprint(conc)

@@ -441,3 +441,294 @@ class TestPolymorphicShapeCrossCheck:
         assert polymorphic_shape_program(
             random.Random(3), [2, 5]
         ) == polymorphic_shape_program(random.Random(3), [2, 5])
+
+
+# -- type-stability generators (seeded, specialization cross-check) --------------
+#
+# Two seeded generators around one skeleton of shared helper functions
+# (int/float arithmetic, monomorphic property accessors): the *stable*
+# variant keeps every helper's operand types consistent for the whole
+# run — the profile the quickening pass specializes — while the
+# *unstable* variant pushes mixed types and shape churn through the very
+# same sites — the profile that must become tombstones.  Both are
+# cross-checked specialize-on vs specialize-off under the full protocol
+# (cold -> extract -> reuse): output, heap, and every counter outside
+# the declared specialization-variant set must be identical.
+
+
+def _stability_skeleton() -> list[str]:
+    return [
+        "var out = [];",
+        "function addi(a, b) { return a + b; }",
+        "function subi(a, b) { return a - b; }",
+        "function mulf(a, b) { return a * b; }",
+        "function Pt(x, y) { this.x = x; this.y = y; }",
+        "function getx(p) { return p.x; }",
+        "function setx(p, v) { p.x = v; }",
+        "var si = 0;",
+        "var sf = 0.5;",
+    ]
+
+
+def type_stable_program(rng: random.Random) -> str:
+    """Every arithmetic helper sees one operand class for the whole run
+    and every property site stays monomorphic: the fully quickenable
+    profile (reuse should specialize and never deopt)."""
+    lines = _stability_skeleton()
+    size = rng.randint(4, 10)
+    lines.append("var pts = [];")
+    lines.append(
+        f"for (var p = 0; p < {size}; p++) {{ pts.push(new Pt(p, p * 2)); }}"
+    )
+    for _ in range(rng.randint(4, 10)):
+        kind = rng.randint(0, 3)
+        n = rng.randint(5, 30)
+        c = rng.randint(1, 9)
+        i = f"i{len(lines)}"
+        if kind == 0:
+            lines.append(
+                f"for (var {i} = 0; {i} < {n}; {i}++) "
+                f"{{ si = addi(si, {i} + {c}); }}"
+            )
+        elif kind == 1:
+            lines.append(
+                f"for (var {i} = 0; {i} < {n}; {i}++) "
+                f"{{ sf = sf + mulf(0.25, {c}); }}"
+            )
+        elif kind == 2:
+            lines.append(
+                f"for (var {i} = 0; {i} < pts.length; {i}++) "
+                f"{{ setx(pts[{i}], getx(pts[{i}]) + {c}); }}"
+            )
+        else:
+            lines.append(
+                f"for (var {i} = 0; {i} < {n}; {i}++) "
+                f"{{ si = subi(si, {c}); }}"
+            )
+    lines.append("out.push(si); out.push(sf);")
+    lines.append("for (var t = 0; t < pts.length; t++) { out.push(pts[t].x); }")
+    lines.append('console.log(out.join(","));')
+    return "\n".join(lines)
+
+
+def type_unstable_program(rng: random.Random) -> str:
+    """The same helpers fed deliberately inconsistent operands — strings
+    and bools through the arithmetic, shape churn through the accessors —
+    so extraction must tombstone (or skip) every one of those sites and
+    reuse must stay deopt-free *because* nothing was specialized."""
+    lines = _stability_skeleton()
+    size = rng.randint(4, 8)
+    lines.append("var pts = [];")
+    lines.append(
+        f"for (var p = 0; p < {size}; p++) {{ pts.push(new Pt(p, p * 2)); }}"
+    )
+    lines.append('var st = "";')
+    for _ in range(rng.randint(4, 9)):
+        kind = rng.randint(0, 4)
+        n = rng.randint(4, 16)
+        c = rng.randint(1, 9)
+        i = f"i{len(lines)}"
+        if kind == 0:
+            # ints AND strings through the same addi site
+            lines.append(
+                f"for (var {i} = 0; {i} < {n}; {i}++) "
+                f"{{ si = addi(si, {i}); st = addi(st, 'x'); }}"
+            )
+        elif kind == 1:
+            # bools through mulf: non-numeric operand class
+            lines.append(
+                f"for (var {i} = 0; {i} < {n}; {i}++) "
+                f"{{ sf = sf + mulf(true, {c}); }}"
+            )
+        elif kind == 2:
+            # shape churn under the accessors: extra props mid-pool
+            lines.append(
+                f"for (var {i} = 0; {i} < pts.length; {i}++) {{ "
+                f"if ({i} % 2 === 0) {{ pts[{i}].extra{len(lines)} = {c}; }} "
+                f"setx(pts[{i}], getx(pts[{i}]) + 1); }}"
+            )
+        elif kind == 3:
+            lines.append(
+                f"for (var {i} = 0; {i} < {n}; {i}++) "
+                f"{{ si = subi(si, {c}); }}"
+            )
+        else:
+            # delete-and-readd: the x property moves across hidden classes
+            lines.append(
+                f"delete pts[0].x; pts[0].x = {c}; "
+                f"out.push(getx(pts[0]));"
+            )
+    lines.append("out.push(si); out.push(sf); out.push(st.length);")
+    lines.append("for (var t = 0; t < pts.length; t++) { out.push(pts[t].x); }")
+    lines.append('console.log(out.join(","));')
+    return "\n".join(lines)
+
+
+def run_specialize_protocol(scripts, specialize: bool, seed: int = 21) -> dict:
+    """Full protocol (Initial -> extract -> cold -> reuse) under one
+    specialize mode, fingerprinted like :func:`run_fastpath_protocol`."""
+    engine = Engine(config=RICConfig(specialize=specialize), seed=seed)
+    engine.run(scripts, name="spec")
+    record = engine.extract_icrecord()
+    cold = engine.run(scripts, name="spec")
+    cold_state = serialize_user_globals(engine.last_run.runtime)
+    reused = engine.run(scripts, name="spec", icrecord=record)
+    reused_state = serialize_user_globals(engine.last_run.runtime)
+    return {
+        "cold_output": cold.console_output,
+        "cold_counters": cold.counters.as_dict(),
+        "cold_state": cold_state,
+        "reused_output": reused.console_output,
+        "reused_counters": reused.counters.as_dict(),
+        "reused_state": reused_state,
+    }
+
+
+def assert_specialization_invisible(on: dict, off: dict) -> None:
+    """Everything observable — and every counter outside the declared
+    variant set — must be identical between the two modes."""
+    from tests.test_differential import SPECIALIZE_VARIANT_COUNTERS
+
+    assert on["cold_output"] == off["cold_output"]
+    assert on["reused_output"] == off["reused_output"]
+    assert on["cold_state"] == off["cold_state"]
+    assert on["reused_state"] == off["reused_state"]
+    for mode in ("cold_counters", "reused_counters"):
+        for key, value in on[mode].items():
+            if key not in SPECIALIZE_VARIANT_COUNTERS:
+                assert value == off[mode][key], f"{mode}.{key}"
+
+
+class TestTypeStabilityCrossCheck:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_type_stable_programs_specialize_without_deopts(self, seed):
+        scripts = [("stable.jsl", type_stable_program(random.Random(8000 + seed)))]
+        on = run_specialize_protocol(scripts, specialize=True)
+        off = run_specialize_protocol(scripts, specialize=False)
+        assert_specialization_invisible(on, off)
+        # The corpus must actually engage the quickening pass to mean
+        # anything — and a type-stable trace never fails a guard.
+        assert on["reused_counters"]["specialized_sites"] > 0
+        assert on["reused_counters"]["specialized_hits"] > 0
+        assert on["reused_counters"]["deopts"] == 0
+        assert off["reused_counters"]["specialized_sites"] == 0
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_type_unstable_programs_stay_generic(self, seed):
+        scripts = [
+            ("unstable.jsl", type_unstable_program(random.Random(9000 + seed)))
+        ]
+        on = run_specialize_protocol(scripts, specialize=True)
+        off = run_specialize_protocol(scripts, specialize=False)
+        assert_specialization_invisible(on, off)
+        # Mixed-type arith sites became tombstones at extraction, so they
+        # never specialize and never pay a guard failure.  Property sites
+        # may still deopt (shape churn can replay differently under
+        # preloading) — but every failure demotes exactly one site, and
+        # no site can fail more than once.
+        reused = on["reused_counters"]
+        assert reused["deopts"] == reused["despecialized_sites"]
+        assert reused["deopts"] <= reused["specialized_sites"]
+
+    def test_unstable_demotions_are_persistent(self):
+        """Whatever deopted under reuse is tombstoned by the next
+        extraction, so the generation after runs deopt-free."""
+        scripts = [("unstable.jsl", type_unstable_program(random.Random(9000)))]
+        engine = Engine(config=RICConfig(specialize=True), seed=21)
+        engine.run(scripts, name="gen0")
+        record = engine.extract_icrecord()
+        first = engine.run(scripts, name="gen1", icrecord=record)
+        record2 = engine.extract_icrecord()
+        second = engine.run(scripts, name="gen2", icrecord=record2)
+        assert second.counters.deopts == 0
+        assert second.console_output == first.console_output
+
+    def test_generators_are_deterministic(self):
+        assert type_stable_program(random.Random(5)) == type_stable_program(
+            random.Random(5)
+        )
+        assert type_unstable_program(random.Random(5)) == type_unstable_program(
+            random.Random(5)
+        )
+
+
+# -- guard-failure storm ---------------------------------------------------------
+#
+# The worst case for any speculation scheme: a record trained under one
+# application, reused under another that violates *every* speculated
+# profile at once — strings through the int-specialized arithmetic,
+# differently shaped objects through the slot-specialized accessors.
+# Every guard fails, every site demotes, and the run must still be
+# observationally identical to an unspecialized one.
+
+
+def storm_sources(rng: random.Random) -> "tuple[str, str, str]":
+    """(shared library, type-stable trainer app, storm app)."""
+    lib = (
+        "function apply(a, b) { return a + b; }\n"
+        "function getv(o) { return o.v; }\n"
+        "function setv(o, x) { o.v = x; }\n"
+    )
+    n = rng.randint(10, 25)
+    c = rng.randint(1, 9)
+    trainer = (
+        "var acc = 0;\n"
+        "var objs = [];\n"
+        f"for (var i = 0; i < {n}; i++) {{ objs.push({{v: i}}); }}\n"
+        "for (var j = 0; j < objs.length; j++) "
+        f"{{ setv(objs[j], getv(objs[j]) + {c}); acc = apply(acc, j); }}\n"
+        'console.log("acc:", acc);\n'
+    )
+    m = rng.randint(6, 15)
+    storm = (
+        'var s = "";\n'
+        "var weird = [];\n"
+        # w before v: a different hidden class with v at another offset
+        f"for (var i = 0; i < {m}; i++) {{ weird.push({{w: i, v: i * 2}}); }}\n"
+        "for (var j = 0; j < weird.length; j++) "
+        '{ s = apply(s, "x"); setv(weird[j], getv(weird[j]) + 1); }\n'
+        'console.log("s:", s.length);\n'
+        "var sum = 0;\n"
+        "for (var k = 0; k < weird.length; k++) { sum = sum + getv(weird[k]); }\n"
+        'console.log("sum:", sum);\n'
+    )
+    return lib, trainer, storm
+
+
+class TestGuardFailureStorm:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_storm_demotes_everything_and_changes_nothing(self, seed):
+        lib, trainer, storm = storm_sources(random.Random(7000 + seed))
+        trainer_engine = Engine(seed=31)
+        trainer_engine.run(
+            [("lib.jsl", lib), ("train.jsl", trainer)], name="train"
+        )
+        lib_record = trainer_engine.extract_per_script_records()["lib.jsl"]
+        assert any(not fb.mega for fb in lib_record.site_feedback.values())
+
+        scripts = [("lib.jsl", lib), ("storm.jsl", storm)]
+
+        def reuse(specialize: bool):
+            engine = Engine(config=RICConfig(specialize=specialize), seed=77)
+            profile = engine.run(scripts, name="storm", icrecord=lib_record)
+            return profile, serialize_user_globals(engine.last_run.runtime)
+
+        on, on_state = reuse(True)
+        off, off_state = reuse(False)
+        assert on.console_output == off.console_output
+        assert on_state == off_state
+
+        # Every specialized site's guard failed exactly once and the
+        # site went (and stayed) generic.
+        assert on.counters.specialized_sites > 0
+        assert on.counters.deopts >= 1
+        assert on.counters.deopts == on.counters.despecialized_sites
+        assert off.counters.specialized_sites == 0
+        assert off.counters.deopts == 0
+
+        from tests.test_differential import SPECIALIZE_VARIANT_COUNTERS
+
+        on_dict, off_dict = on.counters.as_dict(), off.counters.as_dict()
+        for key, value in on_dict.items():
+            if key not in SPECIALIZE_VARIANT_COUNTERS:
+                assert value == off_dict[key], key

@@ -294,6 +294,8 @@ class TestSerialization:
             "slot_sites",
             "poly_slot_sites",
             "site_slot_entries",
+            "feedback_sites",
+            "feedback_tombstones",
             "extraction_time_ms",
         }
 
